@@ -1,0 +1,95 @@
+// Command amc-counters runs a short toy workload and prints performance
+// counters matching a query, mirroring HPX's --hpx:print-counter /
+// --hpx:list-counters interface that the paper's methodology is built on.
+//
+// Examples:
+//
+//	amc-counters -list
+//	amc-counters -query '/coalescing{*}/count/parcels@*'
+//	amc-counters -query '/threads{locality#1}/background-overhead' -parcels 20000
+//	amc-counters -histogram toy/get_cplx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/toy"
+	"repro/internal/coalescing"
+	"repro/internal/counters"
+	"repro/internal/lco"
+	"repro/internal/runtime"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list all counter names (--hpx:list-counters)")
+	query := flag.String("query", "/coalescing{*}/count/parcels@*", "counter query, * wildcards allowed")
+	histAction := flag.String("histogram", "", "print the parcel-arrival histogram for this action")
+	parcels := flag.Int("parcels", 5000, "workload parcels to generate")
+	nparcels := flag.Int("nparcels", 16, "coalescing queue length")
+	wait := flag.Duration("wait", 2*time.Millisecond, "coalescing wait time")
+	flag.Parse()
+
+	rt := runtime.New(runtime.Config{Localities: 2, WorkersPerLocality: 4})
+	defer rt.Shutdown()
+	toy.Register(rt)
+	params := coalescing.Params{NParcels: *nparcels, Interval: *wait}
+	if err := rt.EnableCoalescing(toy.Action, params); err != nil {
+		fatal(err)
+	}
+
+	// Generate traffic so the counters have something to report.
+	futures := make([]*lco.Future[[]byte], 0, *parcels)
+	for i := 0; i < *parcels; i++ {
+		f, err := rt.Locality(0).Async(1, toy.Action, nil)
+		if err != nil {
+			fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	if err := lco.WaitAll(futures); err != nil {
+		fatal(err)
+	}
+
+	reg := rt.Counters()
+	switch {
+	case *list:
+		for _, name := range reg.Discover() {
+			fmt.Println(name)
+		}
+	case *histAction != "":
+		q := fmt.Sprintf("/coalescing{*}/time/parcel-arrival-histogram@%s", *histAction)
+		cs, err := reg.Query(q)
+		if err != nil {
+			fatal(err)
+		}
+		if len(cs) == 0 {
+			fatal(fmt.Errorf("no histogram counters match %q", q))
+		}
+		for _, c := range cs {
+			hc, ok := c.(*counters.HistogramCounter)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%s\n%s\n", c.Path(), hc.Histogram())
+		}
+	default:
+		cs, err := reg.Query(*query)
+		if err != nil {
+			fatal(err)
+		}
+		if len(cs) == 0 {
+			fatal(fmt.Errorf("no counters match %q", *query))
+		}
+		for _, c := range cs {
+			fmt.Printf("%-70s [%s] %g\n", c.Path(), c.Kind(), c.Value())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "amc-counters: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command amc-parquet runs the scaled parquet application once with
+// explicit coalescing parameters and prints per-iteration metrics.
+//
+// Example (the paper's trial configuration, scaled):
+//
+//	amc-parquet -nc 24 -iterations 3 -nparcels 4 -wait 5000us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/parquet"
+	"repro/internal/coalescing"
+)
+
+func main() {
+	nc := flag.Int("nc", 24, "linear tensor dimension Nc (paper: 512)")
+	iterations := flag.Int("iterations", 3, "solver iterations")
+	nparcels := flag.Int("nparcels", 4, "parcels to coalesce per message")
+	wait := flag.Duration("wait", 5*time.Millisecond, "flush wait time")
+	localities := flag.Int("localities", 4, "number of localities")
+	workers := flag.Int("workers", 4, "workers per locality")
+	flag.Parse()
+
+	res, err := parquet.Run(parquet.Config{
+		Localities:         *localities,
+		WorkersPerLocality: *workers,
+		Nc:                 *nc,
+		Iterations:         *iterations,
+		Params:             coalescing.Params{NParcels: *nparcels, Interval: *wait},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amc-parquet: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("parquet: Nc=%d (%d rotation parcels of %d complex each per locality per iteration), %d localities, nparcels=%d wait=%v\n\n",
+		*nc, 8**nc**nc, *nc, *localities, *nparcels, *wait)
+	fmt.Printf("%-11s %12s %10s %10s %12s\n", "iteration", "wall", "n_oh", "t_o(µs)", "tasks")
+	for i, it := range res.Iterations {
+		fmt.Printf("%-11d %12v %10.4f %10.2f %12d\n",
+			i+1, it.Wall.Round(time.Microsecond), it.NetworkOverhead(), it.TaskOverheadUS(), it.Tasks)
+	}
+	fmt.Printf("\ntotal %v — %d parcels in %d messages (%.1f parcels/message), checksum %.4g\n",
+		res.Total.Round(time.Millisecond), res.ParcelsSent, res.MessagesSent,
+		float64(res.ParcelsSent)/float64(res.MessagesSent), res.Checksum)
+}

@@ -1,0 +1,213 @@
+// Command amc-repro regenerates every table and figure of the paper's
+// evaluation section. Each subcommand prints the rows/series the paper
+// reports, at a configurable scale:
+//
+//	amc-repro [flags] timer      — §II-B flush-timer accuracy
+//	amc-repro [flags] fig4       — toy: overhead vs time scatter + Pearson r
+//	amc-repro [flags] fig5       — toy: phase times vs parcels-per-message
+//	amc-repro [flags] fig6       — parquet: iteration times vs parcels-per-message
+//	amc-repro [flags] fig7       — parquet: overhead vs time scatter + Pearson r
+//	amc-repro [flags] fig8       — parquet: full parameter-grid heat map
+//	amc-repro [flags] fig9       — toy: instantaneous per-phase overhead
+//	amc-repro [flags] rsd        — §IV-C repeatability study
+//	amc-repro [flags] adaptive   — extension: adaptive tuning comparison
+//	amc-repro [flags] baselines  — ablation: coalescing strategies
+//	amc-repro [flags] all        — everything above in order
+//
+// Flags:
+//
+//	-scale quick|default|full   workload size (default "default")
+//	-csv                        emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "workload scale: quick, default or full")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiment.QuickScale()
+	case "default":
+		scale = experiment.DefaultScale()
+	case "full":
+		scale = experiment.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	cmd := flag.Arg(0)
+	runner := commands[cmd]
+	if cmd == "all" {
+		for _, name := range order {
+			if err := commands[name](scale, *csv); err != nil {
+				fail(name, err)
+			}
+		}
+		return
+	}
+	if runner == nil {
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err := runner(scale, *csv); err != nil {
+		fail(cmd, err)
+	}
+}
+
+func fail(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "amc-repro %s: %v\n", cmd, err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: amc-repro [-scale quick|default|full] [-csv] <subcommand>
+
+subcommands: timer fig4 fig5 fig6 fig7 fig8 fig9 rsd adaptive baselines sparse stencil all
+`)
+}
+
+var order = []string{"timer", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "rsd", "adaptive", "baselines", "sparse", "stencil"}
+
+type runFunc func(scale experiment.Scale, csv bool) error
+
+var commands = map[string]runFunc{
+	"timer": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res := experiment.TimerAccuracy(0)
+		emit(res.Table(), csv, start)
+		return nil
+	},
+	"fig4": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.Fig4(s)
+		if err != nil {
+			return err
+		}
+		emit(res.Table(), csv, start)
+		return nil
+	},
+	"fig5": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.Fig5(s)
+		if err != nil {
+			return err
+		}
+		emit(res.Table(), csv, start)
+		return nil
+	},
+	"fig6": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.Fig6(s)
+		if err != nil {
+			return err
+		}
+		t := res.Table()
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("best: nparcels=%d", res.BestNParcels())})
+		emit(t, csv, start)
+		return nil
+	},
+	"fig7": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.ParquetGrid(s)
+		if err != nil {
+			return err
+		}
+		emit(res.Fig7Table(), csv, start)
+		return nil
+	},
+	"fig8": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.ParquetGrid(s)
+		if err != nil {
+			return err
+		}
+		t := res.Fig8Table()
+		best := res.Best()
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("best: %s", best.Params)})
+		emit(t, csv, start)
+		return nil
+	},
+	"fig9": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.Fig9(s)
+		if err != nil {
+			return err
+		}
+		emit(res.Table(), csv, start)
+		return nil
+	},
+	"rsd": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.RSD(s)
+		if err != nil {
+			return err
+		}
+		emit(res.Table(), csv, start)
+		return nil
+	},
+	"adaptive": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.Adaptive(s)
+		if err != nil {
+			return err
+		}
+		emit(res.Table(), csv, start)
+		return nil
+	},
+	"baselines": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		rows, err := experiment.Strategies(s)
+		if err != nil {
+			return err
+		}
+		emit(experiment.StrategiesTable(rows), csv, start)
+		return nil
+	},
+	"sparse": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.SparseBypass(s)
+		if err != nil {
+			return err
+		}
+		emit(res.Table(), csv, start)
+		return nil
+	},
+	"stencil": func(s experiment.Scale, csv bool) error {
+		start := time.Now()
+		res, err := experiment.Stencil(s)
+		if err != nil {
+			return err
+		}
+		t := res.Table()
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("finest-chunk speedup from coalescing: %.2fx", res.Speedup())})
+		emit(t, csv, start)
+		return nil
+	},
+}
+
+func emit(t experiment.Table, csv bool, start time.Time) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t.String())
+	fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,80 @@
+// Command amc-sample runs the toy workload while periodically sampling
+// performance counters, then emits the time series as CSV — the
+// reproduction's analog of HPX's --hpx:print-counter-interval, and the
+// raw data stream an adaptive controller consumes (the instantaneous
+// measurements of the paper's Section IV-D).
+//
+// Example:
+//
+//	amc-sample -interval 10ms -parcels 50000 \
+//	    -query '/threads{*}/background-overhead@*' \
+//	    -query '/coalescing{*}/count/messages@*' > series.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/toy"
+	"repro/internal/coalescing"
+	"repro/internal/counters"
+	"repro/internal/lco"
+	"repro/internal/runtime"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return fmt.Sprint(*q) }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var queries queryList
+	flag.Var(&queries, "query", "counter query to sample (repeatable, wildcards allowed)")
+	interval := flag.Duration("interval", 20*time.Millisecond, "sampling interval")
+	parcels := flag.Int("parcels", 20000, "workload parcels to generate")
+	nparcels := flag.Int("nparcels", 16, "coalescing queue length")
+	wait := flag.Duration("wait", 2*time.Millisecond, "coalescing wait time")
+	flag.Parse()
+	if len(queries) == 0 {
+		queries = queryList{
+			"/threads{*}/background-overhead@*",
+			"/threads{*}/idle-rate@*",
+			"/coalescing{*}/count/messages@*",
+		}
+	}
+
+	rt := runtime.New(runtime.Config{Localities: 2, WorkersPerLocality: 4})
+	defer rt.Shutdown()
+	toy.Register(rt)
+	if err := rt.EnableCoalescing(toy.Action, coalescing.Params{NParcels: *nparcels, Interval: *wait}); err != nil {
+		fatal(err)
+	}
+
+	sampler := counters.NewSampler(rt.Counters(), queries, *interval)
+	sampler.Start()
+
+	futures := make([]*lco.Future[[]byte], 0, *parcels)
+	for i := 0; i < *parcels; i++ {
+		f, err := rt.Locality(0).Async(1, toy.Action, nil)
+		if err != nil {
+			fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	if err := lco.WaitAll(futures); err != nil {
+		fatal(err)
+	}
+	sampler.Stop()
+
+	if err := sampler.WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sampled %d points at %v intervals\n", len(sampler.Samples()), *interval)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "amc-sample: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command amc-toy runs the paper's toy application (Listing 1) once with
+// explicit parameters and prints the per-phase Section III metrics — the
+// closest analog of running the original HPX example with
+// --hpx:print-counter flags.
+//
+// Example:
+//
+//	amc-toy -parcels 50000 -phases 4 -nparcels 128 -wait 4000us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/toy"
+	"repro/internal/coalescing"
+	"repro/internal/trace"
+)
+
+func main() {
+	parcels := flag.Int("parcels", 20000, "parcels per phase (paper: 1000000)")
+	phases := flag.Int("phases", 4, "number of phases")
+	nparcels := flag.Int("nparcels", 16, "parcels to coalesce per message")
+	wait := flag.Duration("wait", 4*time.Millisecond, "flush wait time")
+	localities := flag.Int("localities", 2, "number of localities")
+	workers := flag.Int("workers", 4, "workers per locality")
+	bidi := flag.Bool("bidirectional", false, "both localities send, as in Listing 1")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	flag.Parse()
+
+	var buf *trace.Buffer
+	if *traceOut != "" {
+		buf = trace.New(1 << 14)
+	}
+	res, err := toy.Run(toy.Config{
+		Localities:         *localities,
+		WorkersPerLocality: *workers,
+		ParcelsPerPhase:    *parcels,
+		Phases:             *phases,
+		Params:             coalescing.Params{NParcels: *nparcels, Interval: *wait},
+		Bidirectional:      *bidi,
+		Trace:              buf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amc-toy: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("toy application: %d parcels/phase × %d phases, %s\n\n",
+		*parcels, *phases, res.PhaseResults[0].Params)
+	fmt.Printf("%-10s %12s %10s %10s %12s\n", "phase", "wall", "n_oh", "t_o(µs)", "tasks")
+	for i, p := range res.PhaseResults {
+		fmt.Printf("%-10d %12v %10.4f %10.2f %12d\n",
+			i+1, p.Wall.Round(time.Microsecond), p.NetworkOverhead(), p.TaskOverheadUS(), p.Tasks)
+	}
+	fmt.Printf("\ntotal %v — %d parcels in %d messages (%.1f parcels/message)\n",
+		res.Total.Round(time.Millisecond), res.ParcelsSent, res.MessagesSent,
+		float64(res.ParcelsSent)/float64(res.MessagesSent))
+
+	if buf != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amc-toy: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := buf.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "amc-toy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s written to %s (open in chrome://tracing)\n", buf.Summary(), *traceOut)
+	}
+}

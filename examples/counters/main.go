@@ -1,0 +1,107 @@
+// Performance-counter exploration: generates traffic with two differently
+// coalesced actions, then walks the counter framework — discovery,
+// wildcard queries, the five per-action coalescing counters, and the
+// parcel-arrival histogram (the paper's
+// /coalescing/time/parcel-arrival-histogram).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	amc "repro"
+	"repro/internal/counters"
+	"repro/internal/lco"
+)
+
+func main() {
+	rt := amc.NewRuntime(amc.RuntimeConfig{Localities: 2, WorkersPerLocality: 4})
+	defer rt.Shutdown()
+
+	for _, action := range []string{"dense", "sparse"} {
+		rt.MustRegisterAction(action, func(*amc.Context, []byte) ([]byte, error) {
+			return nil, nil
+		})
+	}
+	// "dense" coalesces aggressively, "sparse" barely.
+	if err := rt.EnableCoalescing("dense", amc.CoalescingParams{NParcels: 32, Interval: 4 * time.Millisecond}); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.EnableCoalescing("sparse", amc.CoalescingParams{NParcels: 2, Interval: 500 * time.Microsecond}); err != nil {
+		log.Fatal(err)
+	}
+
+	var futures []*lco.Future[[]byte]
+	for i := 0; i < 2000; i++ {
+		f, err := rt.Locality(0).Async(1, "dense", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	for i := 0; i < 200; i++ {
+		f, err := rt.Locality(0).Async(1, "sparse", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		futures = append(futures, f)
+		if i%10 == 9 {
+			time.Sleep(time.Millisecond) // keep this action's traffic sparse
+		}
+	}
+	if err := lco.WaitAll(futures); err != nil {
+		log.Fatal(err)
+	}
+
+	reg := rt.Counters()
+
+	fmt.Println("— discovery (first 12 of", len(reg.Discover()), "counters) —")
+	for _, name := range reg.Discover()[:12] {
+		fmt.Println(" ", name)
+	}
+
+	fmt.Println("\n— the five coalescing counters, per action (locality#0) —")
+	for _, action := range []string{"dense", "sparse"} {
+		fmt.Printf("  action %q:\n", action)
+		for _, name := range []string{
+			"count/parcels", "count/messages", "count/average-parcels-per-message",
+			"time/average-parcel-arrival",
+		} {
+			q := fmt.Sprintf("/coalescing{locality#0}/%s@%s", name, action)
+			v, err := reg.Value(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    %-40s %10.2f\n", name, v)
+		}
+	}
+
+	fmt.Println("\n— wildcard query: message counts everywhere —")
+	cs, err := reg.Query("/coalescing{*}/count/messages@*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cs {
+		if c.Value() > 0 {
+			fmt.Printf("  %-64s %8.0f\n", c.Path(), c.Value())
+		}
+	}
+
+	fmt.Println("\n— parcel-arrival histogram for the dense action —")
+	hcs, err := reg.Query("/coalescing{locality#0}/time/parcel-arrival-histogram@dense")
+	if err != nil || len(hcs) == 0 {
+		log.Fatal("histogram counter missing")
+	}
+	h := hcs[0].(*counters.HistogramCounter)
+	// Print only the populated start of the ASCII rendering.
+	lines := strings.Split(h.Histogram().String(), "\n")
+	for i, line := range lines {
+		if i > 12 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println(" ", line)
+	}
+}

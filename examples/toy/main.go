@@ -1,0 +1,78 @@
+// The paper's Listing 1, scaled down: two localities exchange bursts of
+// parcels each carrying one complex double, in phases, and the per-phase
+// network overhead is measured for two different coalescing settings so
+// the effect is visible side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	amc "repro"
+	"repro/internal/lco"
+	"repro/internal/serialization"
+)
+
+const (
+	numParcels = 5000
+	numPhases  = 3
+)
+
+func main() {
+	for _, nparcels := range []int{1, 64} {
+		fmt.Printf("=== coalescing %d parcel(s) per message ===\n", nparcels)
+		run(nparcels)
+		fmt.Println()
+	}
+}
+
+func run(nparcels int) {
+	rt := amc.NewRuntime(amc.RuntimeConfig{Localities: 2, WorkersPerLocality: 4})
+	defer rt.Shutdown()
+
+	// Listing 1's action: return a complex<double>.
+	rt.MustRegisterAction("get_cplx", func(*amc.Context, []byte) ([]byte, error) {
+		w := serialization.NewWriter(16)
+		w.C128(complex(13.3, -23.8))
+		return w.Bytes(), nil
+	})
+	if err := rt.EnableCoalescing("get_cplx", amc.CoalescingParams{
+		NParcels: nparcels,
+		Interval: 4 * time.Millisecond,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	rec := amc.NewPhaseRecorder(rt)
+	other := 1 // the remote locality, as in find_remote_localities()
+
+	for phase := 1; phase <= numPhases; phase++ {
+		vec := make([]*lco.Future[[]byte], 0, numParcels)
+		for i := 0; i < numParcels; i++ {
+			f, err := rt.Locality(0).Async(other, "get_cplx", nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vec = append(vec, f)
+		}
+		if err := lco.WaitAll(vec); err != nil { // hpx::wait_all(vec)
+			log.Fatal(err)
+		}
+		p := rec.EndPhase(fmt.Sprintf("phase %d", phase))
+		fmt.Printf("phase %d: wall=%-12v n_oh=%.4f\n",
+			phase, p.Wall.Round(time.Microsecond), p.NetworkOverhead())
+	}
+
+	// Verify the value round-tripped correctly once.
+	f, err := rt.Locality(0).Async(other, "get_cplx", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := f.Get()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := serialization.NewReader(res)
+	fmt.Printf("get_cplx() = %v\n", r.C128())
+}

@@ -1,0 +1,265 @@
+// Package agas implements the Active Global Address Space: allocation of
+// Global Identifiers (GIDs), resolution of a GID to the locality that
+// currently hosts the object, symbolic names, and object migration.
+//
+// In HPX, every globally addressable object carries a GID that remains
+// valid for the object's lifetime even if the object moves between nodes;
+// the parcel subsystem consults AGAS to route each parcel, and that
+// resolution step is part of the per-message background work the paper's
+// metrics capture. This reproduction keeps the same structure: an
+// authoritative service plus per-locality caches whose hit/miss behaviour
+// is observable through performance counters.
+package agas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// GID is a global identifier. The top 16 bits carry the locality that
+// allocated it (its initial home); the low 48 bits are a per-locality
+// sequence number. GID 0 is invalid.
+type GID uint64
+
+const (
+	localityBits = 16
+	seqBits      = 48
+	seqMask      = (1 << seqBits) - 1
+	// MaxLocalities is the largest number of localities an address space
+	// supports.
+	MaxLocalities = 1 << localityBits
+)
+
+// Invalid is the zero, never-allocated GID.
+const Invalid GID = 0
+
+// MakeGID builds a GID from an allocating locality and sequence number.
+func MakeGID(locality int, seq uint64) GID {
+	return GID(uint64(locality)<<seqBits | (seq & seqMask))
+}
+
+// AllocLocality returns the locality that originally allocated g.
+func (g GID) AllocLocality() int { return int(uint64(g) >> seqBits) }
+
+// Seq returns g's per-locality sequence number.
+func (g GID) Seq() uint64 { return uint64(g) & seqMask }
+
+// Valid reports whether g is a usable (non-zero) GID.
+func (g GID) Valid() bool { return g != Invalid }
+
+// String renders the GID as locality#seq.
+func (g GID) String() string {
+	return fmt.Sprintf("gid{%d#%d}", g.AllocLocality(), g.Seq())
+}
+
+// Errors returned by the service.
+var (
+	ErrUnknownGID  = errors.New("agas: unknown GID")
+	ErrUnknownName = errors.New("agas: unknown symbolic name")
+	ErrDupName     = errors.New("agas: symbolic name already registered")
+	ErrBadLocality = errors.New("agas: locality out of range")
+)
+
+// Service is the authoritative address-space directory. One instance is
+// shared by all localities of a runtime (in HPX this is itself a
+// distributed service; in-process sharing preserves its semantics).
+type Service struct {
+	mu         sync.RWMutex
+	localities int
+	nextSeq    []uint64
+	home       map[GID]int
+	names      map[string]GID
+	invalidate []func(GID) // per-locality cache invalidation hooks
+}
+
+// NewService creates a directory for n localities.
+func NewService(n int) *Service {
+	if n <= 0 || n > MaxLocalities {
+		panic(fmt.Sprintf("agas: invalid locality count %d", n))
+	}
+	return &Service{
+		localities: n,
+		nextSeq:    make([]uint64, n),
+		home:       make(map[GID]int),
+		names:      make(map[string]GID),
+		invalidate: make([]func(GID), n),
+	}
+}
+
+// Localities returns the number of localities in the address space.
+func (s *Service) Localities() int { return s.localities }
+
+// Allocate creates a fresh GID homed at the given locality.
+func (s *Service) Allocate(locality int) (GID, error) {
+	if locality < 0 || locality >= s.localities {
+		return Invalid, fmt.Errorf("%w: %d", ErrBadLocality, locality)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeq[locality]++ // sequence numbers start at 1 so GID 0 stays invalid
+	g := MakeGID(locality, s.nextSeq[locality])
+	s.home[g] = locality
+	return g, nil
+}
+
+// MustAllocate allocates a GID, panicking on error; for runtime-internal
+// objects whose locality is known valid.
+func (s *Service) MustAllocate(locality int) GID {
+	g, err := s.Allocate(locality)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Resolve returns the locality currently hosting g.
+func (s *Service) Resolve(g GID) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.home[g]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrUnknownGID, g)
+	}
+	return loc, nil
+}
+
+// Free removes g from the directory.
+func (s *Service) Free(g GID) {
+	s.mu.Lock()
+	delete(s.home, g)
+	hooks := append([]func(GID){}, s.invalidate...)
+	s.mu.Unlock()
+	for _, h := range hooks {
+		if h != nil {
+			h(g)
+		}
+	}
+}
+
+// Move migrates g to a new hosting locality. The GID itself is unchanged
+// ("maintained throughout the lifetime of the object even if it is moved
+// between nodes"); all locality caches are invalidated.
+func (s *Service) Move(g GID, newLocality int) error {
+	if newLocality < 0 || newLocality >= s.localities {
+		return fmt.Errorf("%w: %d", ErrBadLocality, newLocality)
+	}
+	s.mu.Lock()
+	if _, ok := s.home[g]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrUnknownGID, g)
+	}
+	s.home[g] = newLocality
+	hooks := append([]func(GID){}, s.invalidate...)
+	s.mu.Unlock()
+	for _, h := range hooks {
+		if h != nil {
+			h(g)
+		}
+	}
+	return nil
+}
+
+// RegisterName binds a symbolic name to a GID.
+func (s *Service) RegisterName(name string, g GID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.names[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDupName, name)
+	}
+	if _, ok := s.home[g]; !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownGID, g)
+	}
+	s.names[name] = g
+	return nil
+}
+
+// ResolveName returns the GID bound to a symbolic name.
+func (s *Service) ResolveName(name string) (GID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.names[name]
+	if !ok {
+		return Invalid, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	return g, nil
+}
+
+// UnregisterName removes a symbolic binding, reporting whether it existed.
+func (s *Service) UnregisterName(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.names[name]
+	delete(s.names, name)
+	return ok
+}
+
+// setInvalidateHook installs locality-cache invalidation (used by Cache).
+func (s *Service) setInvalidateHook(locality int, h func(GID)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalidate[locality] = h
+}
+
+// Cache is a per-locality resolution cache in front of the Service. A hit
+// avoids the (conceptually remote) directory lookup; migration and free
+// invalidate affected entries on every cache.
+type Cache struct {
+	svc      *Service
+	locality int
+
+	mu      sync.RWMutex
+	entries map[GID]int
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache creates the resolution cache for one locality and hooks it
+// into the service's invalidation fan-out.
+func NewCache(svc *Service, locality int) *Cache {
+	c := &Cache{svc: svc, locality: locality, entries: make(map[GID]int)}
+	svc.setInvalidateHook(locality, c.invalidateEntry)
+	return c
+}
+
+func (c *Cache) invalidateEntry(g GID) {
+	c.mu.Lock()
+	delete(c.entries, g)
+	c.mu.Unlock()
+}
+
+// Resolve returns the hosting locality for g, consulting the cache first.
+func (c *Cache) Resolve(g GID) (int, error) {
+	c.mu.RLock()
+	loc, ok := c.entries[g]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return loc, nil
+	}
+	loc, err := c.svc.Resolve(g)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.misses++
+	c.entries[g] = loc
+	c.mu.Unlock()
+	return loc, nil
+}
+
+// HitsMisses returns the cache's cumulative hit and miss counts.
+func (c *Cache) HitsMisses() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// Flush drops every cached entry.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	c.entries = make(map[GID]int)
+	c.mu.Unlock()
+}

@@ -1,0 +1,168 @@
+package parquet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/coalescing"
+	"repro/internal/network"
+	"repro/internal/runtime"
+)
+
+func quickConfig() Config {
+	return Config{
+		Localities: 3,
+		Nc:         8,
+		Iterations: 2,
+		Params:     coalescing.Params{NParcels: 4, Interval: 2 * time.Millisecond},
+		CostModel: network.CostModel{
+			SendOverhead: 2 * time.Microsecond,
+			RecvOverhead: 2 * time.Microsecond,
+			Latency:      5 * time.Microsecond,
+		},
+	}
+}
+
+func TestRunCompletesIterations(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 2 {
+		t.Fatalf("iterations = %d", len(res.Iterations))
+	}
+	for i, it := range res.Iterations {
+		if it.Wall <= 0 {
+			t.Errorf("iteration %d wall = %v", i, it.Wall)
+		}
+		if it.RotationParcels != 8*8*8 {
+			t.Errorf("iteration %d parcels = %d, want 512", i, it.RotationParcels)
+		}
+		if oh := it.NetworkOverhead(); oh <= 0 || oh > 1 {
+			t.Errorf("iteration %d overhead = %v", i, oh)
+		}
+	}
+	if res.Checksum <= 0 || math.IsNaN(res.Checksum) {
+		t.Errorf("checksum = %v", res.Checksum)
+	}
+}
+
+func TestEveryRotationParcelApplied(t *testing.T) {
+	cfg := quickConfig()
+	rt := runtime.New(runtime.Config{
+		Localities:         cfg.Localities,
+		WorkersPerLocality: 2,
+		CostModel:          cfg.CostModel,
+	})
+	defer rt.Shutdown()
+	app := NewApp(rt, cfg)
+	if err := rt.EnableCoalescing(Action, cfg.Params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.RunIterations(); err != nil {
+		t.Fatal(err)
+	}
+	// Each locality receives 8·Nc²·iterations/(L-1) rows from each of the
+	// other L-1 localities, i.e. 8·Nc²·iterations in total.
+	perLocality := int64(8 * cfg.Nc * cfg.Nc * cfg.Iterations)
+	var total int64
+	for l := 0; l < cfg.Localities; l++ {
+		total += app.AppliedRows(l)
+	}
+	if want := perLocality * int64(cfg.Localities); total != want {
+		t.Errorf("applied rows = %d, want %d (every parcel exactly once)", total, want)
+	}
+}
+
+func TestChecksumDeterministicAcrossCoalescingParams(t *testing.T) {
+	// Coalescing must not change the computation: tensor addition is
+	// commutative, so the checksum is identical for any parameters.
+	cfg := quickConfig()
+	cfg.Iterations = 1
+	cfg.ComputeTasks = 1
+	cfg.ComputeRepeat = 1 // minimize float ordering effects in compute
+	cfg.Params = coalescing.Params{NParcels: 1, Interval: time.Millisecond}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Params = coalescing.Params{NParcels: 16, Interval: time.Millisecond}
+	r16, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Checksum-r16.Checksum) > 1e-6*math.Abs(r1.Checksum) {
+		t.Errorf("checksums diverge: %v vs %v", r1.Checksum, r16.Checksum)
+	}
+}
+
+func TestCoalescingReducesMessages(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Iterations = 1
+	cfg.Params = coalescing.Params{NParcels: 1, Interval: time.Millisecond}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Params = coalescing.Params{NParcels: 8, Interval: time.Millisecond}
+	r8, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.MessagesSent >= r1.MessagesSent {
+		t.Errorf("nparcels=8 sent %d messages, nparcels=1 sent %d", r8.MessagesSent, r1.MessagesSent)
+	}
+}
+
+func TestScaledCostModel(t *testing.T) {
+	m := ScaledCostModel(24)
+	if m.EagerThresholdBytes != 5*24*16 {
+		t.Errorf("threshold = %d", m.EagerThresholdBytes)
+	}
+	// One rotation parcel (≈ Nc·16 bytes plus framing) stays eager; a
+	// coalesced message of 8 crosses the threshold.
+	if m.Rendezvous(24 * 16) {
+		t.Error("single parcel should be eager")
+	}
+	if !m.Rendezvous(8 * 24 * 18) {
+		t.Error("8-parcel bundle should be rendezvous")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Localities != 4 || c.Nc != 24 || c.Iterations != 3 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.Params.NParcels != 4 || c.Params.Interval != 5*time.Millisecond {
+		t.Errorf("default params = %+v (paper's trial used 4 parcels, 5000µs)", c.Params)
+	}
+}
+
+func TestRotationParcelCountFormula(t *testing.T) {
+	rt := runtime.New(runtime.Config{Localities: 2, WorkersPerLocality: 1,
+		CostModel: network.CostModel{Latency: time.Microsecond}})
+	defer rt.Shutdown()
+	app := NewApp(rt, Config{Localities: 2, Nc: 16})
+	if got := app.RotationParcelsPerLocality(); got != 8*16*16 {
+		t.Errorf("parcels = %d, want 8·Nc²", got)
+	}
+}
+
+func TestResultAverages(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgIterationWall() <= 0 {
+		t.Error("AvgIterationWall = 0")
+	}
+	if oh := res.AvgNetworkOverhead(); oh <= 0 || oh > 1 {
+		t.Errorf("AvgNetworkOverhead = %v", oh)
+	}
+	var empty Result
+	if empty.AvgIterationWall() != 0 || empty.AvgNetworkOverhead() != 0 {
+		t.Error("empty result averages should be 0")
+	}
+}

@@ -1,0 +1,142 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/coalescing"
+	"repro/internal/network"
+)
+
+func quickConfig() Config {
+	return Config{
+		Localities:      3,
+		RowsPerLocality: 8,
+		Cols:            32,
+		Steps:           6,
+		ChunkCells:      4,
+		Params:          coalescing.Params{NParcels: 8, Interval: 2 * time.Millisecond},
+		CostModel: network.CostModel{
+			SendOverhead: 2 * time.Microsecond,
+			RecvOverhead: 2 * time.Microsecond,
+			Latency:      5 * time.Microsecond,
+		},
+	}
+}
+
+func TestMatchesSerialReferenceExactly(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SerialReference(cfg)
+	if res.Checksum != want {
+		t.Errorf("distributed checksum %v != serial %v (diff %g)",
+			res.Checksum, want, math.Abs(res.Checksum-want))
+	}
+}
+
+func TestMatchesSerialAcrossCoalescingParams(t *testing.T) {
+	// Correctness must be independent of how halos are batched.
+	cfg := quickConfig()
+	want := SerialReference(cfg)
+	for _, k := range []int{1, 4, 32} {
+		cfg.Params = coalescing.Params{NParcels: k, Interval: time.Millisecond}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Checksum != want {
+			t.Errorf("k=%d checksum %v != serial %v", k, res.Checksum, want)
+		}
+	}
+}
+
+func TestParcelCountMatchesChunking(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per step, each locality sends 2 rows of Cols cells in ChunkCells
+	// pieces: localities × steps × 2 × (Cols / ChunkCells).
+	want := int64(cfg.Localities * cfg.Steps * 2 * (cfg.Cols / cfg.ChunkCells))
+	if res.ParcelsSent != want {
+		t.Errorf("parcels = %d, want %d", res.ParcelsSent, want)
+	}
+	if res.MessagesSent >= res.ParcelsSent {
+		t.Errorf("halo traffic not coalesced: %d messages for %d parcels",
+			res.MessagesSent, res.ParcelsSent)
+	}
+}
+
+func TestFinerChunksMoreParcels(t *testing.T) {
+	cfg := quickConfig()
+	cfg.ChunkCells = 2
+	fine, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ChunkCells = 16
+	coarse, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.ParcelsSent <= coarse.ParcelsSent {
+		t.Errorf("fine %d <= coarse %d parcels", fine.ParcelsSent, coarse.ParcelsSent)
+	}
+	// And both remain correct.
+	if fine.Checksum != coarse.Checksum {
+		t.Errorf("checksums diverge across chunking: %v vs %v", fine.Checksum, coarse.Checksum)
+	}
+}
+
+func TestPhasesRecorded(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Steps = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 4 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	for i, p := range res.Phases {
+		if p.Wall <= 0 || p.Tasks <= 0 {
+			t.Errorf("phase %d = %+v", i, p)
+		}
+		if oh := p.NetworkOverhead(); oh <= 0 || oh > 1 {
+			t.Errorf("phase %d overhead = %v", i, oh)
+		}
+	}
+	if res.Total <= 0 {
+		t.Error("total missing")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Localities != 4 || c.Cols != 128 || c.ChunkCells != 4 || c.Alpha != 0.2 {
+		t.Errorf("defaults = %+v", c)
+	}
+	// Unstable alpha is clamped.
+	if (Config{Alpha: 0.9}).withDefaults().Alpha != 0.2 {
+		t.Error("unstable alpha not clamped")
+	}
+}
+
+func TestHeatDiffuses(t *testing.T) {
+	// Physics sanity: total heat is conserved on the periodic grid and
+	// the initial hot spot spreads (its peak decreases).
+	cfg := quickConfig()
+	ref0 := SerialReference(Config{
+		Localities: cfg.Localities, RowsPerLocality: cfg.RowsPerLocality,
+		Cols: cfg.Cols, Steps: 1, Alpha: cfg.Alpha,
+	})
+	refN := SerialReference(cfg)
+	if math.Abs(ref0-refN) > 1e-6*math.Abs(ref0) {
+		t.Errorf("heat not conserved: %v vs %v", ref0, refN)
+	}
+}

@@ -1,0 +1,381 @@
+// Package coalescing implements the paper's contribution: per-action
+// parcel coalescing with a queue-length parameter, a flush-timer wait
+// parameter, a maximum-buffer-size guard, and a sparse-traffic bypass —
+// Algorithm 1 of the paper — together with the five coalescing-specific
+// performance counters added to HPX during the study.
+//
+// The design revolves around two parameters: the length of the parcel
+// queue (how many parcels to coalesce before sending) and the wait time
+// (how many microseconds to wait for the queue to fill before flushing).
+// A coalesced message is sent either when the parcel queue is full or
+// when the wait time expires; a cap on total buffered bytes protects
+// against memory overflow. When parcels arrive further apart than the
+// wait time, coalescing is effectively disabled and parcels are sent
+// immediately, because making sparse traffic wait for the flush timer
+// would only add latency. These flush strategies also prevent deadlocks
+// caused by messages never being sent for lack of enough queued data.
+//
+// A Coalescer is installed on a parcel port as the message handler for
+// one action (the analog of HPX_ACTION_USES_MESSAGE_COALESCING); parcels
+// for other actions are unaffected. Parameters may be changed at runtime
+// — the hook the adaptive tuner uses.
+package coalescing
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/parcel"
+	"repro/internal/timer"
+	"repro/internal/trace"
+)
+
+// Params are the tunable coalescing parameters.
+type Params struct {
+	// NParcels is the parcel-queue length: a destination's queue is
+	// flushed as soon as it holds this many parcels. Values <= 1 disable
+	// batching (every parcel is sent immediately).
+	NParcels int
+	// Interval is the wait time: how long after the first queued parcel
+	// the queue is flushed even if not full.
+	Interval time.Duration
+	// MaxBufferBytes flushes a destination's queue early when the
+	// estimated wire size of queued parcels exceeds this bound,
+	// preventing memory overflow with large-argument parcels.
+	// Zero selects DefaultMaxBufferBytes.
+	MaxBufferBytes int
+}
+
+// DefaultMaxBufferBytes bounds a destination queue's buffered bytes when
+// Params.MaxBufferBytes is zero.
+const DefaultMaxBufferBytes = 1 << 20
+
+// normalized returns p with defaults applied.
+func (p Params) normalized() Params {
+	if p.NParcels < 1 {
+		p.NParcels = 1
+	}
+	if p.Interval <= 0 {
+		p.Interval = time.Microsecond
+	}
+	if p.MaxBufferBytes <= 0 {
+		p.MaxBufferBytes = DefaultMaxBufferBytes
+	}
+	return p
+}
+
+// String renders the parameter pair the way the paper's figures label
+// them.
+func (p Params) String() string {
+	return fmt.Sprintf("nparcels=%d wait=%dµs", p.NParcels, p.Interval.Microseconds())
+}
+
+// Enqueuer is the slice of the parcel port a Coalescer needs: handing a
+// ready batch over for transmission.
+type Enqueuer interface {
+	EnqueueMessage(dst int, parcels []*parcel.Parcel)
+}
+
+// Options configures a Coalescer beyond its tunable Params.
+type Options struct {
+	// Locality and Action identify the coalescer's counters.
+	Locality int
+	Action   string
+	// Registry receives the five coalescing counters; nil disables
+	// registration (counters still function).
+	Registry *counters.Registry
+	// TimerService runs the flush timers; required.
+	TimerService *timer.Service
+	// HistLowUS, HistHighUS, HistBuckets configure the parcel-arrival
+	// histogram in microseconds. Zero values select 0..10000µs in 100
+	// buckets.
+	HistLowUS   float64
+	HistHighUS  float64
+	HistBuckets int
+	// DisableSparseBypass turns off the "send immediately when parcels
+	// arrive further apart than the wait time" rule, forcing every parcel
+	// through the queue. Exists for the ablation study quantifying what
+	// the paper's sparse-traffic rule buys ("it is important to disable
+	// parcel coalescing in cases where parcel generation is sparse
+	// because the performance would be negatively impacted").
+	DisableSparseBypass bool
+	// Trace optionally records one flush event per emitted batch; nil
+	// disables.
+	Trace *trace.Buffer
+}
+
+// Coalescer batches outbound parcels of one action per destination.
+// It implements parcel.MessageHandler.
+type Coalescer struct {
+	enq      Enqueuer
+	action   string
+	svc      *timer.Service
+	noBypass bool
+	trc      *trace.Buffer
+	locality int
+
+	mu          sync.Mutex
+	params      Params
+	queues      map[int]*destQueue
+	lastArrival time.Time
+	closed      bool
+
+	// The five counters the paper added to HPX.
+	parcels     *counters.Raw              // /coalescing/count/parcels@action
+	messages    *counters.Raw              // /coalescing/count/messages@action
+	avgPerMsg   *counters.Average          // /coalescing/count/average-parcels-per-message@action
+	avgArrival  *counters.Average          // /coalescing/time/average-parcel-arrival@action (µs)
+	arrivalHist *counters.HistogramCounter // /coalescing/time/parcel-arrival-histogram@action (µs)
+}
+
+type destQueue struct {
+	dst      int
+	parcels  []*parcel.Parcel
+	bytes    int
+	flushTmr *timer.Timer
+}
+
+// New creates a coalescer for one action with the given initial
+// parameters.
+func New(enq Enqueuer, params Params, opts Options) *Coalescer {
+	if opts.TimerService == nil {
+		panic("coalescing: Options.TimerService is required")
+	}
+	lo, hi, nb := opts.HistLowUS, opts.HistHighUS, opts.HistBuckets
+	if hi <= lo {
+		lo, hi = 0, 10000
+	}
+	if nb <= 0 {
+		nb = 100
+	}
+	inst := fmt.Sprintf("locality#%d", opts.Locality)
+	path := func(name string) counters.Path {
+		return counters.Path{Object: "coalescing", Instance: inst, Name: name, Parameters: opts.Action}
+	}
+	c := &Coalescer{
+		enq:         enq,
+		action:      opts.Action,
+		svc:         opts.TimerService,
+		noBypass:    opts.DisableSparseBypass,
+		trc:         opts.Trace,
+		locality:    opts.Locality,
+		params:      params.normalized(),
+		queues:      make(map[int]*destQueue),
+		parcels:     counters.NewRaw(path("count/parcels")),
+		messages:    counters.NewRaw(path("count/messages")),
+		avgPerMsg:   counters.NewAverage(path("count/average-parcels-per-message")),
+		avgArrival:  counters.NewAverage(path("time/average-parcel-arrival")),
+		arrivalHist: counters.NewHistogramCounter(path("time/parcel-arrival-histogram"), lo, hi, nb),
+	}
+	if opts.Registry != nil {
+		opts.Registry.MustRegister(c.parcels)
+		opts.Registry.MustRegister(c.messages)
+		opts.Registry.MustRegister(c.avgPerMsg)
+		opts.Registry.MustRegister(c.avgArrival)
+		opts.Registry.MustRegister(c.arrivalHist)
+	}
+	return c
+}
+
+// Params returns the current parameters.
+func (c *Coalescer) Params() Params {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.params
+}
+
+// SetParams installs new parameters at runtime. Queues longer than the
+// new NParcels are flushed immediately; pending flush timers for
+// still-open queues are re-armed with the new interval.
+func (c *Coalescer) SetParams(p Params) {
+	p = p.normalized()
+	var ready []outBatch
+	c.mu.Lock()
+	c.params = p
+	for dst, q := range c.queues {
+		if len(q.parcels) >= p.NParcels || q.bytes >= p.MaxBufferBytes {
+			ready = append(ready, c.takeLocked(q))
+			delete(c.queues, dst)
+		} else if len(q.parcels) > 0 && q.flushTmr != nil {
+			_ = q.flushTmr.Reset(p.Interval)
+		}
+	}
+	c.mu.Unlock()
+	c.emit(ready)
+}
+
+type outBatch struct {
+	dst     int
+	parcels []*parcel.Parcel
+}
+
+// Put implements parcel.MessageHandler: Algorithm 1's coalescing message
+// handler. The parcel's DestLocality must be resolved.
+func (c *Coalescer) Put(p *parcel.Parcel) {
+	now := time.Now()
+	var ready []outBatch
+
+	c.mu.Lock()
+	if c.closed {
+		// After Close the coalescer degrades to pass-through so no
+		// parcel is ever lost.
+		c.mu.Unlock()
+		c.parcels.Inc()
+		c.messages.Inc()
+		c.avgPerMsg.Record(1)
+		c.enq.EnqueueMessage(p.DestLocality, []*parcel.Parcel{p})
+		return
+	}
+	params := c.params
+	c.parcels.Inc()
+
+	// Arrival-interval instrumentation (time since last parcel, tslp).
+	tslp := time.Duration(-1)
+	if !c.lastArrival.IsZero() {
+		tslp = now.Sub(c.lastArrival)
+		us := float64(tslp) / float64(time.Microsecond)
+		c.avgArrival.Record(us)
+		c.arrivalHist.Observe(us)
+	}
+	c.lastArrival = now
+
+	q := c.queues[p.DestLocality]
+
+	// Sparse-traffic bypass: if the gap since the previous parcel
+	// exceeds the wait interval and nothing is queued for this
+	// destination, waiting for the queue to fill would only delay the
+	// message — send immediately.
+	bypass := !c.noBypass && tslp >= 0 && tslp > params.Interval && (q == nil || len(q.parcels) == 0)
+	if params.NParcels <= 1 || bypass {
+		c.messages.Inc()
+		c.avgPerMsg.Record(1)
+		c.mu.Unlock()
+		c.enq.EnqueueMessage(p.DestLocality, []*parcel.Parcel{p})
+		return
+	}
+
+	if q == nil {
+		q = &destQueue{dst: p.DestLocality}
+		dst := p.DestLocality
+		q.flushTmr = c.svc.NewTimer(func() { c.flushDest(dst) })
+		c.queues[p.DestLocality] = q
+	}
+	q.parcels = append(q.parcels, p)
+	q.bytes += p.WireSize()
+
+	switch {
+	case len(q.parcels) == 1:
+		// First parcel: start the flush timer.
+		_ = q.flushTmr.Start(params.Interval)
+	case len(q.parcels) >= params.NParcels || q.bytes >= params.MaxBufferBytes:
+		// Last parcel (queue full) or buffer guard: stop the timer and
+		// flush the queued parcels.
+		q.flushTmr.Stop()
+		ready = append(ready, c.takeLocked(q))
+	}
+	c.mu.Unlock()
+	c.emit(ready)
+}
+
+// takeLocked removes and returns q's batch; the caller holds c.mu.
+func (c *Coalescer) takeLocked(q *destQueue) outBatch {
+	b := outBatch{dst: q.dst, parcels: q.parcels}
+	q.parcels = nil
+	q.bytes = 0
+	return b
+}
+
+// emit hands ready batches to the port and updates message counters.
+func (c *Coalescer) emit(batches []outBatch) {
+	for _, b := range batches {
+		if len(b.parcels) == 0 {
+			continue
+		}
+		c.messages.Inc()
+		c.avgPerMsg.Record(float64(len(b.parcels)))
+		c.trc.Record(trace.Event{
+			Kind: trace.KindFlush, Name: c.action, Locality: c.locality,
+			Start: time.Now(), Arg: int64(len(b.parcels)),
+		})
+		c.enq.EnqueueMessage(b.dst, b.parcels)
+	}
+}
+
+// flushDest is the flush-timer callback for one destination.
+func (c *Coalescer) flushDest(dst int) {
+	c.mu.Lock()
+	q := c.queues[dst]
+	var ready []outBatch
+	if q != nil && len(q.parcels) > 0 {
+		ready = append(ready, c.takeLocked(q))
+	}
+	c.mu.Unlock()
+	c.emit(ready)
+}
+
+// Flush implements parcel.MessageHandler: it sends every queued parcel
+// immediately (explicit AM++-style flush, used at phase boundaries).
+func (c *Coalescer) Flush() {
+	var ready []outBatch
+	c.mu.Lock()
+	for _, q := range c.queues {
+		q.flushTmr.Stop()
+		if len(q.parcels) > 0 {
+			ready = append(ready, c.takeLocked(q))
+		}
+	}
+	c.mu.Unlock()
+	c.emit(ready)
+}
+
+// Close implements parcel.MessageHandler: flushes all queues and stops
+// the flush timers. Subsequent Puts pass through uncoalesced.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	var ready []outBatch
+	for _, q := range c.queues {
+		q.flushTmr.Stop()
+		if len(q.parcels) > 0 {
+			ready = append(ready, c.takeLocked(q))
+		}
+	}
+	c.queues = make(map[int]*destQueue)
+	c.mu.Unlock()
+	c.emit(ready)
+}
+
+// QueuedParcels returns the total number of parcels currently buffered
+// across destinations (for tests and diagnostics).
+func (c *Coalescer) QueuedParcels() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, q := range c.queues {
+		n += len(q.parcels)
+	}
+	return n
+}
+
+// Stats is a snapshot of the coalescer's counters.
+type Stats struct {
+	Parcels              int64
+	Messages             int64
+	AvgParcelsPerMessage float64
+	AvgArrivalUS         float64
+}
+
+// Stats returns a snapshot of the coalescing counters.
+func (c *Coalescer) Stats() Stats {
+	return Stats{
+		Parcels:              c.parcels.Get(),
+		Messages:             c.messages.Get(),
+		AvgParcelsPerMessage: c.avgPerMsg.Value(),
+		AvgArrivalUS:         c.avgArrival.Value(),
+	}
+}
+
+// ArrivalHistogram exposes the arrival-gap histogram counter.
+func (c *Coalescer) ArrivalHistogram() *counters.HistogramCounter { return c.arrivalHist }

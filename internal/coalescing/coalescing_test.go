@@ -1,0 +1,487 @@
+package coalescing
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/counters"
+	"repro/internal/parcel"
+	"repro/internal/timer"
+)
+
+// sink records batches handed to the port.
+type sink struct {
+	mu      sync.Mutex
+	batches []struct {
+		dst     int
+		parcels []*parcel.Parcel
+	}
+}
+
+func (s *sink) EnqueueMessage(dst int, parcels []*parcel.Parcel) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches = append(s.batches, struct {
+		dst     int
+		parcels []*parcel.Parcel
+	}{dst, parcels})
+}
+
+func (s *sink) messageCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.batches)
+}
+
+func (s *sink) parcelCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.batches {
+		n += len(b.parcels)
+	}
+	return n
+}
+
+func (s *sink) batchSizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.batches))
+	for i, b := range s.batches {
+		out[i] = len(b.parcels)
+	}
+	return out
+}
+
+func newTestCoalescer(t *testing.T, s *sink, p Params) *Coalescer {
+	t.Helper()
+	svc := timer.NewService(timer.ServiceOptions{})
+	t.Cleanup(svc.Stop)
+	c := New(s, p, Options{Locality: 0, Action: "act", TimerService: svc})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func mkParcel(dst int, i int) *parcel.Parcel {
+	return &parcel.Parcel{
+		Dest:         agas.MakeGID(dst, uint64(i+1)),
+		DestLocality: dst,
+		Action:       "act",
+		Args:         []byte{byte(i)},
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached before timeout")
+}
+
+func TestFlushWhenQueueFull(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 4, Interval: time.Hour})
+	// Rapid puts so the sparse bypass never triggers.
+	for i := 0; i < 8; i++ {
+		c.Put(mkParcel(1, i))
+	}
+	if got := s.messageCount(); got != 2 {
+		t.Fatalf("messages = %d, want 2", got)
+	}
+	for _, sz := range s.batchSizes() {
+		if sz != 4 {
+			t.Errorf("batch size = %d, want 4", sz)
+		}
+	}
+	if c.QueuedParcels() != 0 {
+		t.Errorf("queued = %d", c.QueuedParcels())
+	}
+}
+
+func TestFlushOnTimer(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 100, Interval: 5 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		c.Put(mkParcel(1, i))
+	}
+	if s.messageCount() != 0 {
+		t.Fatal("flushed before timer expiry")
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.messageCount() == 1 })
+	if got := s.parcelCount(); got != 3 {
+		t.Errorf("parcels = %d", got)
+	}
+}
+
+func TestTimerStoppedWhenQueueFills(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 2, Interval: 5 * time.Millisecond})
+	c.Put(mkParcel(1, 0))
+	c.Put(mkParcel(1, 1)) // fills queue, must stop the timer
+	time.Sleep(20 * time.Millisecond)
+	if got := s.messageCount(); got != 1 {
+		t.Errorf("messages = %d, want 1 (timer must not double-flush)", got)
+	}
+}
+
+func TestSparseBypass(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 100, Interval: 2 * time.Millisecond})
+	c.Put(mkParcel(1, 0)) // first parcel: queued, timer armed
+	waitFor(t, 2*time.Second, func() bool { return s.messageCount() == 1 })
+	// Arrivals spaced beyond the interval must be sent immediately.
+	for i := 1; i <= 3; i++ {
+		time.Sleep(5 * time.Millisecond)
+		c.Put(mkParcel(1, i))
+	}
+	if got := s.messageCount(); got != 4 {
+		t.Errorf("messages = %d, want 4 (sparse arrivals bypass the queue)", got)
+	}
+	for _, sz := range s.batchSizes() {
+		if sz != 1 {
+			t.Errorf("sparse batch size = %d, want 1", sz)
+		}
+	}
+}
+
+func TestNParcelsOneDisablesCoalescing(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 1, Interval: time.Hour})
+	for i := 0; i < 5; i++ {
+		c.Put(mkParcel(1, i))
+	}
+	if got := s.messageCount(); got != 5 {
+		t.Errorf("messages = %d, want 5", got)
+	}
+}
+
+func TestMaxBufferBytesGuard(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 1000, Interval: time.Hour, MaxBufferBytes: 100})
+	big := func(i int) *parcel.Parcel {
+		p := mkParcel(1, i)
+		p.Args = make([]byte, 60)
+		return p
+	}
+	c.Put(big(0)) // ~90 bytes
+	if s.messageCount() != 0 {
+		t.Fatal("flushed too early")
+	}
+	c.Put(big(1)) // exceeds 100-byte cap
+	if got := s.messageCount(); got != 1 {
+		t.Errorf("messages = %d, want 1 (buffer guard must flush)", got)
+	}
+	if got := s.parcelCount(); got != 2 {
+		t.Errorf("parcels = %d", got)
+	}
+}
+
+func TestPerDestinationQueues(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 3, Interval: time.Hour})
+	// Interleave two destinations; each queue fills independently.
+	for i := 0; i < 3; i++ {
+		c.Put(mkParcel(1, i))
+		c.Put(mkParcel(2, i))
+	}
+	if got := s.messageCount(); got != 2 {
+		t.Fatalf("messages = %d, want 2", got)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.batches {
+		if len(b.parcels) != 3 {
+			t.Errorf("dst %d batch size = %d", b.dst, len(b.parcels))
+		}
+		for _, p := range b.parcels {
+			if p.DestLocality != b.dst {
+				t.Errorf("parcel for %d in batch for %d", p.DestLocality, b.dst)
+			}
+		}
+	}
+}
+
+func TestExplicitFlush(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 100, Interval: time.Hour})
+	for i := 0; i < 5; i++ {
+		c.Put(mkParcel(1, i))
+	}
+	c.Flush()
+	if got := s.messageCount(); got != 1 {
+		t.Errorf("messages = %d", got)
+	}
+	if got := s.parcelCount(); got != 5 {
+		t.Errorf("parcels = %d", got)
+	}
+	c.Flush() // idempotent on empty queues
+	if got := s.messageCount(); got != 1 {
+		t.Errorf("second flush emitted a message")
+	}
+}
+
+func TestCloseFlushesAndDegradesToPassThrough(t *testing.T) {
+	s := &sink{}
+	svc := timer.NewService(timer.ServiceOptions{})
+	defer svc.Stop()
+	c := New(s, Params{NParcels: 100, Interval: time.Hour}, Options{TimerService: svc, Action: "act"})
+	c.Put(mkParcel(1, 0))
+	c.Close()
+	if got := s.parcelCount(); got != 1 {
+		t.Fatalf("close did not flush: %d", got)
+	}
+	c.Put(mkParcel(1, 1)) // after close: pass-through, not lost
+	if got := s.parcelCount(); got != 2 {
+		t.Errorf("post-close put lost: %d", got)
+	}
+}
+
+func TestSetParamsShrinkFlushes(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 100, Interval: time.Hour})
+	for i := 0; i < 10; i++ {
+		c.Put(mkParcel(1, i))
+	}
+	if s.messageCount() != 0 {
+		t.Fatal("premature flush")
+	}
+	c.SetParams(Params{NParcels: 4, Interval: time.Hour})
+	if got := s.parcelCount(); got != 10 {
+		t.Errorf("shrink did not flush oversized queue: %d parcels", got)
+	}
+	if got := c.Params().NParcels; got != 4 {
+		t.Errorf("params not updated: %d", got)
+	}
+}
+
+func TestSetParamsRearmsTimer(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 100, Interval: time.Hour})
+	c.Put(mkParcel(1, 0))
+	c.SetParams(Params{NParcels: 100, Interval: 5 * time.Millisecond})
+	waitFor(t, 2*time.Second, func() bool { return s.messageCount() == 1 })
+}
+
+func TestParamsNormalization(t *testing.T) {
+	p := Params{}.normalized()
+	if p.NParcels != 1 || p.Interval != time.Microsecond || p.MaxBufferBytes != DefaultMaxBufferBytes {
+		t.Errorf("normalized zero params = %+v", p)
+	}
+	if s := (Params{NParcels: 4, Interval: 4 * time.Millisecond}).String(); s != "nparcels=4 wait=4000µs" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCountersTrackParcelsAndMessages(t *testing.T) {
+	s := &sink{}
+	reg := counters.NewRegistry()
+	svc := timer.NewService(timer.ServiceOptions{})
+	defer svc.Stop()
+	c := New(s, Params{NParcels: 4, Interval: time.Hour},
+		Options{Locality: 0, Action: "act", Registry: reg, TimerService: svc})
+	defer c.Close()
+	for i := 0; i < 8; i++ {
+		c.Put(mkParcel(1, i))
+	}
+	st := c.Stats()
+	if st.Parcels != 8 || st.Messages != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.AvgParcelsPerMessage != 4 {
+		t.Errorf("avg parcels/message = %v", st.AvgParcelsPerMessage)
+	}
+	if st.AvgArrivalUS <= 0 {
+		t.Errorf("avg arrival = %v, want positive", st.AvgArrivalUS)
+	}
+	// All five counters visible through the registry.
+	for _, name := range []string{
+		"/coalescing{locality#0}/count/parcels@act",
+		"/coalescing{locality#0}/count/messages@act",
+		"/coalescing{locality#0}/count/average-parcels-per-message@act",
+		"/coalescing{locality#0}/time/average-parcel-arrival@act",
+		"/coalescing{locality#0}/time/parcel-arrival-histogram@act",
+	} {
+		if _, ok := reg.Get(name); !ok {
+			t.Errorf("counter %s not registered", name)
+		}
+	}
+	if c.ArrivalHistogram().Value() != 7 { // 8 puts → 7 gaps
+		t.Errorf("histogram count = %v", c.ArrivalHistogram().Value())
+	}
+}
+
+func TestConservationUnderConcurrency(t *testing.T) {
+	// Invariant: every parcel put is emitted exactly once, regardless of
+	// interleaving of puts, timer flushes and parameter changes.
+	s := &sink{}
+	svc := timer.NewService(timer.ServiceOptions{})
+	defer svc.Stop()
+	c := New(s, Params{NParcels: 8, Interval: time.Millisecond}, Options{TimerService: svc, Action: "act"})
+
+	const workers = 4
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				c.Put(mkParcel(r.Intn(3), w*per+i))
+				if r.Intn(50) == 0 {
+					c.SetParams(Params{NParcels: 1 + r.Intn(16), Interval: time.Duration(1+r.Intn(2000)) * time.Microsecond})
+				}
+				if r.Intn(100) == 0 {
+					time.Sleep(time.Duration(r.Intn(3)) * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Close()
+	if got := s.parcelCount(); got != workers*per {
+		t.Errorf("emitted %d parcels, want %d (conservation violated)", got, workers*per)
+	}
+	// No parcel delivered twice: check uniqueness of (Dest) GIDs.
+	seen := make(map[agas.GID]bool)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.batches {
+		for _, p := range b.parcels {
+			if seen[p.Dest] {
+				t.Fatalf("parcel %v emitted twice", p.Dest)
+			}
+			seen[p.Dest] = true
+		}
+	}
+}
+
+func TestBatchesNeverExceedNParcels(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 7, Interval: time.Millisecond})
+	for i := 0; i < 1000; i++ {
+		c.Put(mkParcel(1, i))
+	}
+	c.Flush()
+	for _, sz := range s.batchSizes() {
+		if sz > 7 {
+			t.Fatalf("batch of %d exceeds NParcels=7", sz)
+		}
+	}
+}
+
+func TestRequiresTimerService(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic without timer service")
+		}
+	}()
+	New(&sink{}, Params{}, Options{})
+}
+
+func TestManyDestinationsTimerFlush(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 100, Interval: 3 * time.Millisecond})
+	const dests = 16
+	for d := 0; d < dests; d++ {
+		c.Put(mkParcel(d, d))
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.messageCount() == dests })
+	if got := s.parcelCount(); got != dests {
+		t.Errorf("parcels = %d", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	// Params String is used in experiment tables; check stability.
+	p := Params{NParcels: 128, Interval: 2 * time.Millisecond}
+	want := "nparcels=128 wait=2000µs"
+	if got := fmt.Sprint(p); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestDisableSparseBypassForcesQueueing(t *testing.T) {
+	s := &sink{}
+	svc := timer.NewService(timer.ServiceOptions{})
+	defer svc.Stop()
+	c := New(s, Params{NParcels: 100, Interval: 2 * time.Millisecond},
+		Options{TimerService: svc, Action: "act", DisableSparseBypass: true})
+	defer c.Close()
+	// Sparse arrivals: with the bypass disabled every parcel must wait
+	// for the flush timer instead of going out immediately.
+	for i := 0; i < 3; i++ {
+		c.Put(mkParcel(1, i))
+		waitFor(t, 2*time.Second, func() bool { return s.messageCount() == i+1 })
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Each message was emitted by the timer (batch of 1), never inline:
+	// verify via timing — emission count equals put count but only after
+	// the interval elapsed each time (checked by the waitFor above); and
+	// the queue is empty at the end.
+	if c.QueuedParcels() != 0 {
+		t.Errorf("queued = %d", c.QueuedParcels())
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property (testing/quick): for any sequence of puts (to arbitrary
+	// destinations) interleaved with parameter changes and flushes, every
+	// parcel is emitted exactly once and no batch exceeds the NParcels in
+	// force when it was cut. A huge interval keeps the timer out of the
+	// run so the property is deterministic.
+	type op struct {
+		Dest     uint8
+		NewK     uint8 // 0 = no param change
+		DoFlush  bool
+		ArgBytes uint8
+	}
+	f := func(ops []op, k0 uint8) bool {
+		svc := timer.NewService(timer.ServiceOptions{})
+		defer svc.Stop()
+		s := &sink{}
+		c := New(s, Params{NParcels: int(k0%32) + 1, Interval: time.Hour},
+			Options{TimerService: svc, Action: "prop"})
+		maxK := int(k0%32) + 1
+		puts := 0
+		for i, o := range ops {
+			if o.NewK != 0 {
+				k := int(o.NewK%32) + 1
+				if k > maxK {
+					maxK = k
+				}
+				c.SetParams(Params{NParcels: k, Interval: time.Hour})
+			}
+			p := mkParcel(int(o.Dest%4), i)
+			p.Args = make([]byte, int(o.ArgBytes))
+			c.Put(p)
+			puts++
+			if o.DoFlush {
+				c.Flush()
+			}
+		}
+		c.Close()
+		if s.parcelCount() != puts {
+			return false
+		}
+		for _, sz := range s.batchSizes() {
+			if sz > maxK {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package collectives implements distributed collective operations on top
+// of the runtime's active messages: broadcast, reduce, all-reduce, gather
+// and a distributed barrier. HPX ships the corresponding primitives
+// (hpx::lcos::broadcast, reduce, …); the Parquet application's "all the
+// data from each node must be broadcast to the other nodes" is exactly
+// this pattern, so the library provides it as reusable machinery.
+//
+// All collectives run over ordinary parcels, so they are coalesced,
+// counted and measured like any other traffic. Payloads are raw byte
+// slices; reduction combines them with a user function (typed wrappers
+// live in the public facade).
+package collectives
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/lco"
+	"repro/internal/runtime"
+	"repro/internal/serialization"
+)
+
+// ReduceFunc combines two serialized values into one. It must be
+// associative and commutative: reduction order is unspecified.
+type ReduceFunc func(a, b []byte) ([]byte, error)
+
+// Comm is a collective communicator bound to a runtime: a named context
+// in which every locality participates once per operation. Operation
+// instances are matched across localities by a sequence tag, so
+// collectives can be issued repeatedly (one per iteration, say) without
+// cross-talk.
+type Comm struct {
+	rt   *runtime.Runtime
+	name string
+
+	mu    sync.Mutex
+	insts map[string]*instance
+}
+
+// instance is one in-flight collective operation at one locality.
+type instance struct {
+	mu       sync.Mutex
+	parts    [][]byte
+	expected int
+	done     *lco.Promise[[][]byte]
+}
+
+// collectiveAction is the internal action carrying contributions.
+const collectiveAction = "collectives/contribute"
+
+// ErrDuplicateComm reports that a communicator name is already in use on
+// the runtime.
+var ErrDuplicateComm = errors.New("collectives: communicator name in use")
+
+var (
+	registryMu sync.Mutex
+	registries = map[*runtime.Runtime]map[string]*Comm{}
+	installed  = map[*runtime.Runtime]bool{}
+)
+
+// NewComm creates a communicator with the given name. The first
+// communicator on a runtime installs the internal action; names must be
+// unique per runtime.
+func NewComm(rt *runtime.Runtime, name string) (*Comm, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if registries[rt] == nil {
+		registries[rt] = map[string]*Comm{}
+	}
+	if _, dup := registries[rt][name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateComm, name)
+	}
+	c := &Comm{rt: rt, name: name, insts: map[string]*instance{}}
+	registries[rt][name] = c
+	if !installed[rt] {
+		rt.MustRegisterAction(collectiveAction, handleContribution)
+		installed[rt] = true
+	}
+	return c, nil
+}
+
+// handleContribution delivers one locality's contribution to the local
+// instance of an operation.
+func handleContribution(ctx *runtime.Context, args []byte) ([]byte, error) {
+	r := serialization.NewReader(args)
+	commName := r.String()
+	tag := r.String()
+	payload := r.BytesField()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("collectives: corrupt contribution: %w", err)
+	}
+	registryMu.Lock()
+	comm := registries[ctx.Runtime][commName]
+	registryMu.Unlock()
+	if comm == nil {
+		return nil, fmt.Errorf("collectives: unknown communicator %q", commName)
+	}
+	comm.deliver(tag, payload)
+	return nil, nil
+}
+
+// deliver adds a contribution to the tagged instance, creating it if the
+// contribution raced ahead of the local Join call.
+func (c *Comm) deliver(tag string, payload []byte) {
+	inst := c.instance(tag, -1)
+	inst.mu.Lock()
+	inst.parts = append(inst.parts, payload)
+	ready := inst.expected > 0 && len(inst.parts) == inst.expected
+	c.maybeFinish(inst, ready)
+}
+
+// maybeFinish completes the instance if ready; the caller holds inst.mu,
+// which is released here.
+func (c *Comm) maybeFinish(inst *instance, ready bool) {
+	var parts [][]byte
+	if ready {
+		parts = inst.parts
+	}
+	inst.mu.Unlock()
+	if ready {
+		_ = inst.done.SetValue(parts)
+	}
+}
+
+// instance returns (creating if needed) the tagged instance; expected < 0
+// leaves the existing expectation untouched.
+func (c *Comm) instance(tag string, expected int) *instance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst := c.insts[tag]
+	if inst == nil {
+		inst = &instance{done: lco.NewPromise[[][]byte]()}
+		c.insts[tag] = inst
+	}
+	if expected > 0 {
+		inst.mu.Lock()
+		inst.expected = expected
+		ready := len(inst.parts) == expected
+		c.maybeFinish(inst, ready)
+	}
+	return inst
+}
+
+// drop removes a finished instance.
+func (c *Comm) drop(tag string) {
+	c.mu.Lock()
+	delete(c.insts, tag)
+	c.mu.Unlock()
+}
+
+// contribute sends this locality's payload to the root's instance.
+func (c *Comm) contribute(from, root int, tag string, payload []byte) error {
+	w := serialization.NewWriter(len(payload) + len(c.name) + len(tag) + 16)
+	w.String(c.name)
+	w.String(tag)
+	w.BytesField(payload)
+	if from == root {
+		c.deliver(tag, payload)
+		return nil
+	}
+	return c.rt.Locality(from).Apply(root, collectiveAction, w.Bytes())
+}
+
+// Gather collects every locality's payload at the root. Each locality
+// calls Gather once with the same tag and root; the root's call returns
+// all payloads (in unspecified order), other localities return nil.
+func (c *Comm) Gather(locality, root int, tag string, payload []byte) ([][]byte, error) {
+	L := c.rt.Localities()
+	if root < 0 || root >= L {
+		return nil, fmt.Errorf("collectives: root %d out of range", root)
+	}
+	fullTag := fmt.Sprintf("gather/%s/%d", tag, root)
+	if locality == root {
+		inst := c.instance(fullTag, L)
+		if err := c.contribute(locality, root, fullTag, payload); err != nil {
+			return nil, err
+		}
+		parts, err := inst.done.Future().Get()
+		c.drop(fullTag)
+		return parts, err
+	}
+	return nil, c.contribute(locality, root, fullTag, payload)
+}
+
+// Reduce combines every locality's payload at the root with fn. The
+// root's call returns the reduction; other localities return nil.
+func (c *Comm) Reduce(locality, root int, tag string, payload []byte, fn ReduceFunc) ([]byte, error) {
+	parts, err := c.Gather(locality, root, tag, payload)
+	if err != nil || locality != root {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("collectives: empty reduction")
+	}
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc, err = fn(acc, p)
+		if err != nil {
+			return nil, fmt.Errorf("collectives: reduce: %w", err)
+		}
+	}
+	return acc, nil
+}
+
+// Broadcast distributes the root's payload to every locality: the root
+// calls with its payload, every locality (including the root) receives it
+// as the return value. Non-root callers pass nil.
+func (c *Comm) Broadcast(locality, root int, tag string, payload []byte) ([]byte, error) {
+	L := c.rt.Localities()
+	if root < 0 || root >= L {
+		return nil, fmt.Errorf("collectives: root %d out of range", root)
+	}
+	fullTag := fmt.Sprintf("bcast/%s/%d/%d", tag, root, locality)
+	inst := c.instance(fullTag, 1)
+	if locality == root {
+		// Send to every locality's private broadcast instance.
+		for dst := 0; dst < L; dst++ {
+			dstTag := fmt.Sprintf("bcast/%s/%d/%d", tag, root, dst)
+			w := serialization.NewWriter(len(payload) + 32)
+			w.String(c.name)
+			w.String(dstTag)
+			w.BytesField(payload)
+			if dst == root {
+				c.deliver(dstTag, payload)
+				continue
+			}
+			if err := c.rt.Locality(root).Apply(dst, collectiveAction, w.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	parts, err := inst.done.Future().Get()
+	c.drop(fullTag)
+	if err != nil {
+		return nil, err
+	}
+	return parts[0], nil
+}
+
+// AllReduce reduces at root 0 and broadcasts the result; every locality
+// receives the reduction.
+func (c *Comm) AllReduce(locality int, tag string, payload []byte, fn ReduceFunc) ([]byte, error) {
+	red, err := c.Reduce(locality, 0, tag, payload, fn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Broadcast(locality, 0, "ar/"+tag, red)
+}
+
+// Barrier blocks until every locality has entered the tagged barrier.
+func (c *Comm) Barrier(locality int, tag string) error {
+	_, err := c.AllReduce(locality, "barrier/"+tag, nil, func(a, b []byte) ([]byte, error) {
+		return nil, nil
+	})
+	return err
+}

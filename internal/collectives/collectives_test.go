@@ -1,0 +1,306 @@
+package collectives
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coalescing"
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/serialization"
+)
+
+func newTestRuntime(t *testing.T, n int) *runtime.Runtime {
+	t.Helper()
+	rt := runtime.New(runtime.Config{
+		Localities:         n,
+		WorkersPerLocality: 2,
+		CostModel: network.CostModel{
+			SendOverhead: 2 * time.Microsecond,
+			Latency:      5 * time.Microsecond,
+		},
+	})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func encInt(v int64) []byte {
+	w := serialization.NewWriter(8)
+	w.Varint(v)
+	return w.Bytes()
+}
+
+func decInt(t *testing.T, b []byte) int64 {
+	t.Helper()
+	r := serialization.NewReader(b)
+	v := r.Varint()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+var sumInts = func(a, b []byte) ([]byte, error) {
+	ra := serialization.NewReader(a)
+	rb := serialization.NewReader(b)
+	va, vb := ra.Varint(), rb.Varint()
+	if ra.Err() != nil {
+		return nil, ra.Err()
+	}
+	if rb.Err() != nil {
+		return nil, rb.Err()
+	}
+	return encInt(va + vb), nil
+}
+
+// runAll invokes fn concurrently for every locality and returns the
+// per-locality results.
+func runAll(t *testing.T, n int, fn func(l int) ([]byte, error)) [][]byte {
+	t.Helper()
+	out := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for l := 0; l < n; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			out[l], errs[l] = fn(l)
+		}(l)
+	}
+	wg.Wait()
+	for l, err := range errs {
+		if err != nil {
+			t.Fatalf("locality %d: %v", l, err)
+		}
+	}
+	return out
+}
+
+func TestGather(t *testing.T) {
+	const L = 4
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rootParts [][]byte
+	runAll(t, L, func(l int) ([]byte, error) {
+		parts, err := comm.Gather(l, 2, "t0", encInt(int64(l*10)))
+		if l == 2 {
+			rootParts = parts
+		}
+		return nil, err
+	})
+	if len(rootParts) != L {
+		t.Fatalf("root gathered %d parts", len(rootParts))
+	}
+	seen := map[int64]bool{}
+	for _, p := range rootParts {
+		seen[decInt(t, p)] = true
+	}
+	for l := 0; l < L; l++ {
+		if !seen[int64(l*10)] {
+			t.Errorf("missing contribution %d", l*10)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const L = 5
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runAll(t, L, func(l int) ([]byte, error) {
+		return comm.Reduce(l, 0, "sum", encInt(int64(l+1)), sumInts)
+	})
+	if got := decInt(t, results[0]); got != 15 { // 1+2+3+4+5
+		t.Errorf("reduce = %d, want 15", got)
+	}
+	for l := 1; l < L; l++ {
+		if results[l] != nil {
+			t.Errorf("non-root %d got %v", l, results[l])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const L = 4
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runAll(t, L, func(l int) ([]byte, error) {
+		var payload []byte
+		if l == 1 {
+			payload = encInt(777)
+		}
+		return comm.Broadcast(l, 1, "x", payload)
+	})
+	for l := 0; l < L; l++ {
+		if got := decInt(t, results[l]); got != 777 {
+			t.Errorf("locality %d got %d", l, got)
+		}
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	const L = 3
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "ar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runAll(t, L, func(l int) ([]byte, error) {
+		return comm.AllReduce(l, "s", encInt(int64(l)), sumInts)
+	})
+	for l := 0; l < L; l++ {
+		if got := decInt(t, results[l]); got != 3 { // 0+1+2
+			t.Errorf("locality %d allreduce = %d", l, got)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const L = 4
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	arrived := 0
+	runAll(t, L, func(l int) ([]byte, error) {
+		time.Sleep(time.Duration(l) * 2 * time.Millisecond) // staggered entry
+		mu.Lock()
+		arrived++
+		mu.Unlock()
+		if err := comm.Barrier(l, "b1"); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if arrived != L {
+			return nil, fmt.Errorf("locality %d released with %d/%d arrived", l, arrived, L)
+		}
+		return nil, nil
+	})
+}
+
+func TestRepeatedOperationsWithFreshTags(t *testing.T) {
+	const L = 3
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "iter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 5; it++ {
+		tag := fmt.Sprintf("i%d", it)
+		results := runAll(t, L, func(l int) ([]byte, error) {
+			return comm.AllReduce(l, tag, encInt(int64(it)), sumInts)
+		})
+		for l := 0; l < L; l++ {
+			if got := decInt(t, results[l]); got != int64(3*it) {
+				t.Fatalf("iteration %d locality %d = %d", it, l, got)
+			}
+		}
+	}
+}
+
+func TestMultipleComms(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	a, err := NewComm(rt, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewComm(rt, "b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tag on two communicators: no cross-talk.
+	var ra, rb [][]byte
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { defer wg.Done(); ra, _ = a.Gather(0, 0, "t", encInt(1)) }()
+	go func() { defer wg.Done(); _, _ = a.Gather(1, 0, "t", encInt(2)) }()
+	go func() { defer wg.Done(); rb, _ = b.Gather(0, 0, "t", encInt(30)) }()
+	go func() { defer wg.Done(); _, _ = b.Gather(1, 0, "t", encInt(40)) }()
+	wg.Wait()
+	sum := func(parts [][]byte) (s int64) {
+		for _, p := range parts {
+			s += decInt(t, p)
+		}
+		return
+	}
+	if sum(ra) != 3 || sum(rb) != 70 {
+		t.Errorf("cross-talk: a=%d b=%d", sum(ra), sum(rb))
+	}
+}
+
+func TestDuplicateCommName(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	if _, err := NewComm(rt, "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewComm(rt, "dup"); err == nil {
+		t.Error("duplicate name should fail")
+	}
+}
+
+func TestBadRoot(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	comm, _ := NewComm(rt, "badroot")
+	if _, err := comm.Gather(0, 9, "t", nil); err == nil {
+		t.Error("bad root should fail")
+	}
+	if _, err := comm.Broadcast(0, -1, "t", nil); err == nil {
+		t.Error("bad root should fail")
+	}
+}
+
+func TestCollectivesAreCoalesced(t *testing.T) {
+	// Collectives ride ordinary parcels, so enabling coalescing for the
+	// internal action batches contributions like any other traffic.
+	const L = 2
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "co")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EnableCoalescing(collectiveAction, coalescing.Params{
+		NParcels: 8, Interval: 2 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Issue many gathers concurrently (distinct tags) so contributions
+	// from locality 1 queue up and batch.
+	const rounds = 32
+	var wg sync.WaitGroup
+	for it := 0; it < rounds; it++ {
+		tag := fmt.Sprintf("c%d", it)
+		for l := 0; l < L; l++ {
+			wg.Add(1)
+			go func(l int) {
+				defer wg.Done()
+				if _, err := comm.Gather(l, 0, tag, encInt(int64(l))); err != nil {
+					t.Errorf("gather: %v", err)
+				}
+			}(l)
+		}
+	}
+	wg.Wait()
+	// Locality 1 sent `rounds` contributions to locality 0; with
+	// coalescing they travel in far fewer messages.
+	sent := rt.Locality(1).Port().Stats()
+	if sent.ParcelsSent != rounds {
+		t.Fatalf("parcels sent = %d, want %d", sent.ParcelsSent, rounds)
+	}
+	if sent.MessagesSent >= rounds {
+		t.Errorf("collective contributions not coalesced: %d messages for %d parcels",
+			sent.MessagesSent, sent.ParcelsSent)
+	}
+}

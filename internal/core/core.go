@@ -1,0 +1,47 @@
+// Package core names the paper's primary contribution and maps it to the
+// packages that implement it:
+//
+//   - Parcel coalescing with a parcel-count queue parameter, a flush-timer
+//     wait parameter, a maximum-buffer-size guard and a sparse-traffic
+//     bypass (Algorithm 1) — implemented in repro/internal/coalescing.
+//   - The introspective network-performance metrics of Section III (task
+//     duration, task overhead, background-work duration and the Eq. 4
+//     network-overhead ratio) with their performance counters —
+//     implemented in repro/internal/metrics on top of
+//     repro/internal/counters.
+//   - The adaptive parameter tuning those metrics enable (the paper's
+//     stated goal, built here as an extension) — implemented in
+//     repro/internal/adaptive.
+//
+// The aliases below give the contribution a single import point; the
+// substrates (runtime, parcel transport, AGAS, LCOs, network fabric,
+// timers, serialization) live in their own internal packages.
+package core
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/coalescing"
+	"repro/internal/metrics"
+)
+
+type (
+	// Coalescer is the per-action parcel-coalescing message handler
+	// (Algorithm 1).
+	Coalescer = coalescing.Coalescer
+	// Params are the two tunable coalescing parameters plus the buffer
+	// guard.
+	Params = coalescing.Params
+	// Sample is a reading of the Section III metrics.
+	Sample = metrics.Sample
+	// Phase is a per-phase delta of the Section III metrics (Fig. 9).
+	Phase = metrics.Phase
+	// OverheadTuner adapts coalescing parameters from the instantaneous
+	// overhead counter.
+	OverheadTuner = adaptive.OverheadTuner
+	// PICSTuner is the iteration-driven prior-art baseline controller.
+	PICSTuner = adaptive.PICSTuner
+)
+
+// NewCoalescer constructs the contribution's message handler; see
+// coalescing.New for the parameters.
+var NewCoalescer = coalescing.New

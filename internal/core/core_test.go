@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coalescing"
+	"repro/internal/parcel"
+	"repro/internal/timer"
+)
+
+// coalescerOptions builds the implementing package's option struct.
+func coalescerOptions(svc *timer.Service) coalescing.Options {
+	return coalescing.Options{Action: "a", TimerService: svc}
+}
+
+type nullEnqueuer struct{ n int }
+
+func (e *nullEnqueuer) EnqueueMessage(int, []*parcel.Parcel) { e.n++ }
+
+// TestAliasesUsable exercises the contribution through the core aliases,
+// guarding against the aliases drifting from the implementing packages.
+func TestAliasesUsable(t *testing.T) {
+	svc := timer.NewService(timer.ServiceOptions{})
+	defer svc.Stop()
+	var sink nullEnqueuer
+	var c *Coalescer = NewCoalescer(&sink, Params{NParcels: 2, Interval: time.Hour},
+		// Options type comes from the implementing package; the
+		// constructor alias must accept it unchanged.
+		coalescerOptions(svc))
+	defer c.Close()
+	c.Put(&parcel.Parcel{DestLocality: 1, Action: "a"})
+	c.Put(&parcel.Parcel{DestLocality: 1, Action: "a"})
+	if sink.n != 1 {
+		t.Errorf("messages = %d, want 1", sink.n)
+	}
+	var p Phase
+	if p.NetworkOverhead() != 0 {
+		t.Error("zero phase overhead")
+	}
+	var s Sample
+	if s.NetworkOverhead() != 0 {
+		t.Error("zero sample overhead")
+	}
+}

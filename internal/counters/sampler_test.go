@@ -1,0 +1,125 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerCollectsSeries(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRaw(MustParse("/x/value"))
+	reg.MustRegister(c)
+	s := NewSampler(reg, []string{"/x/value"}, 2*time.Millisecond)
+	s.Start()
+	for i := 0; i < 5; i++ {
+		c.Add(10)
+		time.Sleep(4 * time.Millisecond)
+	}
+	s.Stop()
+	samples := s.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Monotone counter → monotone series.
+	ts, vs := s.Series("/x/value")
+	if len(ts) != len(vs) || len(vs) < 3 {
+		t.Fatalf("series lengths = %d/%d", len(ts), len(vs))
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i] < vs[i-1] {
+			t.Errorf("series not monotone at %d: %v", i, vs)
+		}
+		if ts[i] < ts[i-1] {
+			t.Errorf("timestamps not monotone at %d: %v", i, ts)
+		}
+	}
+	if vs[len(vs)-1] != 50 {
+		t.Errorf("final value = %v, want 50", vs[len(vs)-1])
+	}
+}
+
+func TestSamplerWildcardQueries(t *testing.T) {
+	reg := NewRegistry()
+	a := NewRaw(MustParse("/coalescing{locality#0}/count/messages@act"))
+	b := NewRaw(MustParse("/coalescing{locality#1}/count/messages@act"))
+	reg.MustRegister(a)
+	reg.MustRegister(b)
+	a.Add(1)
+	b.Add(2)
+	s := NewSampler(reg, []string{"/coalescing{*}/count/messages@*"}, time.Millisecond)
+	s.Start()
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+	samples := s.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	last := samples[len(samples)-1].Values
+	if last["/coalescing{locality#0}/count/messages@act"] != 1 ||
+		last["/coalescing{locality#1}/count/messages@act"] != 2 {
+		t.Errorf("sample = %v", last)
+	}
+}
+
+func TestSamplerPicksUpLateCounters(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, []string{"/late{*}/value@*"}, time.Millisecond)
+	s.Start()
+	time.Sleep(3 * time.Millisecond)
+	c := NewRaw(Path{Object: "late", Instance: "locality#0", Name: "value"})
+	reg.MustRegister(c)
+	c.Add(7)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+	_, vs := s.Series("/late{locality#0}/value")
+	if len(vs) == 0 || vs[len(vs)-1] != 7 {
+		t.Errorf("late counter series = %v", vs)
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRaw(MustParse("/x/v"))
+	reg.MustRegister(c)
+	c.Add(3)
+	s := NewSampler(reg, []string{"/x/v"}, time.Millisecond)
+	s.Start()
+	time.Sleep(4 * time.Millisecond)
+	s.Stop()
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t_seconds,/x/v\n") {
+		t.Errorf("csv header = %q", out)
+	}
+	if !strings.Contains(out, ",3") {
+		t.Errorf("csv missing value: %q", out)
+	}
+}
+
+func TestSamplerStopIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, nil, time.Millisecond)
+	s.Start()
+	s.Stop()
+	s.Stop()
+}
+
+func TestSamplerEmptyCSV(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, nil, time.Millisecond)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "t_seconds") {
+		t.Errorf("csv = %q", sb.String())
+	}
+	ts, vs := s.Series("/missing/x")
+	if ts != nil || vs != nil {
+		t.Error("series of empty sampler should be nil")
+	}
+}

@@ -1,0 +1,183 @@
+// Package experiment is the reproduction harness: one entry point per
+// table and figure of the paper's evaluation (Section IV), shared by the
+// cmd/amc-repro command and the repository's benchmark suite.
+//
+// Each figure function runs the relevant workload sweep at a configurable
+// scale, collects the Section III metrics, and returns a typed result
+// that renders the same rows/series the paper reports. Absolute numbers
+// differ (the substrate is a simulated fabric, not the ROSTAM cluster);
+// the shapes — who wins, by what factor, where the crossovers fall — are
+// the reproduction targets, and each result type exposes the checks the
+// paper states (correlation coefficients, the location of the minimum,
+// the disabled-coalescing bands).
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/coalescing"
+)
+
+// Scale selects the workload sizes of a reproduction run.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+	// ToyParcelsPerPhase is the toy burst size (paper: 1_000_000).
+	ToyParcelsPerPhase int
+	// ToyPhases is the toy phase count (paper: 4).
+	ToyPhases int
+	// ToyNParcelsLadder is the coalescing sweep for toy figures.
+	ToyNParcelsLadder []int
+	// WaitLadder is the flush-interval sweep in microseconds.
+	WaitLadder []int
+	// ParquetNc is the tensor dimension (paper: 512).
+	ParquetNc int
+	// ParquetIterations is the per-run iteration count (paper: 3+).
+	ParquetIterations int
+	// ParquetNParcelsLadder is the coalescing sweep for parquet figures.
+	ParquetNParcelsLadder []int
+	// Localities for each application (paper: toy 2, parquet 4).
+	ToyLocalities, ParquetLocalities int
+	// Workers per locality.
+	Workers int
+	// Runs is the number of repetitions averaged per configuration
+	// (paper: 3).
+	Runs int
+	// RSDRuns is the repetition count of the stability study (paper: 100).
+	RSDRuns int
+}
+
+// QuickScale finishes in seconds; used by -short tests and smoke runs.
+func QuickScale() Scale {
+	return Scale{
+		Name:                  "quick",
+		ToyParcelsPerPhase:    1200,
+		ToyPhases:             2,
+		ToyNParcelsLadder:     []int{1, 8, 64},
+		WaitLadder:            []int{1, 2000},
+		ParquetNc:             10,
+		ParquetIterations:     2,
+		ParquetNParcelsLadder: []int{1, 4, 16},
+		ToyLocalities:         2,
+		ParquetLocalities:     3,
+		Workers:               2,
+		Runs:                  1,
+		RSDRuns:               5,
+	}
+}
+
+// DefaultScale reproduces every trend in minutes on a laptop.
+func DefaultScale() Scale {
+	return Scale{
+		Name:                  "default",
+		ToyParcelsPerPhase:    12000,
+		ToyPhases:             4,
+		ToyNParcelsLadder:     []int{1, 2, 4, 8, 16, 32, 64, 128},
+		WaitLadder:            []int{1, 1000, 2000, 4000, 5000, 10000},
+		ParquetNc:             24,
+		ParquetIterations:     3,
+		ParquetNParcelsLadder: []int{1, 2, 4, 8, 16},
+		ToyLocalities:         2,
+		ParquetLocalities:     4,
+		Workers:               4,
+		Runs:                  2,
+		RSDRuns:               20,
+	}
+}
+
+// FullScale approaches the paper's settings; hours of runtime.
+func FullScale() Scale {
+	s := DefaultScale()
+	s.Name = "full"
+	s.ToyParcelsPerPhase = 1000000
+	s.ParquetNc = 64
+	s.Runs = 3
+	s.RSDRuns = 100
+	return s
+}
+
+// params builds coalescing parameters from ladder entries.
+func params(nParcels, waitUS int) coalescing.Params {
+	return coalescing.Params{
+		NParcels: nParcels,
+		Interval: time.Duration(waitUS) * time.Microsecond,
+	}
+}
+
+// Table is a rendered result: aligned text for terminals, CSV for tools.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	write(t.Headers)
+	for _, row := range t.Rows {
+		write(row)
+	}
+	return sb.String()
+}
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,257 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/parquet"
+	"repro/internal/coalescing"
+	"repro/internal/stats"
+)
+
+// parquetAvg carries the averaged outcome of repeated parquet runs.
+type parquetAvg struct {
+	overhead  float64
+	iteration time.Duration
+	total     time.Duration
+	// iterSeries holds per-iteration wall times of the last run.
+	iterSeries []time.Duration
+}
+
+// runParquetAveraged runs the parquet application s.Runs times and
+// averages per-iteration metrics ("to account for the random nature of
+// any application that involves heavy network traffic, the application
+// was run three times for each set of parameters").
+func runParquetAveraged(s Scale, p coalescing.Params) (parquetAvg, error) {
+	var out parquetAvg
+	runs := s.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	for i := 0; i < runs; i++ {
+		r, err := parquet.Run(parquet.Config{
+			Localities:         s.ParquetLocalities,
+			WorkersPerLocality: s.Workers,
+			Nc:                 s.ParquetNc,
+			Iterations:         s.ParquetIterations,
+			Params:             p,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.overhead += r.AvgNetworkOverhead()
+		out.iteration += r.AvgIterationWall()
+		out.total += r.Total
+		out.iterSeries = out.iterSeries[:0]
+		for _, it := range r.Iterations {
+			out.iterSeries = append(out.iterSeries, it.Wall)
+		}
+	}
+	out.overhead /= float64(runs)
+	out.iteration /= time.Duration(runs)
+	out.total /= time.Duration(runs)
+	return out, nil
+}
+
+// Fig6Row is one bar group of the paper's Figure 6: the cumulative time
+// to complete each iteration for one parcels-per-message value.
+type Fig6Row struct {
+	NParcels   int
+	Cumulative []time.Duration
+}
+
+// Fig6Result reproduces Figure 6: parquet iteration completion times vs
+// parcels per message at wait = 4000 µs. The paper's findings: a clear
+// improvement from 1 to 2, the minimum at 4, and degradation beyond.
+type Fig6Result struct {
+	WaitUS int
+	Rows   []Fig6Row
+}
+
+// Fig6 runs the sweep.
+func Fig6(s Scale) (Fig6Result, error) {
+	const waitUS = 4000
+	res := Fig6Result{WaitUS: waitUS}
+	for _, n := range s.ParquetNParcelsLadder {
+		avg, err := runParquetAveraged(s, params(n, waitUS))
+		if err != nil {
+			return res, fmt.Errorf("fig6 nparcels=%d: %w", n, err)
+		}
+		row := Fig6Row{NParcels: n}
+		var cum time.Duration
+		for _, w := range avg.iterSeries {
+			cum += w
+			row.Cumulative = append(row.Cumulative, cum)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// BestNParcels returns the parcels-per-message value with the lowest
+// total time (the paper finds 4).
+func (r Fig6Result) BestNParcels() int {
+	best, bestTime := 0, time.Duration(1<<62)
+	for _, row := range r.Rows {
+		if n := len(row.Cumulative); n > 0 && row.Cumulative[n-1] < bestTime {
+			bestTime = row.Cumulative[n-1]
+			best = row.NParcels
+		}
+	}
+	return best
+}
+
+// Table renders the per-iteration completion times.
+func (r Fig6Result) Table() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 6 — parquet: time to iteration completion (wait = %d µs)", r.WaitUS),
+		Headers: []string{"nparcels"},
+	}
+	iters := 0
+	for _, row := range r.Rows {
+		if len(row.Cumulative) > iters {
+			iters = len(row.Cumulative)
+		}
+	}
+	for i := 0; i < iters; i++ {
+		t.Headers = append(t.Headers, fmt.Sprintf("iter %d (ms)", i+1))
+	}
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprint(row.NParcels)}
+		for _, c := range row.Cumulative {
+			cells = append(cells, ms(c))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// GridPoint is one cell of the parquet parameter sweep shared by Figures
+// 7 and 8.
+type GridPoint struct {
+	Params       coalescing.Params
+	AvgOverhead  float64
+	AvgIteration time.Duration
+}
+
+// GridResult is the full parquet parameter sweep: Figure 8's heat map and
+// the scatter data behind Figure 7.
+type GridResult struct {
+	Points  []GridPoint
+	Pearson float64
+}
+
+// ParquetGrid sweeps parcels-per-message × wait time over the parquet
+// application, computing the overhead/time correlation (paper Fig. 7:
+// r = 0.92).
+func ParquetGrid(s Scale) (GridResult, error) {
+	var res GridResult
+	for _, n := range s.ParquetNParcelsLadder {
+		for _, w := range s.WaitLadder {
+			avg, err := runParquetAveraged(s, params(n, w))
+			if err != nil {
+				return res, fmt.Errorf("parquet grid %s: %w", params(n, w), err)
+			}
+			res.Points = append(res.Points, GridPoint{
+				Params:       params(n, w),
+				AvgOverhead:  avg.overhead,
+				AvgIteration: avg.iteration,
+			})
+		}
+	}
+	xs := make([]float64, len(res.Points))
+	ys := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		xs[i] = p.AvgOverhead
+		ys[i] = p.AvgIteration.Seconds()
+	}
+	r, err := stats.Pearson(xs, ys)
+	if err != nil {
+		return res, fmt.Errorf("parquet grid correlation: %w", err)
+	}
+	res.Pearson = r
+	return res, nil
+}
+
+// Fig7Table renders the scatter (Figure 7) with the Pearson coefficient.
+func (r GridResult) Fig7Table() Table {
+	t := Table{
+		Title:   "Figure 7 — parquet: avg network overhead vs avg time per iteration",
+		Headers: []string{"nparcels", "wait(µs)", "n_oh", "iteration(ms)"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Params.NParcels),
+			fmt.Sprint(p.Params.Interval.Microseconds()),
+			fmt.Sprintf("%.4f", p.AvgOverhead),
+			ms(p.AvgIteration),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"", "", "Pearson r", fmt.Sprintf("%.3f", r.Pearson)})
+	return t
+}
+
+// Fig8Table renders the heat map (Figure 8): rows are parcels-per-message
+// values, columns wait times, cells average iteration time. The paper's
+// bands — worst times along nparcels = 1 and wait = 1 µs — appear as the
+// first row and first column.
+func (r GridResult) Fig8Table() Table {
+	nSet := map[int]bool{}
+	wSet := map[int]bool{}
+	cell := map[[2]int]time.Duration{}
+	for _, p := range r.Points {
+		n := p.Params.NParcels
+		w := int(p.Params.Interval.Microseconds())
+		nSet[n] = true
+		wSet[w] = true
+		cell[[2]int{n, w}] = p.AvgIteration
+	}
+	var ns, ws []int
+	for n := range nSet {
+		ns = append(ns, n)
+	}
+	for w := range wSet {
+		ws = append(ws, w)
+	}
+	sortInts(ns)
+	sortInts(ws)
+	t := Table{
+		Title:   "Figure 8 — parquet: avg time per iteration (ms) over the parameter grid",
+		Headers: []string{"nparcels \\ wait(µs)"},
+	}
+	for _, w := range ws {
+		t.Headers = append(t.Headers, fmt.Sprint(w))
+	}
+	for _, n := range ns {
+		row := []string{fmt.Sprint(n)}
+		for _, w := range ws {
+			if d, ok := cell[[2]int{n, w}]; ok {
+				row = append(row, ms(d))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Best returns the grid point with the lowest average iteration time
+// (the paper: nparcels = 4, wait = 5000 µs).
+func (r GridResult) Best() GridPoint {
+	best := GridPoint{AvgIteration: 1 << 62}
+	for _, p := range r.Points {
+		if p.AvgIteration < best.AvgIteration {
+			best = p
+		}
+	}
+	return best
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/toy"
+	"repro/internal/coalescing"
+	"repro/internal/stats"
+)
+
+// Fig4Point is one dot of the paper's Figure 4 scatter plot: a coalescing
+// parameter set with its measured average per-phase network overhead and
+// execution time.
+type Fig4Point struct {
+	Params      coalescing.Params
+	AvgOverhead float64
+	AvgPhase    time.Duration
+}
+
+// Fig4Result reproduces Figure 4: average network overhead per phase vs
+// average execution time per phase for the toy application over all
+// explored coalescing parameter sets, plus their Pearson correlation
+// (paper: r = 0.97).
+type Fig4Result struct {
+	Points  []Fig4Point
+	Pearson float64
+}
+
+// Fig4 sweeps the toy application's parameter grid.
+func Fig4(s Scale) (Fig4Result, error) {
+	var res Fig4Result
+	for _, n := range s.ToyNParcelsLadder {
+		for _, w := range s.WaitLadder {
+			r, err := runToyAveraged(s, params(n, w), nil)
+			if err != nil {
+				return res, fmt.Errorf("fig4 %s: %w", params(n, w), err)
+			}
+			res.Points = append(res.Points, Fig4Point{
+				Params:      params(n, w),
+				AvgOverhead: r.overhead,
+				AvgPhase:    r.phase,
+			})
+		}
+	}
+	xs := make([]float64, len(res.Points))
+	ys := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		xs[i] = p.AvgOverhead
+		ys[i] = p.AvgPhase.Seconds()
+	}
+	r, err := stats.Pearson(xs, ys)
+	if err != nil {
+		return res, fmt.Errorf("fig4 correlation: %w", err)
+	}
+	res.Pearson = r
+	return res, nil
+}
+
+// Table renders the scatter data and the correlation row.
+func (r Fig4Result) Table() Table {
+	t := Table{
+		Title:   "Figure 4 — toy application: avg network overhead per phase vs avg execution time per phase",
+		Headers: []string{"nparcels", "wait(µs)", "n_oh", "phase(ms)"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Params.NParcels),
+			fmt.Sprint(p.Params.Interval.Microseconds()),
+			fmt.Sprintf("%.4f", p.AvgOverhead),
+			ms(p.AvgPhase),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"", "", "Pearson r", fmt.Sprintf("%.3f", r.Pearson)})
+	return t
+}
+
+// toyAvg carries the averaged outcome of repeated toy runs.
+type toyAvg struct {
+	overhead float64
+	phase    time.Duration
+	total    time.Duration
+	// phaseSeries holds the per-phase wall times of the last run.
+	phaseSeries []time.Duration
+	// overheadSeries holds the per-phase overheads of the last run.
+	overheadSeries []float64
+}
+
+// runToyAveraged runs the toy application s.Runs times with the given
+// parameters (or schedule) and averages the per-phase metrics.
+func runToyAveraged(s Scale, p coalescing.Params, schedule []coalescing.Params) (toyAvg, error) {
+	var out toyAvg
+	runs := s.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	for i := 0; i < runs; i++ {
+		r, err := toy.Run(toy.Config{
+			Localities:         s.ToyLocalities,
+			WorkersPerLocality: s.Workers,
+			ParcelsPerPhase:    s.ToyParcelsPerPhase,
+			Phases:             s.ToyPhases,
+			Params:             p,
+			Schedule:           schedule,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.overhead += r.AvgNetworkOverhead()
+		out.phase += r.AvgPhaseWall()
+		out.total += r.Total
+		out.phaseSeries = out.phaseSeries[:0]
+		out.overheadSeries = out.overheadSeries[:0]
+		for _, ph := range r.PhaseResults {
+			out.phaseSeries = append(out.phaseSeries, ph.Wall)
+			out.overheadSeries = append(out.overheadSeries, ph.NetworkOverhead())
+		}
+	}
+	out.overhead /= float64(runs)
+	out.phase /= time.Duration(runs)
+	out.total /= time.Duration(runs)
+	return out, nil
+}
+
+// Fig5Row is one series of the paper's Figure 5: the cumulative time to
+// reach the completion of each phase for one parcels-per-message value.
+type Fig5Row struct {
+	NParcels   int
+	Cumulative []time.Duration // index = phase
+}
+
+// Fig5Result reproduces Figure 5: time to reach each phase completion for
+// various numbers of parcels per message, wait time 4000 µs. The paper
+// observes monotone improvement with more coalescing (the toy app has no
+// dependencies, so bigger messages are strictly better at this scale).
+type Fig5Result struct {
+	WaitUS int
+	Rows   []Fig5Row
+}
+
+// Fig5 runs the sweep.
+func Fig5(s Scale) (Fig5Result, error) {
+	const waitUS = 4000
+	res := Fig5Result{WaitUS: waitUS}
+	for _, n := range s.ToyNParcelsLadder {
+		avg, err := runToyAveraged(s, params(n, waitUS), nil)
+		if err != nil {
+			return res, fmt.Errorf("fig5 nparcels=%d: %w", n, err)
+		}
+		row := Fig5Row{NParcels: n}
+		var cum time.Duration
+		for _, w := range avg.phaseSeries {
+			cum += w
+			row.Cumulative = append(row.Cumulative, cum)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the per-phase completion times.
+func (r Fig5Result) Table() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 5 — toy application: time to phase completion (wait = %d µs)", r.WaitUS),
+		Headers: []string{"nparcels"},
+	}
+	phases := 0
+	for _, row := range r.Rows {
+		if len(row.Cumulative) > phases {
+			phases = len(row.Cumulative)
+		}
+	}
+	for i := 0; i < phases; i++ {
+		t.Headers = append(t.Headers, fmt.Sprintf("phase %d (ms)", i+1))
+	}
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprint(row.NParcels)}
+		for _, c := range row.Cumulative {
+			cells = append(cells, ms(c))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// Fig9Run is one run of the instantaneous-measurement experiment: a
+// per-phase schedule of parcels-per-message values with each phase's
+// measured network overhead and wall time.
+type Fig9Run struct {
+	Label     string
+	Schedule  []int // NParcels per phase
+	Overheads []float64
+	Walls     []time.Duration
+}
+
+// Fig9Result reproduces Figure 9: two toy runs with a wait time of
+// 2000 µs whose coalescing parameters change every phase. One run starts
+// at the optimal 128 parcels per message and degrades; the other starts
+// at 1 and improves. The per-phase overhead must track the parameter
+// quality in real time — the signal an adaptive controller would consume.
+type Fig9Result struct {
+	WaitUS int
+	Runs   []Fig9Run
+}
+
+// Fig9 runs both schedules.
+func Fig9(s Scale) (Fig9Result, error) {
+	const waitUS = 2000
+	best := s.ToyNParcelsLadder[len(s.ToyNParcelsLadder)-1]
+	schedA, schedB := fig9Schedules(best, s.ToyPhases)
+	res := Fig9Result{WaitUS: waitUS}
+	for _, run := range []struct {
+		label string
+		sched []int
+	}{
+		{fmt.Sprintf("start optimal (%d)", best), schedA},
+		{"start suboptimal (1)", schedB},
+	} {
+		schedule := make([]coalescing.Params, len(run.sched))
+		for i, n := range run.sched {
+			schedule[i] = params(n, waitUS)
+		}
+		avg, err := runToyAveraged(s, schedule[0], schedule)
+		if err != nil {
+			return res, fmt.Errorf("fig9 %s: %w", run.label, err)
+		}
+		res.Runs = append(res.Runs, Fig9Run{
+			Label:     run.label,
+			Schedule:  run.sched,
+			Overheads: append([]float64{}, avg.overheadSeries...),
+			Walls:     append([]time.Duration{}, avg.phaseSeries...),
+		})
+	}
+	return res, nil
+}
+
+// fig9Schedules builds the two per-phase parameter schedules: descending
+// from the optimum and ascending from 1.
+func fig9Schedules(best, phases int) (down, up []int) {
+	down = make([]int, phases)
+	up = make([]int, phases)
+	for i := 0; i < phases; i++ {
+		d := best
+		for j := 0; j < i; j++ {
+			d /= 4
+		}
+		if d < 1 {
+			d = 1
+		}
+		down[i] = d
+	}
+	for i := 0; i < phases; i++ {
+		up[i] = down[phases-1-i]
+	}
+	return down, up
+}
+
+// Table renders both runs' per-phase overhead series.
+func (r Fig9Result) Table() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 9 — toy application: per-phase network overhead under changing parameters (wait = %d µs)", r.WaitUS),
+		Headers: []string{"run", "phase", "nparcels", "n_oh", "wall(ms)"},
+	}
+	for _, run := range r.Runs {
+		for i := range run.Schedule {
+			oh, wall := "", ""
+			if i < len(run.Overheads) {
+				oh = fmt.Sprintf("%.4f", run.Overheads[i])
+			}
+			if i < len(run.Walls) {
+				wall = ms(run.Walls[i])
+			}
+			t.Rows = append(t.Rows, []string{
+				run.Label, fmt.Sprint(i + 1), fmt.Sprint(run.Schedule[i]), oh, wall,
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/stencil"
+)
+
+// StencilPoint is one cell of the stencil extension experiment: a halo
+// chunk size (communication granularity) against a coalescing setting.
+type StencilPoint struct {
+	ChunkCells int
+	NParcels   int
+	Total      time.Duration
+	Messages   int64
+	Parcels    int64
+	Overhead   float64
+	Correct    bool
+}
+
+// StencilResult is the extension experiment on the third application: it
+// shows that (a) finer-grained halo decomposition without coalescing is
+// increasingly expensive, and (b) coalescing recovers most of the cost,
+// the paper's thesis transplanted to a nearest-neighbor pattern. Every
+// cell is verified against the serial reference solver.
+type StencilResult struct {
+	Config stencil.Config
+	Points []StencilPoint
+}
+
+// Stencil runs the sweep: chunk sizes × {no coalescing, k=16}.
+func Stencil(s Scale) (StencilResult, error) {
+	cfg := stencil.Config{
+		Localities:         s.ParquetLocalities,
+		WorkersPerLocality: s.Workers,
+		RowsPerLocality:    16,
+		Cols:               96,
+		Steps:              s.ParquetIterations * 8,
+	}
+	res := StencilResult{Config: cfg}
+	want := stencil.SerialReference(cfg)
+	for _, chunk := range []int{2, 8, 32} {
+		for _, k := range []int{1, 16} {
+			c := cfg
+			c.ChunkCells = chunk
+			c.Params = params(k, 2000)
+			r, err := stencil.Run(c)
+			if err != nil {
+				return res, fmt.Errorf("stencil chunk=%d k=%d: %w", chunk, k, err)
+			}
+			oh := 0.0
+			for _, p := range r.Phases {
+				oh += p.NetworkOverhead()
+			}
+			if len(r.Phases) > 0 {
+				oh /= float64(len(r.Phases))
+			}
+			res.Points = append(res.Points, StencilPoint{
+				ChunkCells: chunk,
+				NParcels:   k,
+				Total:      r.Total,
+				Messages:   r.MessagesSent,
+				Parcels:    r.ParcelsSent,
+				Overhead:   oh,
+				Correct:    r.Checksum == want,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r StencilResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Extension — 2-D heat stencil (%d localities, %d steps): halo granularity × coalescing",
+			r.Config.Localities, r.Config.Steps),
+		Headers: []string{"chunk(cells)", "nparcels", "total(ms)", "n_oh", "messages", "parcels", "correct"},
+	}
+	for _, p := range r.Points {
+		correct := "yes"
+		if !p.Correct {
+			correct = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.ChunkCells), fmt.Sprint(p.NParcels), ms(p.Total),
+			fmt.Sprintf("%.4f", p.Overhead), fmt.Sprint(p.Messages), fmt.Sprint(p.Parcels), correct,
+		})
+	}
+	return t
+}
+
+// Speedup returns, for the finest chunking, the no-coalescing over
+// coalesced total-time ratio — the benefit coalescing recovers at the
+// finest granularity.
+func (r StencilResult) Speedup() float64 {
+	var base, coal time.Duration
+	finest := 1 << 30
+	for _, p := range r.Points {
+		if p.ChunkCells < finest {
+			finest = p.ChunkCells
+		}
+	}
+	for _, p := range r.Points {
+		if p.ChunkCells != finest {
+			continue
+		}
+		if p.NParcels == 1 {
+			base = p.Total
+		} else {
+			coal = p.Total
+		}
+	}
+	if coal == 0 {
+		return 0
+	}
+	return float64(base) / float64(coal)
+}

@@ -1,0 +1,128 @@
+// Package parcel implements the parcel subsystem: creation, serialization
+// and transport of parcels (HPX's form of active messages), and the
+// per-locality parcel Port with its pluggable per-action message handlers.
+//
+// A parcel is created when a method — an action — is called remotely. As
+// in the paper's Figure 3, a parcel carries four components: the
+// destination address, the action to execute, the action's arguments, and
+// an optional continuation (here, the GID of the promise that receives
+// the action's result). To cross the wire a parcel is serialized to a
+// byte stream and reconstructed at the receiver, where it is turned into
+// a runtime task.
+//
+// Messages on the wire are always parcel *bundles* — a count followed by
+// that many parcels — so a coalesced message containing k parcels and an
+// uncoalesced message containing one parcel share a single code path,
+// exactly like the plug-in structure the paper describes.
+package parcel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/agas"
+	"repro/internal/serialization"
+)
+
+// Parcel is one active message.
+type Parcel struct {
+	// Dest is the GID of the destination object; for plain remote action
+	// invocation it is the destination locality's root GID.
+	Dest agas.GID
+	// DestLocality is the resolved hosting locality; -1 when unresolved.
+	DestLocality int
+	// Action names the method to execute at the destination.
+	Action string
+	// Args is the serialized argument pack.
+	Args []byte
+	// Continuation is the GID of the promise to fulfil with the action's
+	// result, or agas.Invalid for fire-and-forget (apply) semantics.
+	Continuation agas.GID
+	// Source is the sending locality.
+	Source int
+	// Retries counts local redelivery attempts while the target object is
+	// mid-migration; it is bookkeeping at the current hop and is not
+	// serialized.
+	Retries int
+}
+
+// WireSize returns the approximate encoded size of p in bytes, used by
+// coalescing buffers to enforce their maximum-buffer-size guard before
+// paying for serialization.
+func (p *Parcel) WireSize() int {
+	// gid + continuation + source + action length prefix + action +
+	// args length prefix + args. Varint prefixes estimated at 4 bytes.
+	return 8 + 8 + 4 + 4 + len(p.Action) + 4 + len(p.Args)
+}
+
+// String renders a compact description for diagnostics.
+func (p *Parcel) String() string {
+	return fmt.Sprintf("parcel{%s@%v from L%d, %dB args, cont=%v}",
+		p.Action, p.Dest, p.Source, len(p.Args), p.Continuation)
+}
+
+// bundleMagic guards against decoding garbage as a parcel bundle.
+const bundleMagic = 0xA5
+
+// ErrBadBundle reports a malformed parcel bundle.
+var ErrBadBundle = errors.New("parcel: malformed bundle")
+
+// MaxBundleParcels bounds the parcel count field of a decoded bundle.
+const MaxBundleParcels = 1 << 20
+
+// EncodeBundle serializes parcels into a single wire message.
+func EncodeBundle(parcels []*Parcel) []byte {
+	size := 2 + 4
+	for _, p := range parcels {
+		size += p.WireSize()
+	}
+	w := serialization.NewWriter(size)
+	w.U8(bundleMagic)
+	w.Uvarint(uint64(len(parcels)))
+	for _, p := range parcels {
+		w.U64(uint64(p.Dest))
+		w.U64(uint64(p.Continuation))
+		w.U32(uint32(p.Source))
+		w.String(p.Action)
+		w.BytesField(p.Args)
+	}
+	return w.Bytes()
+}
+
+// DecodeBundle reconstructs the parcels of a wire message. Decoded
+// parcels have DestLocality unresolved (-1).
+func DecodeBundle(data []byte) ([]*Parcel, error) {
+	r := serialization.NewReader(data)
+	if magic := r.U8(); magic != bundleMagic {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadBundle, r.Err())
+		}
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadBundle, magic)
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBundle, r.Err())
+	}
+	if n > MaxBundleParcels {
+		return nil, fmt.Errorf("%w: parcel count %d exceeds limit", ErrBadBundle, n)
+	}
+	out := make([]*Parcel, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p := &Parcel{
+			Dest:         agas.GID(r.U64()),
+			Continuation: agas.GID(r.U64()),
+			Source:       int(r.U32()),
+			DestLocality: -1,
+		}
+		p.Action = r.String()
+		p.Args = r.BytesField()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: parcel %d: %v", ErrBadBundle, i, r.Err())
+		}
+		out = append(out, p)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBundle, r.Remaining())
+	}
+	return out, nil
+}

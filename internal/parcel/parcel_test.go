@@ -1,0 +1,171 @@
+package parcel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agas"
+)
+
+func TestBundleRoundTripSingle(t *testing.T) {
+	p := &Parcel{
+		Dest:         agas.MakeGID(1, 7),
+		Action:       "get_cplx",
+		Args:         []byte{1, 2, 3},
+		Continuation: agas.MakeGID(0, 9),
+		Source:       0,
+	}
+	data := EncodeBundle([]*Parcel{p})
+	got, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d parcels", len(got))
+	}
+	q := got[0]
+	if q.Dest != p.Dest || q.Continuation != p.Continuation || q.Source != p.Source || q.Action != p.Action {
+		t.Errorf("decoded %+v, want %+v", q, p)
+	}
+	if len(q.Args) != 3 || q.Args[2] != 3 {
+		t.Errorf("args = %v", q.Args)
+	}
+	if q.DestLocality != -1 {
+		t.Errorf("decoded DestLocality = %d, want -1 (unresolved)", q.DestLocality)
+	}
+}
+
+func TestBundleRoundTripMany(t *testing.T) {
+	parcels := make([]*Parcel, 100)
+	for i := range parcels {
+		parcels[i] = &Parcel{
+			Dest:   agas.MakeGID(i%4, uint64(i)),
+			Action: "act",
+			Args:   []byte{byte(i)},
+			Source: i % 2,
+		}
+	}
+	got, err := DecodeBundle(EncodeBundle(parcels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("decoded %d parcels", len(got))
+	}
+	for i, q := range got {
+		if q.Dest != parcels[i].Dest || q.Args[0] != byte(i) {
+			t.Errorf("parcel %d mismatch", i)
+		}
+	}
+}
+
+func TestBundleEmpty(t *testing.T) {
+	got, err := DecodeBundle(EncodeBundle(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d parcels from empty bundle", len(got))
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, err := DecodeBundle([]byte{0x00, 0x01}); !errors.Is(err, ErrBadBundle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDecodeEmptyInput(t *testing.T) {
+	if _, err := DecodeBundle(nil); !errors.Is(err, ErrBadBundle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	data := EncodeBundle([]*Parcel{{Dest: agas.MakeGID(0, 1), Action: "abc", Args: make([]byte, 100)}})
+	for _, cut := range []int{2, 5, 10, len(data) - 1} {
+		if _, err := DecodeBundle(data[:cut]); !errors.Is(err, ErrBadBundle) {
+			t.Errorf("cut=%d err = %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	data := EncodeBundle([]*Parcel{{Dest: agas.MakeGID(0, 1), Action: "a"}})
+	data = append(data, 0xFF)
+	if _, err := DecodeBundle(data); !errors.Is(err, ErrBadBundle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDecodeHugeCount(t *testing.T) {
+	// magic + uvarint(huge) with no parcels must be rejected by the count
+	// limit rather than attempting a giant allocation.
+	data := []byte{0xA5, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := DecodeBundle(data); !errors.Is(err, ErrBadBundle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodeBundle(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBundleRoundTripProperty(t *testing.T) {
+	f := func(dests []uint64, action string, args []byte) bool {
+		if len(dests) > 200 {
+			dests = dests[:200]
+		}
+		in := make([]*Parcel, len(dests))
+		for i, d := range dests {
+			in[i] = &Parcel{
+				Dest:         agas.GID(d),
+				Action:       action,
+				Args:         args,
+				Continuation: agas.GID(d ^ 0xFFFF),
+				Source:       i % 8,
+			}
+		}
+		out, err := DecodeBundle(EncodeBundle(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Dest != in[i].Dest || out[i].Action != in[i].Action ||
+				out[i].Continuation != in[i].Continuation || out[i].Source != in[i].Source ||
+				len(out[i].Args) != len(in[i].Args) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireSizeIsUpperBoundOnEncoding(t *testing.T) {
+	p := &Parcel{
+		Dest:   agas.MakeGID(3, 99),
+		Action: "some_action_name",
+		Args:   make([]byte, 1000),
+	}
+	single := len(EncodeBundle([]*Parcel{p})) - 2 // minus magic+count overhead
+	if p.WireSize() < single {
+		t.Errorf("WireSize %d < actual encoding %d", p.WireSize(), single)
+	}
+}
+
+func TestParcelString(t *testing.T) {
+	p := &Parcel{Dest: agas.MakeGID(1, 2), Action: "a", Source: 0}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}

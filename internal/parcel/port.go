@@ -1,0 +1,355 @@
+package parcel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/counters"
+	"repro/internal/network"
+	"repro/internal/timer"
+	"repro/internal/trace"
+)
+
+// MessageHandler is a per-action outbound policy plugged into a Port.
+// When an action has a handler registered (the paper's
+// HPX_ACTION_USES_MESSAGE_COALESCING macro), every outbound parcel for
+// that action is routed through it; the handler decides when to hand
+// batches back to the port for transmission via EnqueueMessage.
+type MessageHandler interface {
+	// Put takes ownership of an outbound parcel whose DestLocality is
+	// resolved. It must be fast: it runs inline on the sending task.
+	Put(p *Parcel)
+	// Flush forces all queued parcels to be handed to the port
+	// immediately, regardless of policy (AM++-style explicit flush).
+	Flush()
+	// Close flushes and releases handler resources (timers).
+	Close()
+}
+
+// Resolver maps a GID to its hosting locality (the AGAS lookup).
+type Resolver func(agas.GID) (int, error)
+
+// Deliver consumes a received parcel, typically by spawning a task.
+type Deliver func(p *Parcel)
+
+// ErrPortClosed is returned by Put after Close.
+var ErrPortClosed = errors.New("parcel: port closed")
+
+// Config configures a Port.
+type Config struct {
+	// Locality is this port's locality id.
+	Locality int
+	// Fabric is the transport shared by all localities.
+	Fabric network.Fabric
+	// Resolve maps destination GIDs to localities.
+	Resolve Resolver
+	// Deliver consumes received parcels.
+	Deliver Deliver
+	// Registry receives this port's performance counters; nil disables
+	// registration.
+	Registry *counters.Registry
+	// RxQueueDepth bounds buffered undecoded incoming messages
+	// (default 65536).
+	RxQueueDepth int
+	// Trace optionally records message-level events; nil disables.
+	Trace *trace.Buffer
+}
+
+// Port is a locality's parcel endpoint. Outbound parcels enter via Put
+// (inline, cheap), are optionally batched by per-action message handlers,
+// and are serialized and transmitted by DoBackgroundWork, which scheduler
+// workers invoke when idle. Inbound wire messages are queued by the
+// fabric's delivery goroutine and likewise decoded by DoBackgroundWork.
+// All time spent in DoBackgroundWork is the "background work" of the
+// paper's Section III metrics.
+type Port struct {
+	locality int
+	fabric   network.Fabric
+	resolve  Resolver
+	deliver  Deliver
+
+	handlersMu sync.RWMutex
+	handlers   map[string]MessageHandler
+
+	trc    *trace.Buffer
+	outMu  sync.Mutex
+	outQ   []outMessage
+	rxCh   chan rxMessage
+	closed atomic.Bool
+
+	// Counters (always allocated; optionally registered).
+	parcelsSent  *counters.Raw
+	parcelsRecvd *counters.Raw
+	messagesSent *counters.Raw
+	messagesRcvd *counters.Raw
+	bytesSent    *counters.Raw
+	bytesRecvd   *counters.Raw
+	sendErrors   *counters.Raw
+	decodeErrors *counters.Raw
+}
+
+type outMessage struct {
+	dst     int
+	parcels []*Parcel
+}
+
+type rxMessage struct {
+	src     int
+	payload []byte
+}
+
+// NewPort creates a parcel port and installs its fabric handler.
+func NewPort(cfg Config) *Port {
+	depth := cfg.RxQueueDepth
+	if depth <= 0 {
+		depth = 1 << 16
+	}
+	inst := fmt.Sprintf("locality#%d", cfg.Locality)
+	mk := func(object, name string) *counters.Raw {
+		return counters.NewRaw(counters.Path{Object: object, Instance: inst, Name: name})
+	}
+	p := &Port{
+		locality:     cfg.Locality,
+		fabric:       cfg.Fabric,
+		resolve:      cfg.Resolve,
+		deliver:      cfg.Deliver,
+		handlers:     make(map[string]MessageHandler),
+		trc:          cfg.Trace,
+		rxCh:         make(chan rxMessage, depth),
+		parcelsSent:  mk("parcels", "count/sent"),
+		parcelsRecvd: mk("parcels", "count/received"),
+		messagesSent: mk("messages", "count/sent"),
+		messagesRcvd: mk("messages", "count/received"),
+		bytesSent:    mk("data", "count/sent-bytes"),
+		bytesRecvd:   mk("data", "count/received-bytes"),
+		sendErrors:   mk("parcels", "count/send-errors"),
+		decodeErrors: mk("parcels", "count/decode-errors"),
+	}
+	if cfg.Registry != nil {
+		for _, c := range []*counters.Raw{
+			p.parcelsSent, p.parcelsRecvd, p.messagesSent, p.messagesRcvd,
+			p.bytesSent, p.bytesRecvd, p.sendErrors, p.decodeErrors,
+		} {
+			cfg.Registry.MustRegister(c)
+		}
+	}
+	cfg.Fabric.SetHandler(cfg.Locality, p.onWireMessage)
+	return p
+}
+
+// Locality returns the port's locality id.
+func (p *Port) Locality() int { return p.locality }
+
+// SetMessageHandler installs (or with nil removes) the outbound policy
+// for an action. Installing a handler for an action that already has one
+// closes the old handler first.
+func (p *Port) SetMessageHandler(action string, h MessageHandler) {
+	p.handlersMu.Lock()
+	old := p.handlers[action]
+	if h == nil {
+		delete(p.handlers, action)
+	} else {
+		p.handlers[action] = h
+	}
+	p.handlersMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Put routes one outbound parcel. It resolves the destination locality if
+// needed, then either hands the parcel to the action's message handler or
+// enqueues it for direct transmission. Put is called inline from the
+// sending task and does not itself serialize or transmit.
+func (p *Port) Put(pcl *Parcel) error {
+	if p.closed.Load() {
+		return ErrPortClosed
+	}
+	if pcl.DestLocality < 0 {
+		loc, err := p.resolve(pcl.Dest)
+		if err != nil {
+			return fmt.Errorf("parcel: resolving %v: %w", pcl.Dest, err)
+		}
+		pcl.DestLocality = loc
+	}
+	p.handlersMu.RLock()
+	h := p.handlers[pcl.Action]
+	p.handlersMu.RUnlock()
+	if h != nil {
+		h.Put(pcl)
+		return nil
+	}
+	p.EnqueueMessage(pcl.DestLocality, []*Parcel{pcl})
+	return nil
+}
+
+// EnqueueMessage schedules one wire message carrying the given parcels
+// for transmission by background work. Message handlers call this when
+// their policy decides a batch is ready.
+func (p *Port) EnqueueMessage(dst int, parcels []*Parcel) {
+	if len(parcels) == 0 {
+		return
+	}
+	p.outMu.Lock()
+	p.outQ = append(p.outQ, outMessage{dst: dst, parcels: parcels})
+	p.outMu.Unlock()
+}
+
+// PendingOutbound returns the number of wire messages waiting for
+// background transmission.
+func (p *Port) PendingOutbound() int {
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	return len(p.outQ)
+}
+
+// onWireMessage runs on the fabric delivery goroutine: it must only
+// queue. Decoding happens in DoBackgroundWork on a scheduler worker.
+func (p *Port) onWireMessage(src int, payload []byte) {
+	if p.closed.Load() {
+		return
+	}
+	p.rxCh <- rxMessage{src: src, payload: payload}
+}
+
+// DoBackgroundWork performs up to maxUnits units of network background
+// work — transmitting queued outbound messages (serialization plus the
+// transport's per-message send cost) and decoding received messages
+// (per-message receive cost plus deserialization, then delivery). It
+// returns the number of units performed; zero means there was nothing to
+// do. Scheduler workers call this when they have no runnable task and
+// account the elapsed time as background-work duration.
+func (p *Port) DoBackgroundWork(maxUnits int) int {
+	done := 0
+	for done < maxUnits {
+		if p.sendOne() {
+			done++
+			continue
+		}
+		if p.receiveOne() {
+			done++
+			continue
+		}
+		break
+	}
+	return done
+}
+
+// sendOne transmits one queued outbound message, if any.
+func (p *Port) sendOne() bool {
+	p.outMu.Lock()
+	if len(p.outQ) == 0 {
+		p.outMu.Unlock()
+		return false
+	}
+	m := p.outQ[0]
+	p.outQ = p.outQ[1:]
+	p.outMu.Unlock()
+
+	start := time.Now()
+	payload := EncodeBundle(m.parcels)
+	if err := p.fabric.Send(p.locality, m.dst, payload); err != nil {
+		p.sendErrors.Inc()
+		return true
+	}
+	p.parcelsSent.Add(int64(len(m.parcels)))
+	p.messagesSent.Inc()
+	p.bytesSent.Add(int64(len(payload)))
+	p.trc.RecordSpan(trace.KindMessage, "send", p.locality, start, int64(len(payload)))
+	return true
+}
+
+// receiveOne decodes one queued incoming message, if any.
+func (p *Port) receiveOne() bool {
+	select {
+	case m := <-p.rxCh:
+		// Pay the modeled fixed per-message receive CPU cost here, on the
+		// worker doing background work.
+		timer.Spin(p.fabric.Model().RecvCPU(len(m.payload)))
+		parcels, err := DecodeBundle(m.payload)
+		if err != nil {
+			p.decodeErrors.Inc()
+			return true
+		}
+		p.messagesRcvd.Inc()
+		p.bytesRecvd.Add(int64(len(m.payload)))
+		p.parcelsRecvd.Add(int64(len(parcels)))
+		p.trc.Record(trace.Event{
+			Kind: trace.KindMessage, Name: "recv", Locality: p.locality,
+			Start: time.Now(), Arg: int64(len(m.payload)),
+		})
+		for _, pcl := range parcels {
+			p.deliver(pcl)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// FlushHandlers forces every registered message handler to hand its
+// queued parcels to the port (used at phase boundaries and shutdown).
+func (p *Port) FlushHandlers() {
+	p.handlersMu.RLock()
+	hs := make([]MessageHandler, 0, len(p.handlers))
+	for _, h := range p.handlers {
+		hs = append(hs, h)
+	}
+	p.handlersMu.RUnlock()
+	for _, h := range hs {
+		h.Flush()
+	}
+}
+
+// Drain performs background work until both queues are empty, bounded by
+// the timeout; it reports whether everything drained.
+func (p *Port) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p.DoBackgroundWork(64) == 0 && p.PendingOutbound() == 0 && len(p.rxCh) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats is a snapshot of the port's counters.
+type Stats struct {
+	ParcelsSent, ParcelsReceived   int64
+	MessagesSent, MessagesReceived int64
+	BytesSent, BytesReceived       int64
+	SendErrors, DecodeErrors       int64
+}
+
+// Stats returns a snapshot of the port's traffic counters.
+func (p *Port) Stats() Stats {
+	return Stats{
+		ParcelsSent:      p.parcelsSent.Get(),
+		ParcelsReceived:  p.parcelsRecvd.Get(),
+		MessagesSent:     p.messagesSent.Get(),
+		MessagesReceived: p.messagesRcvd.Get(),
+		BytesSent:        p.bytesSent.Get(),
+		BytesReceived:    p.bytesRecvd.Get(),
+		SendErrors:       p.sendErrors.Get(),
+		DecodeErrors:     p.decodeErrors.Get(),
+	}
+}
+
+// Close flushes handlers and marks the port closed. In-flight incoming
+// messages are dropped.
+func (p *Port) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.handlersMu.Lock()
+	hs := p.handlers
+	p.handlers = make(map[string]MessageHandler)
+	p.handlersMu.Unlock()
+	for _, h := range hs {
+		h.Close()
+	}
+}

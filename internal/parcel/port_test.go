@@ -1,0 +1,363 @@
+package parcel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/counters"
+	"repro/internal/network"
+)
+
+// testCluster wires two ports over a zero-cost fabric with a trivial
+// resolver (GID alloc locality == hosting locality).
+type testCluster struct {
+	fabric *network.SimFabric
+	ports  []*Port
+	mu     sync.Mutex
+	recvd  [][]*Parcel
+}
+
+func newTestCluster(t *testing.T, n int, reg *counters.Registry) *testCluster {
+	t.Helper()
+	c := &testCluster{
+		fabric: network.NewSimFabric(n, network.CostModel{}),
+		recvd:  make([][]*Parcel, n),
+	}
+	c.ports = make([]*Port, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.ports[i] = NewPort(Config{
+			Locality: i,
+			Fabric:   c.fabric,
+			Resolve:  func(g agas.GID) (int, error) { return g.AllocLocality(), nil },
+			Deliver: func(p *Parcel) {
+				c.mu.Lock()
+				c.recvd[i] = append(c.recvd[i], p)
+				c.mu.Unlock()
+			},
+			Registry: reg,
+		})
+	}
+	t.Cleanup(func() {
+		for _, p := range c.ports {
+			p.Close()
+		}
+		_ = c.fabric.Close()
+	})
+	return c
+}
+
+// pump drives background work on all ports until quiescent.
+func (c *testCluster) pump(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		worked := 0
+		for _, p := range c.ports {
+			worked += p.DoBackgroundWork(32)
+		}
+		if worked == 0 {
+			// Allow in-flight fabric deliveries to land; require several
+			// consecutive quiet rounds before declaring quiescence.
+			quiet := true
+			for round := 0; round < 5; round++ {
+				time.Sleep(time.Millisecond)
+				still := 0
+				for _, p := range c.ports {
+					still += p.DoBackgroundWork(32)
+				}
+				if still != 0 {
+					quiet = false
+					break
+				}
+			}
+			if quiet {
+				return
+			}
+		}
+	}
+}
+
+func (c *testCluster) received(loc int) []*Parcel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Parcel, len(c.recvd[loc]))
+	copy(out, c.recvd[loc])
+	return out
+}
+
+func TestPortDirectSend(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	p := &Parcel{Dest: agas.MakeGID(1, 5), DestLocality: -1, Action: "act", Args: []byte{42}, Source: 0}
+	if err := c.ports[0].Put(p); err != nil {
+		t.Fatal(err)
+	}
+	c.pump(2 * time.Second)
+	got := c.received(1)
+	if len(got) != 1 {
+		t.Fatalf("received %d parcels", len(got))
+	}
+	if got[0].Action != "act" || got[0].Args[0] != 42 || got[0].Source != 0 {
+		t.Errorf("received %+v", got[0])
+	}
+}
+
+func TestPortResolvesDestination(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	p := &Parcel{Dest: agas.MakeGID(2, 1), DestLocality: -1, Action: "x"}
+	if err := c.ports[0].Put(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.DestLocality != 2 {
+		t.Errorf("DestLocality = %d after Put", p.DestLocality)
+	}
+	c.pump(2 * time.Second)
+	if len(c.received(2)) != 1 {
+		t.Error("parcel not delivered to resolved locality")
+	}
+}
+
+func TestPortResolveError(t *testing.T) {
+	fabric := network.NewSimFabric(1, network.CostModel{})
+	defer fabric.Close()
+	boom := errors.New("no such gid")
+	port := NewPort(Config{
+		Locality: 0,
+		Fabric:   fabric,
+		Resolve:  func(agas.GID) (int, error) { return 0, boom },
+		Deliver:  func(*Parcel) {},
+	})
+	defer port.Close()
+	err := port.Put(&Parcel{Dest: agas.MakeGID(0, 1), DestLocality: -1, Action: "x"})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPortStatsCount(t *testing.T) {
+	reg := counters.NewRegistry()
+	c := newTestCluster(t, 2, reg)
+	for i := 0; i < 5; i++ {
+		if err := c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, uint64(i)), DestLocality: -1, Action: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.pump(2 * time.Second)
+	s0 := c.ports[0].Stats()
+	s1 := c.ports[1].Stats()
+	if s0.ParcelsSent != 5 || s0.MessagesSent != 5 {
+		t.Errorf("sender stats = %+v", s0)
+	}
+	if s1.ParcelsReceived != 5 || s1.MessagesReceived != 5 {
+		t.Errorf("receiver stats = %+v", s1)
+	}
+	if s0.BytesSent == 0 || s1.BytesReceived != s0.BytesSent {
+		t.Errorf("byte accounting: sent=%d recvd=%d", s0.BytesSent, s1.BytesReceived)
+	}
+	// Counters visible through the registry.
+	if v, err := reg.Value("/parcels{locality#0}/count/sent"); err != nil || v != 5 {
+		t.Errorf("registry counter = %v, %v", v, err)
+	}
+}
+
+// batchHandler is a trivial MessageHandler batching every k parcels.
+type batchHandler struct {
+	port *Port
+	k    int
+	mu   sync.Mutex
+	q    []*Parcel
+}
+
+func (h *batchHandler) Put(p *Parcel) {
+	h.mu.Lock()
+	h.q = append(h.q, p)
+	var batch []*Parcel
+	if len(h.q) >= h.k {
+		batch = h.q
+		h.q = nil
+	}
+	h.mu.Unlock()
+	if batch != nil {
+		h.port.EnqueueMessage(batch[0].DestLocality, batch)
+	}
+}
+
+func (h *batchHandler) Flush() {
+	h.mu.Lock()
+	batch := h.q
+	h.q = nil
+	h.mu.Unlock()
+	if len(batch) > 0 {
+		h.port.EnqueueMessage(batch[0].DestLocality, batch)
+	}
+}
+
+func (h *batchHandler) Close() { h.Flush() }
+
+func TestPortMessageHandlerBatches(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	h := &batchHandler{port: c.ports[0], k: 4}
+	c.ports[0].SetMessageHandler("batched", h)
+	for i := 0; i < 8; i++ {
+		if err := c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, uint64(i)), DestLocality: -1, Action: "batched"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.pump(2 * time.Second)
+	s := c.ports[0].Stats()
+	if s.ParcelsSent != 8 || s.MessagesSent != 2 {
+		t.Errorf("stats = %+v, want 8 parcels in 2 messages", s)
+	}
+	if len(c.received(1)) != 8 {
+		t.Errorf("received %d parcels", len(c.received(1)))
+	}
+}
+
+func TestPortFlushHandlers(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	h := &batchHandler{port: c.ports[0], k: 100}
+	c.ports[0].SetMessageHandler("batched", h)
+	for i := 0; i < 3; i++ {
+		_ = c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, uint64(i)), DestLocality: -1, Action: "batched"})
+	}
+	if c.ports[0].PendingOutbound() != 0 {
+		t.Error("parcels should still be held by the handler")
+	}
+	c.ports[0].FlushHandlers()
+	c.pump(2 * time.Second)
+	if got := len(c.received(1)); got != 3 {
+		t.Errorf("received %d parcels after flush", got)
+	}
+	s := c.ports[0].Stats()
+	if s.MessagesSent != 1 {
+		t.Errorf("messages = %d, want 1 flush message", s.MessagesSent)
+	}
+}
+
+func TestPortOtherActionsBypassHandler(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	h := &batchHandler{port: c.ports[0], k: 100}
+	c.ports[0].SetMessageHandler("batched", h)
+	_ = c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, 1), DestLocality: -1, Action: "direct"})
+	c.pump(2 * time.Second)
+	if got := len(c.received(1)); got != 1 {
+		t.Errorf("direct action delivered %d parcels", got)
+	}
+}
+
+func TestPortRemoveHandlerClosesIt(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	h := &batchHandler{port: c.ports[0], k: 100}
+	c.ports[0].SetMessageHandler("batched", h)
+	_ = c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, 1), DestLocality: -1, Action: "batched"})
+	c.ports[0].SetMessageHandler("batched", nil) // Close flushes the queued parcel
+	c.pump(2 * time.Second)
+	if got := len(c.received(1)); got != 1 {
+		t.Errorf("received %d parcels after handler removal", got)
+	}
+}
+
+func TestPortPutAfterClose(t *testing.T) {
+	fabric := network.NewSimFabric(1, network.CostModel{})
+	defer fabric.Close()
+	port := NewPort(Config{
+		Locality: 0,
+		Fabric:   fabric,
+		Resolve:  func(agas.GID) (int, error) { return 0, nil },
+		Deliver:  func(*Parcel) {},
+	})
+	port.Close()
+	if err := port.Put(&Parcel{Dest: agas.MakeGID(0, 1)}); !errors.Is(err, ErrPortClosed) {
+		t.Errorf("err = %v", err)
+	}
+	port.Close() // idempotent
+}
+
+func TestPortDrain(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	for i := 0; i < 10; i++ {
+		_ = c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, uint64(i)), DestLocality: -1, Action: "a"})
+	}
+	if !c.ports[0].Drain(2 * time.Second) {
+		t.Error("sender did not drain")
+	}
+	// Give fabric time to deliver, then drain receiver.
+	time.Sleep(5 * time.Millisecond)
+	if !c.ports[1].Drain(2 * time.Second) {
+		t.Error("receiver did not drain")
+	}
+	if got := len(c.received(1)); got != 10 {
+		t.Errorf("received %d", got)
+	}
+}
+
+func TestPortDecodeErrorCounted(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	// Inject garbage directly through the fabric.
+	if err := c.fabric.Send(0, 1, []byte{0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.ports[1].Stats().DecodeErrors != 1 && time.Now().Before(deadline) {
+		c.ports[1].DoBackgroundWork(32)
+		time.Sleep(time.Millisecond)
+	}
+	if c.ports[1].Stats().DecodeErrors != 1 {
+		t.Errorf("decode errors = %d", c.ports[1].Stats().DecodeErrors)
+	}
+	if len(c.received(1)) != 0 {
+		t.Error("garbage delivered as parcels")
+	}
+}
+
+func TestPortBidirectionalTraffic(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	const n = 50
+	for i := 0; i < n; i++ {
+		_ = c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, uint64(i)), DestLocality: -1, Action: "ping"})
+		_ = c.ports[1].Put(&Parcel{Dest: agas.MakeGID(0, uint64(i)), DestLocality: -1, Action: "pong"})
+	}
+	c.pump(3 * time.Second)
+	if len(c.received(0)) != n || len(c.received(1)) != n {
+		t.Errorf("received %d/%d, want %d each", len(c.received(0)), len(c.received(1)), n)
+	}
+}
+
+func TestPortConcurrentPuts(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	const workers = 8
+	const per = 100
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent pump
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.ports[0].DoBackgroundWork(32)
+				c.ports[1].DoBackgroundWork(32)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := c.ports[0].Put(&Parcel{Dest: agas.MakeGID(1, uint64(w*per+i)), DestLocality: -1, Action: "a"}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.pump(5 * time.Second)
+	close(stop)
+	if got := len(c.received(1)); got != workers*per {
+		t.Errorf("received %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,282 @@
+package runtime
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coalescing"
+	"repro/internal/lco"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// TestRuntimeOverTCPFabric validates the full stack — actions, futures,
+// coalescing, counters — over real loopback sockets instead of the
+// simulated fabric.
+func TestRuntimeOverTCPFabric(t *testing.T) {
+	fabric, err := network.NewTCPFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(Config{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		Fabric:             fabric,
+	})
+	defer func() {
+		rt.Shutdown()
+		_ = fabric.Close()
+	}()
+	rt.MustRegisterAction("echo", echoAction)
+	if err := rt.EnableCoalescing("echo", coalescing.Params{NParcels: 8, Interval: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	futures := make([]*lco.Future[[]byte], 0, n)
+	for i := 0; i < n; i++ {
+		f, err := rt.Locality(0).Async(1, "echo", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	for i, f := range futures {
+		res, err := f.GetWithTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if res[0] != byte(i) {
+			t.Fatalf("future %d returned %d", i, res[0])
+		}
+	}
+	// Coalescing happened over real sockets too.
+	if sent := rt.Locality(0).Port().Stats().MessagesSent; sent >= n {
+		t.Errorf("no coalescing over TCP: %d messages for %d parcels", sent, n)
+	}
+}
+
+// TestDroppedParcelFailsOnlyItsFuture injects a deterministic drop of one
+// wire message and verifies the rest of the traffic completes while the
+// affected futures time out (the runtime has no retransmit layer, as HPX
+// relies on a reliable transport — the test pins down that failure mode).
+func TestDroppedParcelFailsOnlyItsFuture(t *testing.T) {
+	fabric := network.NewSimFabric(2, network.CostModel{Latency: 5 * time.Microsecond})
+	rt := New(Config{Localities: 2, WorkersPerLocality: 2, Fabric: fabric})
+	defer func() {
+		rt.Shutdown()
+		_ = fabric.Close()
+	}()
+	rt.MustRegisterAction("echo", echoAction)
+
+	var mu sync.Mutex
+	dropped := 0
+	fabric.SetFaultHook(func(src, dst int, payload []byte) network.FaultAction {
+		mu.Lock()
+		defer mu.Unlock()
+		if src == 0 && dropped == 0 {
+			dropped++
+			return network.FaultDrop
+		}
+		return network.FaultDeliver
+	})
+
+	const n = 20
+	futures := make([]*lco.Future[[]byte], 0, n)
+	for i := 0; i < n; i++ {
+		f, err := rt.Locality(0).Async(1, "echo", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	completed, timedOut := 0, 0
+	for _, f := range futures {
+		if _, err := f.GetWithTimeout(500 * time.Millisecond); err == nil {
+			completed++
+		} else {
+			timedOut++
+		}
+	}
+	if timedOut != 1 {
+		t.Errorf("timed out futures = %d, want exactly the dropped one", timedOut)
+	}
+	if completed != n-1 {
+		t.Errorf("completed = %d, want %d", completed, n-1)
+	}
+}
+
+// TestDuplicatedParcelIsHarmless duplicates wire messages; the action runs
+// twice (at-least-once semantics on a duplicating wire) but the future is
+// fulfilled exactly once and nothing panics or wedges.
+func TestDuplicatedParcelIsHarmless(t *testing.T) {
+	fabric := network.NewSimFabric(2, network.CostModel{Latency: 5 * time.Microsecond})
+	rt := New(Config{Localities: 2, WorkersPerLocality: 2, Fabric: fabric})
+	defer func() {
+		rt.Shutdown()
+		_ = fabric.Close()
+	}()
+	rt.MustRegisterAction("echo", echoAction)
+	fabric.SetFaultHook(func(int, int, []byte) network.FaultAction {
+		return network.FaultDuplicate
+	})
+	f, err := rt.Locality(0).Async(1, "echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.GetWithTimeout(5 * time.Second)
+	if err != nil || string(res) != "x" {
+		t.Fatalf("Get = %q, %v", res, err)
+	}
+	// Let the duplicate response land; the orphaned continuation must be
+	// counted as an action error, not crash anything.
+	time.Sleep(50 * time.Millisecond)
+	if !rt.Quiesce(5 * time.Second) {
+		t.Error("runtime did not quiesce after duplication")
+	}
+}
+
+// TestSparseTrafficBypassesCoalescingEndToEnd drives slow traffic through
+// a coalesced action and verifies each parcel travels alone (the paper's
+// "disable when sparse" rule observed at the message counters).
+func TestSparseTrafficBypassesCoalescingEndToEnd(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.MustRegisterAction("echo", echoAction)
+	if err := rt.EnableCoalescing("echo", coalescing.Params{NParcels: 50, Interval: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		f, err := rt.Locality(0).Async(1, "echo", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.GetWithTimeout(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond) // gap > Interval
+	}
+	st := rt.Locality(0).Port().Stats()
+	// Every request went out alone: n messages for n request parcels
+	// (responses counted on the other port).
+	if st.MessagesSent != n {
+		t.Errorf("messages = %d, want %d (sparse bypass)", st.MessagesSent, n)
+	}
+}
+
+// TestSetParamsMidTraffic retunes while a burst is in flight and checks
+// conservation: every future still completes.
+func TestSetParamsMidTraffic(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.MustRegisterAction("echo", echoAction)
+	if err := rt.EnableCoalescing("echo", coalescing.Params{NParcels: 16, Interval: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	futures := make([]*lco.Future[[]byte], 0, n)
+	for i := 0; i < n; i++ {
+		f, err := rt.Locality(0).Async(1, "echo", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+		if i%50 == 49 {
+			k := 1 + (i/50)*8
+			if err := rt.SetCoalescingParams("echo", coalescing.Params{NParcels: k, Interval: time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, f := range futures {
+		if _, err := f.GetWithTimeout(10 * time.Second); err != nil {
+			t.Fatalf("future %d lost after retuning: %v", i, err)
+		}
+	}
+}
+
+// TestManyActionsIndependentCoalescers verifies per-action isolation:
+// different actions get independent parameters and counters.
+func TestManyActionsIndependentCoalescers(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	for _, a := range []string{"a", "b", "c"} {
+		rt.MustRegisterAction(a, echoAction)
+	}
+	if err := rt.EnableCoalescing("a", coalescing.Params{NParcels: 4, Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EnableCoalescing("b", coalescing.Params{NParcels: 32, Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	// "c" stays uncoalesced.
+	var futures []*lco.Future[[]byte]
+	for i := 0; i < 64; i++ {
+		for _, a := range []string{"a", "b", "c"} {
+			f, err := rt.Locality(0).Async(1, a, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			futures = append(futures, f)
+		}
+	}
+	if err := lco.WaitAll(futures); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := rt.CoalescingParams("a")
+	pb, _ := rt.CoalescingParams("b")
+	if pa.NParcels != 4 || pb.NParcels != 32 {
+		t.Errorf("params leaked across actions: a=%+v b=%+v", pa, pb)
+	}
+	va, err := rt.Counters().Value("/coalescing{locality#0}/count/parcels@a")
+	if err != nil || va != 64 {
+		t.Errorf("counter a = %v, %v", va, err)
+	}
+	if _, err := rt.Counters().Value("/coalescing{locality#0}/count/parcels@c"); err == nil {
+		t.Error("uncoalesced action has coalescing counters")
+	}
+}
+
+// TestTracingCapturesEvents verifies the optional tracer records task and
+// message events end to end and exports valid Chrome-trace JSON.
+func TestTracingCapturesEvents(t *testing.T) {
+	buf := trace.New(1024)
+	rt := New(Config{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		CostModel:          fastModel(),
+		Trace:              buf,
+	})
+	defer rt.Shutdown()
+	rt.MustRegisterAction("echo", echoAction)
+	var futures []*lco.Future[[]byte]
+	for i := 0; i < 20; i++ {
+		f, err := rt.Locality(0).Async(1, "echo", []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	if err := lco.WaitAll(futures); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len(trace.KindTask) < 20 {
+		t.Errorf("task events = %d", buf.Len(trace.KindTask))
+	}
+	if buf.Len(trace.KindMessage) < 20 {
+		t.Errorf("message events = %d", buf.Len(trace.KindMessage))
+	}
+	names := map[string]bool{}
+	for _, e := range buf.Events(trace.KindTask) {
+		names[e.Name] = true
+	}
+	if !names["echo"] {
+		t.Errorf("no echo task events: %v", names)
+	}
+	var sb strings.Builder
+	if err := buf.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"cat":"task"`) {
+		t.Error("chrome trace missing task category")
+	}
+}

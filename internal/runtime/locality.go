@@ -1,0 +1,311 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/counters"
+	"repro/internal/lco"
+	"repro/internal/parcel"
+	"repro/internal/serialization"
+	"repro/internal/trace"
+)
+
+// Locality is the abstraction for one physical node: a scheduler, a
+// parcel port, an AGAS resolution cache, a performance-counter registry
+// and the continuation table connecting returning result parcels to the
+// futures that await them.
+type Locality struct {
+	id       int
+	rt       *Runtime
+	registry *counters.Registry
+	cache    *agas.Cache
+	port     *parcel.Port
+	sched    *scheduler
+	rootGID  agas.GID
+
+	contMu sync.Mutex
+	conts  map[agas.GID]*lco.Promise[[]byte]
+
+	components *componentTable
+
+	actionErrors *counters.Raw
+	forwarded    *counters.Raw
+}
+
+func newLocality(rt *Runtime, id int) *Locality {
+	l := &Locality{
+		id:         id,
+		rt:         rt,
+		registry:   counters.NewRegistry(),
+		conts:      make(map[agas.GID]*lco.Promise[[]byte]),
+		components: newComponentTable(),
+	}
+	l.cache = agas.NewCache(rt.agas, id)
+	l.rootGID = rt.agas.MustAllocate(id)
+	if err := rt.agas.RegisterName(fmt.Sprintf("runtime/locality#%d", id), l.rootGID); err != nil {
+		panic(err)
+	}
+	l.port = parcel.NewPort(parcel.Config{
+		Locality: id,
+		Fabric:   rt.fabric,
+		Resolve:  l.cache.Resolve,
+		Deliver:  l.deliverParcel,
+		Registry: l.registry,
+		Trace:    rt.cfg.Trace,
+	})
+	l.sched = newScheduler(schedConfig{
+		locality:     id,
+		workers:      rt.cfg.WorkersPerLocality,
+		queueSize:    rt.cfg.TaskQueueSize,
+		idleSleep:    rt.cfg.IdleSleep,
+		bgBatch:      rt.cfg.BackgroundBatch,
+		taskOverhead: rt.cfg.TaskOverhead,
+		registry:     l.registry,
+	}, l.port)
+	l.actionErrors = counters.NewRaw(counters.Path{
+		Object: "runtime", Instance: fmt.Sprintf("locality#%d", id), Name: "count/action-errors",
+	})
+	l.registry.MustRegister(l.actionErrors)
+	l.forwarded = counters.NewRaw(counters.Path{
+		Object: "parcels", Instance: fmt.Sprintf("locality#%d", id), Name: "count/forwarded",
+	})
+	l.registry.MustRegister(l.forwarded)
+	rt.root.Attach(l.registry)
+	return l
+}
+
+func (l *Locality) start() { l.sched.start() }
+
+func (l *Locality) stop() {
+	l.port.Close()
+	l.sched.stop()
+}
+
+// ID returns the locality id.
+func (l *Locality) ID() int { return l.id }
+
+// GID returns the locality's root object GID.
+func (l *Locality) GID() agas.GID { return l.rootGID }
+
+// Registry returns the locality's counter registry.
+func (l *Locality) Registry() *counters.Registry { return l.registry }
+
+// Port returns the locality's parcel port.
+func (l *Locality) Port() *parcel.Port { return l.port }
+
+// AGASCache returns the locality's resolution cache.
+func (l *Locality) AGASCache() *agas.Cache { return l.cache }
+
+// SchedStats returns the locality's scheduler instrumentation snapshot.
+func (l *Locality) SchedStats() SchedStats {
+	s := l.sched.stats()
+	return SchedStats(s)
+}
+
+// SchedStats is the public snapshot of a locality scheduler's Section III
+// counters.
+type SchedStats schedStats
+
+// Spawn schedules fn as a local lightweight task.
+func (l *Locality) Spawn(fn func()) bool { return l.sched.spawn(fn) }
+
+// pendingContinuations returns the number of futures still awaiting
+// result parcels.
+func (l *Locality) pendingContinuations() int {
+	l.contMu.Lock()
+	defer l.contMu.Unlock()
+	return len(l.conts)
+}
+
+// Async invokes action on the destination locality and returns a future
+// for the serialized result — the analog of hpx::async(act, other) in the
+// paper's Listing 1. Invocations on the local locality run as local tasks
+// without touching the parcel layer, as in HPX.
+func (l *Locality) Async(dest int, action string, args []byte) (*lco.Future[[]byte], error) {
+	prom := lco.NewPromise[[]byte]()
+	if dest < 0 || dest >= len(l.rt.locs) {
+		return nil, fmt.Errorf("runtime: destination locality %d out of range", dest)
+	}
+	if dest == l.id {
+		fn := l.rt.lookupAction(action)
+		if fn == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+		}
+		if !l.sched.spawn(func() {
+			res, err := fn(&Context{Runtime: l.rt, Locality: l.id, Source: l.id}, args)
+			if err != nil {
+				_ = prom.SetError(err)
+				return
+			}
+			_ = prom.SetValue(res)
+		}) {
+			return nil, ErrStopped
+		}
+		return prom.Future(), nil
+	}
+
+	contGID := l.rt.agas.MustAllocate(l.id)
+	l.contMu.Lock()
+	l.conts[contGID] = prom
+	l.contMu.Unlock()
+
+	p := &parcel.Parcel{
+		Dest:         l.rt.locs[dest].rootGID,
+		DestLocality: dest,
+		Action:       action,
+		Args:         args,
+		Continuation: contGID,
+		Source:       l.id,
+	}
+	if err := l.port.Put(p); err != nil {
+		l.dropContinuation(contGID)
+		return nil, err
+	}
+	return prom.Future(), nil
+}
+
+// Apply invokes action on the destination locality with fire-and-forget
+// semantics: no continuation parcel travels back.
+func (l *Locality) Apply(dest int, action string, args []byte) error {
+	if dest < 0 || dest >= len(l.rt.locs) {
+		return fmt.Errorf("runtime: destination locality %d out of range", dest)
+	}
+	if dest == l.id {
+		fn := l.rt.lookupAction(action)
+		if fn == nil {
+			return fmt.Errorf("%w: %q", ErrUnknownAction, action)
+		}
+		if !l.sched.spawn(func() {
+			if _, err := fn(&Context{Runtime: l.rt, Locality: l.id, Source: l.id}, args); err != nil {
+				l.actionErrors.Inc()
+			}
+		}) {
+			return ErrStopped
+		}
+		return nil
+	}
+	p := &parcel.Parcel{
+		Dest:         l.rt.locs[dest].rootGID,
+		DestLocality: dest,
+		Action:       action,
+		Args:         args,
+		Source:       l.id,
+	}
+	return l.port.Put(p)
+}
+
+func (l *Locality) dropContinuation(g agas.GID) {
+	l.contMu.Lock()
+	delete(l.conts, g)
+	l.contMu.Unlock()
+	l.rt.agas.Free(g)
+}
+
+// deliverParcel converts a received parcel into a task (the parcel
+// subsystem's receive side: "the parcel is then converted into a HPX
+// thread and placed in the scheduler queue for execution").
+func (l *Locality) deliverParcel(p *parcel.Parcel) {
+	if len(p.Action) > len(setValuePrefix) && p.Action[:len(setValuePrefix)] == setValuePrefix {
+		l.sched.spawn(func() { l.completeContinuation(p) })
+		return
+	}
+	if len(p.Action) > len(componentActionPrefix) && p.Action[:len(componentActionPrefix)] == componentActionPrefix {
+		l.sched.spawn(func() { l.executeComponentAction(p) })
+		return
+	}
+	l.sched.spawn(func() { l.executeAction(p) })
+}
+
+// executeAction runs a request parcel's action and, if a continuation is
+// attached, sends the result back as a set-value parcel for the response
+// action — which is coalesced whenever the request action is.
+func (l *Locality) executeAction(p *parcel.Parcel) {
+	fn := l.rt.lookupAction(p.Action)
+	var res []byte
+	var err error
+	start := time.Now()
+	if fn == nil {
+		err = fmt.Errorf("%w: %q", ErrUnknownAction, p.Action)
+	} else {
+		res, err = fn(&Context{Runtime: l.rt, Locality: l.id, Source: p.Source}, p.Args)
+	}
+	l.rt.cfg.Trace.RecordSpan(trace.KindTask, p.Action, l.id, start, int64(len(p.Args)))
+	if err != nil {
+		l.actionErrors.Inc()
+	}
+	if !p.Continuation.Valid() {
+		return
+	}
+	resp := &parcel.Parcel{
+		Dest:         p.Continuation,
+		DestLocality: -1, // resolved through AGAS: continuations live where allocated
+		Action:       ResponseAction(p.Action),
+		Args:         encodeResult(res, err),
+		Source:       l.id,
+	}
+	if perr := l.port.Put(resp); perr != nil {
+		l.actionErrors.Inc()
+	}
+}
+
+// completeContinuation fulfils the promise a result parcel addresses.
+func (l *Locality) completeContinuation(p *parcel.Parcel) {
+	l.contMu.Lock()
+	prom, ok := l.conts[p.Dest]
+	delete(l.conts, p.Dest)
+	l.contMu.Unlock()
+	if !ok {
+		l.actionErrors.Inc()
+		return
+	}
+	l.rt.agas.Free(p.Dest)
+	res, err := decodeResult(p.Args)
+	if err != nil {
+		_ = prom.SetError(err)
+		return
+	}
+	_ = prom.SetValue(res)
+}
+
+// Result parcels carry a status byte followed by either the result bytes
+// or an error string.
+const (
+	resultOK  = 0
+	resultErr = 1
+)
+
+func encodeResult(res []byte, err error) []byte {
+	w := serialization.NewWriter(1 + len(res))
+	if err != nil {
+		w.U8(resultErr)
+		w.String(err.Error())
+		return w.Bytes()
+	}
+	w.U8(resultOK)
+	w.BytesField(res)
+	return w.Bytes()
+}
+
+func decodeResult(data []byte) ([]byte, error) {
+	r := serialization.NewReader(data)
+	switch status := r.U8(); status {
+	case resultOK:
+		res := r.BytesField()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("runtime: corrupt result parcel: %w", r.Err())
+		}
+		return res, nil
+	case resultErr:
+		msg := r.String()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("runtime: corrupt error parcel: %w", r.Err())
+		}
+		return nil, errors.New(msg)
+	default:
+		return nil, fmt.Errorf("runtime: corrupt result parcel: status %d", status)
+	}
+}

@@ -1,0 +1,243 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/timer"
+)
+
+// task is one unit of lightweight work (an HPX thread).
+type task struct {
+	run func()
+}
+
+// backgroundWorker is the slice of the parcel port the scheduler drives
+// when idle.
+type backgroundWorker interface {
+	DoBackgroundWork(maxUnits int) int
+}
+
+// schedConfig configures a locality scheduler.
+type schedConfig struct {
+	locality     int
+	workers      int
+	queueSize    int
+	idleSleep    time.Duration
+	bgBatch      int
+	taskOverhead time.Duration
+	registry     *counters.Registry
+}
+
+// scheduler is a locality's task execution engine: a fixed pool of worker
+// goroutines (the analog of HPX's OS-thread pool) executing lightweight
+// tasks from a shared queue and performing network background work when no
+// task is runnable. It maintains the counters behind the paper's Section
+// III metrics:
+//
+//	/threads{locality#i}/count/cumulative        — tasks executed (n_t)
+//	/threads{locality#i}/time/cumulative         — Σ t_func   (Eq. 1)
+//	/threads{locality#i}/time/cumulative-exec    — Σ t_exec
+//	/threads{locality#i}/time/average-overhead   — (Σt_func-Σt_exec)/n_t (Eq. 2, µs)
+//	/threads{locality#i}/background-work         — Σ t_bg     (Eq. 3, seconds)
+//	/threads{locality#i}/background-overhead     — Σt_bg / (Σt_func+Σt_bg) (Eq. 4)
+//
+// The denominator of the background-overhead ratio is the scheduler's
+// total busy time (task time plus background time), keeping the metric a
+// dimensionless fraction of busy time spent on network processing; the
+// paper's Eq. 4 uses HPX's cumulative thread time, which likewise covers
+// all scheduler activity.
+type scheduler struct {
+	cfg   schedConfig
+	queue chan task
+	bg    backgroundWorker
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	spawned atomic.Int64
+	started time.Time
+
+	numTasks    *counters.Raw
+	cumFunc     *counters.Elapsed
+	cumExec     *counters.Elapsed
+	avgOverhead *counters.Average
+	bgWork      *counters.Elapsed
+	bgOverhead  *counters.Derived
+	idleRate    *counters.Derived
+}
+
+func newScheduler(cfg schedConfig, bg backgroundWorker) *scheduler {
+	if cfg.workers <= 0 {
+		cfg.workers = 2
+	}
+	if cfg.queueSize <= 0 {
+		cfg.queueSize = 1 << 16
+	}
+	if cfg.idleSleep <= 0 {
+		cfg.idleSleep = 20 * time.Microsecond
+	}
+	if cfg.bgBatch <= 0 {
+		cfg.bgBatch = 8
+	}
+	if cfg.taskOverhead < 0 {
+		cfg.taskOverhead = 0
+	}
+	inst := fmt.Sprintf("locality#%d", cfg.locality)
+	path := func(name string) counters.Path {
+		return counters.Path{Object: "threads", Instance: inst, Name: name}
+	}
+	s := &scheduler{
+		cfg:         cfg,
+		queue:       make(chan task, cfg.queueSize),
+		bg:          bg,
+		quit:        make(chan struct{}),
+		numTasks:    counters.NewRaw(path("count/cumulative")),
+		cumFunc:     counters.NewElapsed(path("time/cumulative")),
+		cumExec:     counters.NewElapsed(path("time/cumulative-exec")),
+		avgOverhead: counters.NewAverage(path("time/average-overhead")),
+		bgWork:      counters.NewElapsed(path("background-work")),
+	}
+	s.bgOverhead = counters.NewDerived(path("background-overhead"), func() float64 {
+		bgSec := s.bgWork.Value()
+		busy := s.cumFunc.Value() + bgSec
+		if busy == 0 {
+			return 0
+		}
+		return bgSec / busy
+	})
+	// idle-rate: the fraction of worker wall time spent neither running
+	// tasks nor doing background work (HPX's /threads/idle-rate).
+	s.idleRate = counters.NewDerived(path("idle-rate"), func() float64 {
+		if s.started.IsZero() {
+			return 0
+		}
+		wall := time.Since(s.started).Seconds() * float64(s.cfg.workers)
+		if wall <= 0 {
+			return 0
+		}
+		busy := s.cumFunc.Value() + s.bgWork.Value()
+		rate := 1 - busy/wall
+		if rate < 0 {
+			return 0
+		}
+		return rate
+	})
+	if cfg.registry != nil {
+		cfg.registry.MustRegister(s.numTasks)
+		cfg.registry.MustRegister(s.cumFunc)
+		cfg.registry.MustRegister(s.cumExec)
+		cfg.registry.MustRegister(s.avgOverhead)
+		cfg.registry.MustRegister(s.bgWork)
+		cfg.registry.MustRegister(s.bgOverhead)
+		cfg.registry.MustRegister(s.idleRate)
+	}
+	return s
+}
+
+// start launches the worker pool.
+func (s *scheduler) start() {
+	s.started = time.Now()
+	for i := 0; i < s.cfg.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// stop shuts the pool down after the queue drains of already-spawned
+// tasks that are immediately runnable; tasks spawned after stop may be
+// dropped.
+func (s *scheduler) stop() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// spawn enqueues a task. It reports false if the scheduler is stopping.
+func (s *scheduler) spawn(fn func()) bool {
+	select {
+	case <-s.quit:
+		return false
+	default:
+	}
+	s.spawned.Add(1)
+	s.queue <- task{run: fn}
+	return true
+}
+
+// pending returns the number of queued-but-not-started tasks.
+func (s *scheduler) pending() int { return len(s.queue) }
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		// Runnable tasks take priority over background work.
+		select {
+		case t := <-s.queue:
+			s.execute(t)
+			continue
+		default:
+		}
+		select {
+		case t := <-s.queue:
+			s.execute(t)
+		case <-s.quit:
+			return
+		default:
+			// No runnable task: perform network background work; if the
+			// network is also idle, nap briefly (HPX schedulers likewise
+			// spin with exponential backoff before sleeping).
+			bgStart := time.Now()
+			if n := s.bg.DoBackgroundWork(s.cfg.bgBatch); n > 0 {
+				s.bgWork.Add(time.Since(bgStart))
+			} else {
+				time.Sleep(s.cfg.idleSleep)
+			}
+		}
+	}
+}
+
+// execute runs one task with the Section III instrumentation. The
+// configured per-task thread-management cost (stack setup, context
+// switch, cleanup — 1–2 µs for an HPX lightweight thread) is spent
+// before and after the user function: it is part of t_func (Eq. 1) but
+// not of t_exec, so Eq. 2's task-overhead counter reports it.
+func (s *scheduler) execute(t task) {
+	funcStart := time.Now()
+	if s.cfg.taskOverhead > 0 {
+		timer.Spin(s.cfg.taskOverhead / 2)
+	}
+	execStart := time.Now()
+	t.run()
+	execDur := time.Since(execStart)
+	if s.cfg.taskOverhead > 0 {
+		timer.Spin(s.cfg.taskOverhead / 2)
+	}
+	s.cumExec.Add(execDur)
+	s.numTasks.Inc()
+	funcDur := time.Since(funcStart)
+	s.cumFunc.Add(funcDur)
+	s.avgOverhead.RecordDuration(funcDur - execDur)
+}
+
+// snapshot of the scheduler's Section III counters.
+type schedStats struct {
+	Tasks       int64
+	CumFunc     time.Duration
+	CumExec     time.Duration
+	Background  time.Duration
+	AvgOverhead float64 // µs per task
+	BgOverhead  float64 // Eq. 4 ratio
+}
+
+func (s *scheduler) stats() schedStats {
+	return schedStats{
+		Tasks:       s.numTasks.Get(),
+		CumFunc:     s.cumFunc.Total(),
+		CumExec:     s.cumExec.Total(),
+		Background:  s.bgWork.Total(),
+		AvgOverhead: s.avgOverhead.Value(),
+		BgOverhead:  s.bgOverhead.Value(),
+	}
+}

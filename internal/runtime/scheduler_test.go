@@ -1,0 +1,186 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+)
+
+// fakeBg is a controllable background-work source.
+type fakeBg struct {
+	units atomic.Int64 // available units
+	done  atomic.Int64 // consumed units
+	cost  time.Duration
+}
+
+func (f *fakeBg) DoBackgroundWork(maxUnits int) int {
+	n := 0
+	for n < maxUnits {
+		if f.units.Add(-1) < 0 {
+			f.units.Add(1)
+			break
+		}
+		if f.cost > 0 {
+			time.Sleep(f.cost)
+		}
+		f.done.Add(1)
+		n++
+	}
+	return n
+}
+
+func newTestScheduler(t *testing.T, workers int, bg backgroundWorker, reg *counters.Registry) *scheduler {
+	t.Helper()
+	if bg == nil {
+		bg = &fakeBg{}
+	}
+	s := newScheduler(schedConfig{locality: 0, workers: workers, registry: reg}, bg)
+	s.start()
+	t.Cleanup(s.stop)
+	return s
+}
+
+func TestSchedulerExecutesTasks(t *testing.T) {
+	s := newTestScheduler(t, 2, nil, nil)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		if !s.spawn(func() { ran.Add(1); wg.Done() }) {
+			t.Fatal("spawn failed")
+		}
+	}
+	wg.Wait()
+	if ran.Load() != n {
+		t.Errorf("ran %d tasks", ran.Load())
+	}
+	st := s.stats()
+	if st.Tasks != n {
+		t.Errorf("task counter = %d", st.Tasks)
+	}
+	if st.CumFunc <= 0 || st.CumFunc < st.CumExec {
+		t.Errorf("cumFunc=%v cumExec=%v", st.CumFunc, st.CumExec)
+	}
+}
+
+func TestSchedulerDoesBackgroundWorkWhenIdle(t *testing.T) {
+	bg := &fakeBg{}
+	bg.units.Store(100)
+	s := newTestScheduler(t, 2, bg, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for bg.done.Load() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := bg.done.Load(); got != 100 {
+		t.Errorf("background units done = %d", got)
+	}
+	_ = s
+}
+
+func TestSchedulerTasksPreemptBackground(t *testing.T) {
+	// With a steady supply of background work, spawned tasks must still
+	// run promptly (workers check the task queue first).
+	bg := &fakeBg{cost: 100 * time.Microsecond}
+	bg.units.Store(1 << 30)
+	s := newTestScheduler(t, 2, bg, nil)
+	start := time.Now()
+	done := make(chan struct{})
+	s.spawn(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("task starved by background work")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("task waited %v behind background work", elapsed)
+	}
+}
+
+func TestSchedulerBackgroundTimeAccounted(t *testing.T) {
+	bg := &fakeBg{cost: 200 * time.Microsecond}
+	bg.units.Store(50)
+	reg := counters.NewRegistry()
+	s := newTestScheduler(t, 1, bg, reg)
+	deadline := time.Now().Add(2 * time.Second)
+	for bg.done.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.stats(); st.Background < 5*time.Millisecond {
+		t.Errorf("background time = %v, want >= 10ms-ish", st.Background)
+	}
+	if v, err := reg.Value("/threads{locality#0}/background-work"); err != nil || v <= 0 {
+		t.Errorf("background-work counter = %v, %v", v, err)
+	}
+}
+
+func TestSchedulerSpawnAfterStop(t *testing.T) {
+	s := newScheduler(schedConfig{locality: 0, workers: 1}, &fakeBg{})
+	s.start()
+	s.stop()
+	if s.spawn(func() {}) {
+		t.Error("spawn after stop should fail")
+	}
+}
+
+func TestSchedulerPending(t *testing.T) {
+	// One worker blocked on a long task; further spawns stay pending.
+	s := newTestScheduler(t, 1, nil, nil)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.spawn(func() { <-block; wg.Done() })
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		s.spawn(func() { wg.Done() })
+	}
+	if got := s.pending(); got != 5 {
+		t.Errorf("pending = %d, want 5", got)
+	}
+	close(block)
+	wg.Wait()
+	if got := s.pending(); got != 0 {
+		t.Errorf("pending after drain = %d", got)
+	}
+}
+
+func TestSchedulerTaskOverheadCounter(t *testing.T) {
+	reg := counters.NewRegistry()
+	bg := &fakeBg{}
+	s := newScheduler(schedConfig{
+		locality: 0, workers: 1, taskOverhead: 100 * time.Microsecond, registry: reg,
+	}, bg)
+	s.start()
+	defer s.stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		s.spawn(func() { wg.Done() })
+	}
+	wg.Wait()
+	// Eq. 2: average overhead per task ≈ the configured cost (µs).
+	v, err := reg.Value("/threads{locality#0}/time/average-overhead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 80 || v > 2000 {
+		t.Errorf("average task overhead = %vµs, want ≈ 100µs", v)
+	}
+	st := s.stats()
+	if st.CumFunc-st.CumExec < 500*time.Microsecond {
+		t.Errorf("cumulative overhead = %v", st.CumFunc-st.CumExec)
+	}
+}
+
+func TestSchedulerIdleRateBounds(t *testing.T) {
+	s := newTestScheduler(t, 2, nil, nil)
+	time.Sleep(10 * time.Millisecond)
+	v := s.idleRate.Value()
+	if v < 0 || v > 1 {
+		t.Errorf("idle rate = %v", v)
+	}
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram over a half-open interval
+// [Low, High) with a configurable number of equal-width buckets plus
+// implicit underflow and overflow buckets.
+//
+// It backs the /coalescing/time/parcel-arrival-histogram performance
+// counter from the paper, which records the gap between parcel arrivals
+// for a particular action. HPX encodes that counter's data as a flat
+// int64 array: [low, high, bucket-width, b0, b1, ...]; Values reproduces
+// that encoding.
+//
+// Histogram is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	low     float64
+	high    float64
+	width   float64
+	buckets []uint64
+	under   uint64
+	over    uint64
+	count   uint64
+	sum     float64
+}
+
+// NewHistogram creates a histogram covering [low, high) with n buckets.
+// It panics if high <= low or n <= 0; both indicate programmer error in
+// counter configuration.
+func NewHistogram(low, high float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram bucket count must be positive")
+	}
+	if high <= low {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{
+		low:     low,
+		high:    high,
+		width:   (high - low) / float64(n),
+		buckets: make([]uint64, n),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += x
+	switch {
+	case x < h.low:
+		h.under++
+	case x >= h.high:
+		h.over++
+	default:
+		i := int((x - h.low) / h.width)
+		if i >= len(h.buckets) { // guard against floating point edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// ObserveDuration records a duration sample in microseconds, the unit the
+// paper's arrival-gap histogram uses.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Microsecond))
+}
+
+// Count returns the total number of observations, including under/overflow.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean of all observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Buckets returns a copy of the in-range bucket counts.
+func (h *Histogram) Buckets() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// UnderOver returns the underflow and overflow counts.
+func (h *Histogram) UnderOver() (under, over uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.under, h.over
+}
+
+// Values returns the histogram in HPX's flat int64 encoding:
+// [low, high, bucket-width, bucket0, bucket1, ...]. Boundary values are
+// truncated toward zero exactly as HPX does.
+func (h *Histogram) Values() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, 0, 3+len(h.buckets))
+	out = append(out, int64(h.low), int64(h.high), int64(h.width))
+	for _, b := range h.buckets {
+		out = append(out, int64(b))
+	}
+	return out
+}
+
+// Reset clears all buckets and totals, keeping the configured range.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.under, h.over, h.count, h.sum = 0, 0, 0, 0
+}
+
+// Quantile returns an approximate q-quantile (0<=q<=1) computed from the
+// bucket midpoints. Underflow samples are treated as h.low and overflow
+// samples as h.high.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q < 0 || q > 1 {
+		return 0
+	}
+	target := q * float64(h.count)
+	cum := float64(h.under)
+	if cum >= target && h.under > 0 {
+		return h.low
+	}
+	for i, b := range h.buckets {
+		cum += float64(b)
+		if cum >= target {
+			return h.low + (float64(i)+0.5)*h.width
+		}
+	}
+	return h.high
+}
+
+// String renders a compact ASCII view of the histogram, useful in the
+// counter-dumping command line tools.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var sb strings.Builder
+	maxCount := h.under
+	for _, b := range h.buckets {
+		if b > maxCount {
+			maxCount = b
+		}
+	}
+	if h.over > maxCount {
+		maxCount = h.over
+	}
+	bar := func(c uint64) string {
+		if maxCount == 0 {
+			return ""
+		}
+		n := int(40 * float64(c) / float64(maxCount))
+		return strings.Repeat("#", n)
+	}
+	fmt.Fprintf(&sb, "histogram [%g, %g) x%d, n=%d\n", h.low, h.high, len(h.buckets), h.count)
+	if h.under > 0 {
+		fmt.Fprintf(&sb, "  <%12g %8d %s\n", h.low, h.under, bar(h.under))
+	}
+	for i, b := range h.buckets {
+		lo := h.low + float64(i)*h.width
+		fmt.Fprintf(&sb, "  %13g %8d %s\n", lo, b, bar(b))
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&sb, "  >=%11g %8d %s\n", h.high, h.over, bar(h.over))
+	}
+	return sb.String()
+}

@@ -1,0 +1,35 @@
+package timer
+
+import "time"
+
+// Spin busy-waits for approximately d, burning CPU on the calling
+// goroutine's thread. The network cost model uses Spin to make modeled
+// per-message CPU overheads (message setup, serialization fixed costs,
+// handshaking) consume real worker time, so that the runtime's
+// background-work counters and wall-clock measurements reflect genuine
+// contention rather than bookkeeping fiction.
+//
+// Durations at or below zero return immediately.
+func Spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	SpinUntil(time.Now().Add(d))
+}
+
+// SpinUntil busy-waits until the absolute time deadline has passed.
+func SpinUntil(deadline time.Time) {
+	for {
+		if !time.Now().Before(deadline) {
+			return
+		}
+		// A small arithmetic loop keeps the pipeline busy between clock
+		// reads so the spin costs CPU comparably to real protocol work
+		// instead of hammering the clock source.
+		x := 0
+		for i := 0; i < 64; i++ {
+			x += i * i
+		}
+		_ = x
+	}
+}

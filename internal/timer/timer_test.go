@@ -1,0 +1,238 @@
+package timer
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestService(t *testing.T) *Service {
+	t.Helper()
+	s := NewService(ServiceOptions{})
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestTimerFires(t *testing.T) {
+	s := newTestService(t)
+	done := make(chan time.Time, 1)
+	tm := s.NewTimer(func() { done <- time.Now() })
+	start := time.Now()
+	if err := tm.Start(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case at := <-done:
+		if elapsed := at.Sub(start); elapsed < 2*time.Millisecond {
+			t.Errorf("fired early after %v", elapsed)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire")
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerStopPreventsFiring(t *testing.T) {
+	s := newTestService(t)
+	var fired atomic.Int32
+	tm := s.NewTimer(func() { fired.Add(1) })
+	if err := tm.Start(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report the timer was armed")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Error("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report not armed")
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	s := newTestService(t)
+	ch := make(chan time.Time, 2)
+	tm := s.NewTimer(func() { ch <- time.Now() })
+	start := time.Now()
+	if err := tm.Start(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Reset(30 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	at := <-ch
+	if elapsed := at.Sub(start); elapsed < 25*time.Millisecond {
+		t.Errorf("reset timer fired after only %v", elapsed)
+	}
+	select {
+	case <-ch:
+		t.Error("timer fired twice")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestTimerRearmAfterFire(t *testing.T) {
+	s := newTestService(t)
+	ch := make(chan struct{}, 4)
+	tm := s.NewTimer(func() { ch <- struct{}{} })
+	for i := 0; i < 3; i++ {
+		if err := tm.Start(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("firing %d timed out", i)
+		}
+	}
+}
+
+func TestMultipleTimersFireInOrder(t *testing.T) {
+	s := newTestService(t)
+	var mu sync.Mutex
+	var order []int
+	mk := func(id int) *Timer {
+		return s.NewTimer(func() {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		})
+	}
+	t3, t1, t2 := mk(3), mk(1), mk(2)
+	// Arm out of order.
+	if err := t3.Start(30 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Start(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Start(15 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("firing order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestServiceStopDiscardsArmedTimers(t *testing.T) {
+	s := NewService(ServiceOptions{})
+	var fired atomic.Int32
+	tm := s.NewTimer(func() { fired.Add(1) })
+	if err := tm.Start(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	time.Sleep(40 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Error("timer fired after service stop")
+	}
+	if err := tm.Start(time.Millisecond); err != ErrServiceStopped {
+		t.Errorf("Start after stop = %v, want ErrServiceStopped", err)
+	}
+}
+
+func TestServiceStopIdempotent(t *testing.T) {
+	s := NewService(ServiceOptions{})
+	s.Stop()
+	s.Stop() // must not hang or panic
+}
+
+func TestTimerAccuracyWithinBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy measurement skipped in short mode")
+	}
+	s := NewService(ServiceOptions{LockOSThread: true})
+	defer s.Stop()
+	rep := s.MeasureAccuracy(200, 2*time.Millisecond)
+	if rep.Samples != 200 {
+		t.Fatalf("samples = %d", rep.Samples)
+	}
+	// The paper reports ~33 µs mean error; allow a generous envelope —
+	// this test often shares the machine with parallel test packages —
+	// while still catching multi-millisecond breakage (which would
+	// indicate the timer degraded to OS time-slicing).
+	if rep.Mean < 0 {
+		t.Errorf("mean firing error negative: %v", rep.Mean)
+	}
+	if rep.Mean > 2*time.Millisecond {
+		t.Errorf("mean firing error %v exceeds 2ms envelope", rep.Mean)
+	}
+	t.Logf("%v", rep)
+}
+
+func TestTimerConcurrentStartStop(t *testing.T) {
+	s := newTestService(t)
+	var fired atomic.Int32
+	tm := s.NewTimer(func() { fired.Add(1) })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = tm.Start(time.Duration(i%5) * 100 * time.Microsecond)
+				if i%3 == 0 {
+					tm.Stop()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tm.Stop()
+	// The exact fire count is racy by design; the test asserts no panic,
+	// no deadlock, and that the timer is usable afterwards.
+	ch := make(chan struct{}, 1)
+	tm2 := s.NewTimer(func() { ch <- struct{}{} })
+	if err := tm2.Start(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("service wedged after concurrent start/stop")
+	}
+}
+
+func TestSpinDuration(t *testing.T) {
+	start := time.Now()
+	Spin(500 * time.Microsecond)
+	elapsed := time.Since(start)
+	if elapsed < 500*time.Microsecond {
+		t.Errorf("Spin returned after %v, want >= 500µs", elapsed)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Errorf("Spin took %v, far beyond request", elapsed)
+	}
+}
+
+func TestSpinZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("Spin(<=0) should return immediately")
+	}
+}
+
+func TestAccuracyReportString(t *testing.T) {
+	rep := AccuracyReport{Samples: 10, Interval: time.Millisecond, Mean: 33 * time.Microsecond}
+	if s := rep.String(); s == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestMeasureAccuracyZeroSamples(t *testing.T) {
+	s := newTestService(t)
+	rep := s.MeasureAccuracy(0, time.Millisecond)
+	if rep.Samples != 0 || rep.Mean != 0 {
+		t.Errorf("zero-sample report = %+v", rep)
+	}
+}

@@ -1,0 +1,225 @@
+// Package trace provides a low-overhead event tracer for the runtime:
+// bounded in-memory ring buffers per category, recording task execution,
+// message transmission and coalescing-flush events, with export to the
+// Chrome trace-event JSON format (chrome://tracing, Perfetto).
+//
+// The paper's methodology is built on introspection — aggregate counters
+// summarize behaviour, and the tracer complements them with per-event
+// detail used when developing and debugging the coalescing layer itself
+// (HPX integrates APEX for the same purpose). Tracing is optional: a nil
+// *Buffer disables every probe at the cost of one branch.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// KindTask marks lightweight-task execution.
+	KindTask Kind = iota
+	// KindMessage marks wire-message transmission or receipt.
+	KindMessage
+	// KindFlush marks coalescing-queue flushes.
+	KindFlush
+	// KindPhase marks application phase boundaries.
+	KindPhase
+	numKinds
+)
+
+// String returns the kind's Chrome-trace category label.
+func (k Kind) String() string {
+	switch k {
+	case KindTask:
+		return "task"
+	case KindMessage:
+		return "message"
+	case KindFlush:
+		return "flush"
+	case KindPhase:
+		return "phase"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	// Kind is the event category.
+	Kind Kind
+	// Name labels the event (action name, flush reason, phase label).
+	Name string
+	// Locality is the locality the event occurred on.
+	Locality int
+	// Start and Duration bound the event; instantaneous events have zero
+	// Duration.
+	Start    time.Time
+	Duration time.Duration
+	// Arg carries one numeric payload (parcel count, byte size).
+	Arg int64
+}
+
+// Buffer is a fixed-capacity ring of events per kind; when full, the
+// oldest events of that kind are overwritten, so a long run keeps its
+// most recent history without unbounded memory. The zero value is not
+// usable; call New.
+type Buffer struct {
+	mu    sync.Mutex
+	rings [numKinds][]Event
+	next  [numKinds]int
+	full  [numKinds]bool
+	drops [numKinds]uint64
+	start time.Time
+}
+
+// New creates a buffer holding up to perKind events of each kind
+// (minimum 16).
+func New(perKind int) *Buffer {
+	if perKind < 16 {
+		perKind = 16
+	}
+	b := &Buffer{start: time.Now()}
+	for k := range b.rings {
+		b.rings[k] = make([]Event, perKind)
+	}
+	return b
+}
+
+// Record appends an event. Record on a nil buffer is a no-op, so probes
+// can be left in place unconditionally.
+func (b *Buffer) Record(e Event) {
+	if b == nil {
+		return
+	}
+	if e.Kind >= numKinds {
+		return
+	}
+	b.mu.Lock()
+	k := e.Kind
+	if b.full[k] {
+		b.drops[k]++
+	}
+	b.rings[k][b.next[k]] = e
+	b.next[k]++
+	if b.next[k] == len(b.rings[k]) {
+		b.next[k] = 0
+		b.full[k] = true
+	}
+	b.mu.Unlock()
+}
+
+// RecordSpan is a convenience for an event that just finished.
+func (b *Buffer) RecordSpan(kind Kind, name string, locality int, start time.Time, arg int64) {
+	if b == nil {
+		return
+	}
+	b.Record(Event{
+		Kind: kind, Name: name, Locality: locality,
+		Start: start, Duration: time.Since(start), Arg: arg,
+	})
+}
+
+// Events returns all buffered events of the given kind, oldest first.
+func (b *Buffer) Events(kind Kind) []Event {
+	if b == nil || kind >= numKinds {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ring := b.rings[kind]
+	if !b.full[kind] {
+		out := make([]Event, b.next[kind])
+		copy(out, ring[:b.next[kind]])
+		return out
+	}
+	out := make([]Event, 0, len(ring))
+	out = append(out, ring[b.next[kind]:]...)
+	out = append(out, ring[:b.next[kind]]...)
+	return out
+}
+
+// Dropped returns how many events of the kind were overwritten.
+func (b *Buffer) Dropped(kind Kind) uint64 {
+	if b == nil || kind >= numKinds {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drops[kind]
+}
+
+// Len returns the number of buffered events of the kind.
+func (b *Buffer) Len(kind Kind) int {
+	if b == nil || kind >= numKinds {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full[kind] {
+		return len(b.rings[kind])
+	}
+	return b.next[kind]
+}
+
+// chromeEvent is the trace-event JSON schema (subset).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports every buffered event as a Chrome trace-event
+// JSON array. Localities map to process ids; kinds to thread ids, so the
+// viewer lays out one row per (locality, kind).
+func (b *Buffer) WriteChromeTrace(w io.Writer) error {
+	if b == nil {
+		_, err := io.WriteString(w, "[]")
+		return err
+	}
+	var all []chromeEvent
+	for k := Kind(0); k < numKinds; k++ {
+		for _, e := range b.Events(k) {
+			ce := chromeEvent{
+				Name: e.Name,
+				Cat:  k.String(),
+				Ph:   "X",
+				TS:   float64(e.Start.Sub(b.start)) / float64(time.Microsecond),
+				Dur:  float64(e.Duration) / float64(time.Microsecond),
+				PID:  e.Locality,
+				TID:  int(k),
+			}
+			if e.Duration == 0 {
+				ce.Ph = "i"
+			}
+			if e.Arg != 0 {
+				ce.Args = map[string]any{"arg": e.Arg}
+			}
+			all = append(all, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(all)
+}
+
+// Summary renders per-kind counts for quick inspection.
+func (b *Buffer) Summary() string {
+	if b == nil {
+		return "trace: disabled"
+	}
+	s := "trace:"
+	for k := Kind(0); k < numKinds; k++ {
+		s += fmt.Sprintf(" %s=%d(+%d dropped)", k, b.Len(k), b.Dropped(k))
+	}
+	return s
+}

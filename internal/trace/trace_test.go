@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndRead(t *testing.T) {
+	b := New(64)
+	now := time.Now()
+	b.Record(Event{Kind: KindTask, Name: "echo", Locality: 1, Start: now, Duration: time.Millisecond})
+	b.Record(Event{Kind: KindMessage, Name: "send", Locality: 0, Start: now, Arg: 1024})
+	if b.Len(KindTask) != 1 || b.Len(KindMessage) != 1 || b.Len(KindFlush) != 0 {
+		t.Errorf("lens = %d/%d/%d", b.Len(KindTask), b.Len(KindMessage), b.Len(KindFlush))
+	}
+	es := b.Events(KindTask)
+	if len(es) != 1 || es[0].Name != "echo" || es[0].Locality != 1 {
+		t.Errorf("events = %+v", es)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	b := New(16)
+	for i := 0; i < 40; i++ {
+		b.Record(Event{Kind: KindFlush, Arg: int64(i)})
+	}
+	es := b.Events(KindFlush)
+	if len(es) != 16 {
+		t.Fatalf("len = %d", len(es))
+	}
+	// Oldest first: 24..39.
+	for i, e := range es {
+		if e.Arg != int64(24+i) {
+			t.Fatalf("event %d arg = %d, want %d", i, e.Arg, 24+i)
+		}
+	}
+	if b.Dropped(KindFlush) != 24 {
+		t.Errorf("dropped = %d", b.Dropped(KindFlush))
+	}
+}
+
+func TestNilBufferIsNoOp(t *testing.T) {
+	var b *Buffer
+	b.Record(Event{Kind: KindTask})
+	b.RecordSpan(KindTask, "x", 0, time.Now(), 0)
+	if b.Len(KindTask) != 0 || b.Events(KindTask) != nil || b.Dropped(KindTask) != 0 {
+		t.Error("nil buffer should be inert")
+	}
+	var sb strings.Builder
+	if err := b.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "[]" {
+		t.Errorf("nil trace = %q", sb.String())
+	}
+	if b.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestRecordSpan(t *testing.T) {
+	b := New(16)
+	start := time.Now().Add(-2 * time.Millisecond)
+	b.RecordSpan(KindPhase, "phase 1", 0, start, 7)
+	es := b.Events(KindPhase)
+	if len(es) != 1 || es[0].Duration < 2*time.Millisecond || es[0].Arg != 7 {
+		t.Errorf("span = %+v", es)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	b := New(16)
+	b.Record(Event{Kind: KindTask, Name: "t1", Locality: 2, Start: time.Now(), Duration: time.Millisecond})
+	b.Record(Event{Kind: KindMessage, Name: "m1", Locality: 0, Start: time.Now()})
+	var sb strings.Builder
+	if err := b.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range events {
+		byName[e["name"].(string)] = e
+	}
+	if byName["t1"]["cat"] != "task" || byName["t1"]["ph"] != "X" || byName["t1"]["pid"] != float64(2) {
+		t.Errorf("t1 = %v", byName["t1"])
+	}
+	if byName["m1"]["ph"] != "i" { // instantaneous
+		t.Errorf("m1 = %v", byName["m1"])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindTask: "task", KindMessage: "message", KindFlush: "flush",
+		KindPhase: "phase", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q", k, k.String())
+		}
+	}
+	// Out-of-range kinds are ignored, not panics.
+	b := New(16)
+	b.Record(Event{Kind: Kind(50)})
+	if b.Len(Kind(50)) != 0 {
+		t.Error("bad kind recorded")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	b := New(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Record(Event{Kind: Kind(i % int(numKinds)), Locality: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for k := Kind(0); k < numKinds; k++ {
+		total += b.Len(k)
+		total += int(b.Dropped(k))
+	}
+	if total != 8*500 {
+		t.Errorf("recorded+dropped = %d, want 4000", total)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	b := New(1)
+	for i := 0; i < 20; i++ {
+		b.Record(Event{Kind: KindTask})
+	}
+	if b.Len(KindTask) != 16 {
+		t.Errorf("len = %d, want clamped capacity 16", b.Len(KindTask))
+	}
+}

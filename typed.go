@@ -1,0 +1,195 @@
+package amc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lco"
+	"repro/internal/runtime"
+	"repro/internal/serialization"
+)
+
+// Codec serializes values of one type for parcel transport. Codecs for
+// the common payload types are provided (Complex128Codec, Float64Codec,
+// Int64Codec, StringCodec, BytesCodec, Complex128SliceCodec,
+// Float64SliceCodec, UnitCodec); applications compose or implement their
+// own for structured arguments.
+type Codec[T any] interface {
+	// Encode appends v to the writer.
+	Encode(w *serialization.Writer, v T)
+	// Decode reads a value; errors surface through the reader.
+	Decode(r *serialization.Reader) T
+}
+
+// codecFuncs adapts a pair of functions to Codec.
+type codecFuncs[T any] struct {
+	enc func(*serialization.Writer, T)
+	dec func(*serialization.Reader) T
+}
+
+func (c codecFuncs[T]) Encode(w *serialization.Writer, v T) { c.enc(w, v) }
+func (c codecFuncs[T]) Decode(r *serialization.Reader) T    { return c.dec(r) }
+
+// CodecOf builds a Codec from an encode and a decode function.
+func CodecOf[T any](enc func(*serialization.Writer, T), dec func(*serialization.Reader) T) Codec[T] {
+	return codecFuncs[T]{enc: enc, dec: dec}
+}
+
+// Built-in codecs for the wire types the applications use.
+var (
+	// Complex128Codec carries one complex double — the toy application's
+	// payload.
+	Complex128Codec = CodecOf(
+		func(w *serialization.Writer, v complex128) { w.C128(v) },
+		func(r *serialization.Reader) complex128 { return r.C128() },
+	)
+	// Float64Codec carries one float64.
+	Float64Codec = CodecOf(
+		func(w *serialization.Writer, v float64) { w.F64(v) },
+		func(r *serialization.Reader) float64 { return r.F64() },
+	)
+	// Int64Codec carries one signed integer as a varint.
+	Int64Codec = CodecOf(
+		func(w *serialization.Writer, v int64) { w.Varint(v) },
+		func(r *serialization.Reader) int64 { return r.Varint() },
+	)
+	// StringCodec carries one length-prefixed string.
+	StringCodec = CodecOf(
+		func(w *serialization.Writer, v string) { w.String(v) },
+		func(r *serialization.Reader) string { return r.String() },
+	)
+	// BytesCodec carries one length-prefixed byte slice.
+	BytesCodec = CodecOf(
+		func(w *serialization.Writer, v []byte) { w.BytesField(v) },
+		func(r *serialization.Reader) []byte { return r.BytesField() },
+	)
+	// Complex128SliceCodec carries a slice of complex doubles — the
+	// Parquet rotation payload.
+	Complex128SliceCodec = CodecOf(
+		func(w *serialization.Writer, v []complex128) { w.C128Slice(v) },
+		func(r *serialization.Reader) []complex128 { return r.C128Slice() },
+	)
+	// Float64SliceCodec carries a slice of float64s.
+	Float64SliceCodec = CodecOf(
+		func(w *serialization.Writer, v []float64) { w.F64Slice(v) },
+		func(r *serialization.Reader) []float64 { return r.F64Slice() },
+	)
+	// UnitCodec carries nothing, for actions without arguments or
+	// results.
+	UnitCodec = CodecOf(
+		func(*serialization.Writer, struct{}) {},
+		func(*serialization.Reader) struct{} { return struct{}{} },
+	)
+)
+
+// TypedAction is a statically typed view of an action: registration and
+// invocation with Go values instead of byte slices. Argument and result
+// (de)serialization go through the same archive layer real parcels use,
+// so typed invocations are coalesced, counted and measured identically.
+type TypedAction[A, R any] struct {
+	name   string
+	args   Codec[A]
+	result Codec[R]
+}
+
+// NewTypedAction declares a typed action with the given codecs. Register
+// must be called (once) before invocation.
+func NewTypedAction[A, R any](name string, args Codec[A], result Codec[R]) *TypedAction[A, R] {
+	return &TypedAction[A, R]{name: name, args: args, result: result}
+}
+
+// Name returns the action's wire name.
+func (a *TypedAction[A, R]) Name() string { return a.name }
+
+// Register installs the typed body on the runtime.
+func (a *TypedAction[A, R]) Register(rt *Runtime, fn func(ctx *Context, arg A) (R, error)) error {
+	return rt.RegisterAction(a.name, func(ctx *runtime.Context, raw []byte) ([]byte, error) {
+		r := serialization.NewReader(raw)
+		arg := a.args.Decode(r)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("amc: decoding %s arguments: %w", a.name, err)
+		}
+		res, err := fn(ctx, arg)
+		if err != nil {
+			return nil, err
+		}
+		w := serialization.NewWriter(64)
+		a.result.Encode(w, res)
+		return w.Bytes(), nil
+	})
+}
+
+// MustRegister installs the typed body, panicking on error.
+func (a *TypedAction[A, R]) MustRegister(rt *Runtime, fn func(ctx *Context, arg A) (R, error)) {
+	if err := a.Register(rt, fn); err != nil {
+		panic(err)
+	}
+}
+
+// TypedFuture delivers a typed result.
+type TypedFuture[R any] struct {
+	inner *lco.Future[[]byte]
+	codec Codec[R]
+}
+
+// Get blocks for the typed result.
+func (f *TypedFuture[R]) Get() (R, error) {
+	var zero R
+	raw, err := f.inner.Get()
+	if err != nil {
+		return zero, err
+	}
+	r := serialization.NewReader(raw)
+	v := f.codec.Decode(r)
+	if err := r.Err(); err != nil {
+		return zero, fmt.Errorf("amc: decoding result: %w", err)
+	}
+	return v, nil
+}
+
+// GetWithTimeout bounds the wait.
+func (f *TypedFuture[R]) GetWithTimeout(d time.Duration) (R, error) {
+	var zero R
+	raw, err := f.inner.GetWithTimeout(d)
+	if err != nil {
+		return zero, err
+	}
+	r := serialization.NewReader(raw)
+	v := f.codec.Decode(r)
+	if err := r.Err(); err != nil {
+		return zero, fmt.Errorf("amc: decoding result: %w", err)
+	}
+	return v, nil
+}
+
+// Ready reports whether the result has arrived.
+func (f *TypedFuture[R]) Ready() bool { return f.inner.Ready() }
+
+// Async invokes the typed action on the destination locality from src.
+func (a *TypedAction[A, R]) Async(src *Locality, dest int, arg A) (*TypedFuture[R], error) {
+	w := serialization.NewWriter(64)
+	a.args.Encode(w, arg)
+	f, err := src.Async(dest, a.name, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &TypedFuture[R]{inner: f, codec: a.result}, nil
+}
+
+// Apply invokes the typed action fire-and-forget.
+func (a *TypedAction[A, R]) Apply(src *Locality, dest int, arg A) error {
+	w := serialization.NewWriter(64)
+	a.args.Encode(w, arg)
+	return src.Apply(dest, a.name, w.Bytes())
+}
+
+// WaitAllTyped waits for every typed future and returns the first error.
+func WaitAllTyped[R any](fs []*TypedFuture[R]) error {
+	var firstErr error
+	for _, f := range fs {
+		if _, err := f.Get(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

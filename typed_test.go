@@ -1,0 +1,196 @@
+package amc_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	amc "repro"
+	"repro/internal/serialization"
+)
+
+func newFacadeRuntime(t *testing.T) *amc.Runtime {
+	t.Helper()
+	rt := amc.NewRuntime(amc.RuntimeConfig{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		CostModel: amc.CostModel{
+			SendOverhead: 2 * time.Microsecond,
+			Latency:      5 * time.Microsecond,
+		},
+	})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestTypedActionRoundTrip(t *testing.T) {
+	rt := newFacadeRuntime(t)
+	square := amc.NewTypedAction("square", amc.Float64Codec, amc.Float64Codec)
+	square.MustRegister(rt, func(_ *amc.Context, x float64) (float64, error) {
+		return x * x, nil
+	})
+	f, err := square.Async(rt.Locality(0), 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.GetWithTimeout(5 * time.Second)
+	if err != nil || got != 81 {
+		t.Errorf("square(9) = %v, %v", got, err)
+	}
+	if !f.Ready() {
+		t.Error("future not ready after Get")
+	}
+	if square.Name() != "square" {
+		t.Error("wrong name")
+	}
+}
+
+func TestTypedActionComplexPayload(t *testing.T) {
+	rt := newFacadeRuntime(t)
+	conj := amc.NewTypedAction("conj", amc.Complex128Codec, amc.Complex128Codec)
+	conj.MustRegister(rt, func(_ *amc.Context, z complex128) (complex128, error) {
+		return complex(real(z), -imag(z)), nil
+	})
+	f, err := conj.Async(rt.Locality(0), 1, complex(13.3, -23.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get()
+	if err != nil || got != complex(13.3, 23.8) {
+		t.Errorf("conj = %v, %v", got, err)
+	}
+}
+
+func TestTypedActionSliceAndStringCodecs(t *testing.T) {
+	rt := newFacadeRuntime(t)
+	sum := amc.NewTypedAction("sum", amc.Complex128SliceCodec, amc.Complex128Codec)
+	sum.MustRegister(rt, func(_ *amc.Context, zs []complex128) (complex128, error) {
+		var s complex128
+		for _, z := range zs {
+			s += z
+		}
+		return s, nil
+	})
+	f, err := sum.Async(rt.Locality(0), 1, []complex128{1, 2i, complex(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get()
+	if err != nil || got != complex(4, 6) {
+		t.Errorf("sum = %v, %v", got, err)
+	}
+
+	greet := amc.NewTypedAction("greet2", amc.StringCodec, amc.StringCodec)
+	greet.MustRegister(rt, func(_ *amc.Context, name string) (string, error) {
+		return "hi " + name, nil
+	})
+	g, err := greet.Async(rt.Locality(0), 1, "ada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := g.Get(); err != nil || s != "hi ada" {
+		t.Errorf("greet = %q, %v", s, err)
+	}
+}
+
+func TestTypedActionErrorPropagation(t *testing.T) {
+	rt := newFacadeRuntime(t)
+	boom := amc.NewTypedAction("boom", amc.Int64Codec, amc.Int64Codec)
+	boom.MustRegister(rt, func(*amc.Context, int64) (int64, error) {
+		return 0, errors.New("typed failure")
+	})
+	f, err := boom.Async(rt.Locality(0), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.GetWithTimeout(5 * time.Second); err == nil || err.Error() != "typed failure" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTypedApplyAndWaitAll(t *testing.T) {
+	rt := newFacadeRuntime(t)
+	ping := amc.NewTypedAction("ping3", amc.UnitCodec, amc.UnitCodec)
+	hits := make(chan struct{}, 64)
+	ping.MustRegister(rt, func(*amc.Context, struct{}) (struct{}, error) {
+		hits <- struct{}{}
+		return struct{}{}, nil
+	})
+	if err := ping.Apply(rt.Locality(0), 1, struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-hits:
+	case <-time.After(5 * time.Second):
+		t.Fatal("apply never executed")
+	}
+	var futures []*amc.TypedFuture[struct{}]
+	for i := 0; i < 10; i++ {
+		f, err := ping.Async(rt.Locality(0), 1, struct{}{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	if err := amc.WaitAllTyped(futures); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedActionWithCoalescing(t *testing.T) {
+	rt := newFacadeRuntime(t)
+	inc := amc.NewTypedAction("inc", amc.Int64Codec, amc.Int64Codec)
+	inc.MustRegister(rt, func(_ *amc.Context, x int64) (int64, error) { return x + 1, nil })
+	if err := rt.EnableCoalescing(inc.Name(), amc.CoalescingParams{NParcels: 8, Interval: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	var futures []*amc.TypedFuture[int64]
+	for i := 0; i < 64; i++ {
+		f, err := inc.Async(rt.Locality(0), 1, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	for i, f := range futures {
+		got, err := f.GetWithTimeout(5 * time.Second)
+		if err != nil || got != int64(i+1) {
+			t.Fatalf("inc(%d) = %v, %v", i, got, err)
+		}
+	}
+	if sent := rt.Locality(0).Port().Stats().MessagesSent; sent >= 64 {
+		t.Errorf("typed traffic not coalesced: %d messages", sent)
+	}
+}
+
+func TestCustomCodec(t *testing.T) {
+	type point struct{ X, Y float64 }
+	pointCodec := amc.CodecOf(
+		func(w *serialization.Writer, p point) { w.F64(p.X); w.F64(p.Y) },
+		func(r *serialization.Reader) point { return point{X: r.F64(), Y: r.F64()} },
+	)
+	rt := newFacadeRuntime(t)
+	norm := amc.NewTypedAction("norm", pointCodec, amc.Float64Codec)
+	norm.MustRegister(rt, func(_ *amc.Context, p point) (float64, error) {
+		return math.Hypot(p.X, p.Y), nil
+	})
+	f, err := norm.Async(rt.Locality(0), 1, point{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := f.Get(); err != nil || got != 5 {
+		t.Errorf("norm = %v, %v", got, err)
+	}
+}
+
+func TestTypedRegisterTwiceFails(t *testing.T) {
+	rt := newFacadeRuntime(t)
+	a := amc.NewTypedAction("dup2", amc.UnitCodec, amc.UnitCodec)
+	if err := a.Register(rt, func(*amc.Context, struct{}) (struct{}, error) { return struct{}{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register(rt, func(*amc.Context, struct{}) (struct{}, error) { return struct{}{}, nil }); err == nil {
+		t.Error("second register should fail")
+	}
+}

@@ -1,0 +1,362 @@
+// Package bench holds the micro-benchmark suite for the parcel
+// transmission pipeline. The benchmark bodies live here as exported
+// functions so they can be driven two ways: by `go test -bench` through
+// the thin wrappers in bench_test.go, and by cmd/amc-bench through
+// testing.Benchmark to produce the committed BENCH_parcel.json.
+//
+// The suite covers the three layers the zero-allocation work touched:
+// bundle encode/decode (serialization), port enqueue/send (the sharded
+// outbound queue plus pooled payload buffers), and coalescer Put under
+// increasing sender concurrency (the striped destination queues). The
+// encode and port-send benchmarks are the ones the pipeline promises
+// 0 allocs/op on; the coalescer benchmarks are paired with a
+// single-mutex baseline so the striping speedup is measured, not
+// assumed.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/coalescing"
+	"repro/internal/counters"
+	"repro/internal/network"
+	"repro/internal/parcel"
+	"repro/internal/stats"
+	"repro/internal/timer"
+)
+
+// nullFabric is a Fabric that accepts every send and immediately
+// recycles the payload, isolating the port's own encode/enqueue cost
+// from transport effects. It never delivers, so receive-side work is
+// zero.
+type nullFabric struct {
+	n     int
+	sent  int
+	bytes int
+}
+
+func (f *nullFabric) Send(src, dst int, payload []byte) error {
+	f.sent++
+	f.bytes += len(payload)
+	network.PutPayload(payload)
+	return nil
+}
+
+func (f *nullFabric) SetHandler(dst int, h network.Handler) {}
+func (f *nullFabric) Localities() int                       { return f.n }
+func (f *nullFabric) Model() network.CostModel              { return network.CostModel{} }
+func (f *nullFabric) Stats() network.Stats {
+	return network.Stats{MessagesSent: uint64(f.sent), BytesSent: uint64(f.bytes)}
+}
+func (f *nullFabric) Close() error { return nil }
+
+// makeParcels builds n distinct parcels with argsLen-byte argument packs
+// for destination dst.
+func makeParcels(n, dst, argsLen int) []*parcel.Parcel {
+	ps := make([]*parcel.Parcel, n)
+	args := make([]byte, argsLen)
+	for i := range args {
+		args[i] = byte(i)
+	}
+	for i := range ps {
+		ps[i] = &parcel.Parcel{
+			Dest:         agas.GID(uint64(dst)<<32 | uint64(i)),
+			DestLocality: dst,
+			Action:       "bench-action",
+			Args:         args,
+			Source:       0,
+		}
+	}
+	return ps
+}
+
+// EncodeBundle measures appending a 16-parcel bundle into a reused
+// buffer: the port's transmit-path encoding. Steady state must be
+// 0 allocs/op.
+func EncodeBundle(b *testing.B) {
+	ps := makeParcels(16, 1, 64)
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = parcel.AppendBundle(buf[:0], ps)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty encoding")
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// DecodeBundle measures decoding a 16-parcel bundle. Decoding
+// intentionally copies (received parcels outlive the wire buffer), so
+// this tracks the per-message receive cost rather than a zero-alloc
+// target.
+func DecodeBundle(b *testing.B) {
+	wire := parcel.EncodeBundle(makeParcels(16, 1, 64))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parcel.DecodeBundle(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchPort builds a port on a null fabric with no registry and no
+// trace.
+func newBenchPort() *parcel.Port {
+	return parcel.NewPort(parcel.Config{
+		Locality: 0,
+		Fabric:   &nullFabric{n: 4},
+		Resolve:  func(g agas.GID) (int, error) { return int(uint64(g) >> 32), nil },
+		Deliver:  func(p *parcel.Parcel) {},
+	})
+}
+
+// PortEnqueue measures Put on the direct (no message handler) path: the
+// inline cost a sending task pays. The queue is drained outside the
+// timed region.
+func PortEnqueue(b *testing.B) {
+	port := newBenchPort()
+	defer port.Close()
+	ps := makeParcels(1, 1, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := port.Put(ps[0]); err != nil {
+			b.Fatal(err)
+		}
+		if port.PendingOutbound() >= 4096 {
+			b.StopTimer()
+			for port.DoBackgroundWork(1024) > 0 {
+			}
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	for port.DoBackgroundWork(1024) > 0 {
+	}
+}
+
+// PortSend measures the full send pipeline — Put, shard dequeue, exact
+// sizing, pooled-buffer bundle encoding, fabric handoff, buffer recycle —
+// one message per iteration. Steady state must be 0 allocs/op.
+func PortSend(b *testing.B) {
+	port := newBenchPort()
+	defer port.Close()
+	ps := makeParcels(1, 1, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := port.Put(ps[0]); err != nil {
+			b.Fatal(err)
+		}
+		if port.DoBackgroundWork(1) != 1 {
+			b.Fatal("expected one unit of background work")
+		}
+	}
+}
+
+// countingSink is an Enqueuer that recycles batches and counts parcels,
+// standing in for the port at the coalescer's output.
+type countingSink struct {
+	parcels atomic.Int64
+}
+
+func (s *countingSink) EnqueueMessage(dst int, ps []*parcel.Parcel) {
+	s.parcels.Add(int64(len(ps)))
+	parcel.PutBatch(ps)
+}
+
+func (s *countingSink) EnqueueParcel(dst int, p *parcel.Parcel) {
+	s.parcels.Add(1)
+}
+
+// CoalescerPut measures the striped coalescer's Put with the given
+// number of concurrent sending goroutines, each targeting its own
+// destination (the pattern striping is designed for). Flush timers are
+// parked at a long interval so the measurement is the queue path itself.
+func CoalescerPut(b *testing.B, workers int) {
+	svc := timer.NewService(timer.ServiceOptions{})
+	defer svc.Stop()
+	sink := &countingSink{}
+	c := coalescing.New(sink, coalescing.Params{NParcels: 64, Interval: time.Second},
+		coalescing.Options{Action: "bench", TimerService: svc})
+	defer c.Close()
+	runSenders(b, workers, func(worker, i int, p *parcel.Parcel) {
+		p.DestLocality = worker
+		c.Put(p)
+	})
+}
+
+// CoalescerPutBaseline is CoalescerPut against a single-mutex coalescer
+// replicating the pre-striping design Put-for-Put: one lock around all
+// destination queues, unbatched per-Put arrival statistics under that
+// lock, unpooled batch slices grown by append, and the same flush-timer
+// arming. The striped/baseline ratio is the speedup the sharding work
+// claims.
+func CoalescerPutBaseline(b *testing.B, workers int) {
+	svc := timer.NewService(timer.ServiceOptions{})
+	defer svc.Stop()
+	sink := &countingSink{}
+	c := newBaselineCoalescer(sink, svc, coalescing.Params{NParcels: 64, Interval: time.Second})
+	runSenders(b, workers, func(worker, i int, p *parcel.Parcel) {
+		p.DestLocality = worker
+		c.Put(p)
+	})
+}
+
+// runSenders drives b.N Puts split across workers goroutines, giving
+// each goroutine its own reusable parcel.
+func runSenders(b *testing.B, workers int, put func(worker, i int, p *parcel.Parcel)) {
+	b.ReportAllocs()
+	per := b.N / workers
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := makeParcels(1, w, 64)[0]
+			for i := 0; i < per; i++ {
+				put(w, i, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// baselineCoalescer replicates the seed's single-mutex coalescer
+// Put-for-Put (see the pre-striping internal/coalescing): one action-wide
+// lock, per-Put arrival statistics recorded under it, the sparse-bypass
+// check, batch slices grown by plain append with no pooling, the flush
+// timer armed on a queue's first parcel and stopped when it fills, and an
+// outBatch slice allocated per flush.
+type baselineCoalescer struct {
+	mu          sync.Mutex
+	sink        coalescing.Enqueuer
+	svc         *timer.Service
+	params      coalescing.Params
+	queues      map[int]*baselineQueue
+	lastArrival time.Time
+	parcels     *counters.Raw
+	messages    *counters.Raw
+	avgPerMsg   *counters.Average
+	avgArrival  *counters.Average
+	arrivalHist *stats.Histogram
+}
+
+type baselineQueue struct {
+	dst      int
+	parcels  []*parcel.Parcel
+	bytes    int
+	flushTmr *timer.Timer
+}
+
+type baselineBatch struct {
+	dst     int
+	parcels []*parcel.Parcel
+}
+
+func newBaselineCoalescer(sink coalescing.Enqueuer, svc *timer.Service, params coalescing.Params) *baselineCoalescer {
+	if params.MaxBufferBytes <= 0 {
+		params.MaxBufferBytes = coalescing.DefaultMaxBufferBytes
+	}
+	return &baselineCoalescer{
+		sink:        sink,
+		svc:         svc,
+		params:      params,
+		queues:      make(map[int]*baselineQueue),
+		parcels:     counters.NewRaw(counters.Path{Object: "coalescing", Name: "count/parcels"}),
+		messages:    counters.NewRaw(counters.Path{Object: "coalescing", Name: "count/messages"}),
+		avgPerMsg:   counters.NewAverage(counters.Path{Object: "coalescing", Name: "count/average-parcels-per-message"}),
+		avgArrival:  counters.NewAverage(counters.Path{Object: "coalescing", Name: "time/average-parcel-arrival"}),
+		arrivalHist: stats.NewHistogram(0, 10000, 100),
+	}
+}
+
+func (c *baselineCoalescer) Put(p *parcel.Parcel) {
+	now := time.Now()
+	var ready []baselineBatch
+
+	c.mu.Lock()
+	params := c.params
+	c.parcels.Inc()
+
+	tslp := time.Duration(-1)
+	if !c.lastArrival.IsZero() {
+		tslp = now.Sub(c.lastArrival)
+		us := float64(tslp) / float64(time.Microsecond)
+		c.avgArrival.Record(us)
+		c.arrivalHist.Observe(us)
+	}
+	c.lastArrival = now
+
+	q := c.queues[p.DestLocality]
+	bypass := tslp >= 0 && tslp > params.Interval && (q == nil || len(q.parcels) == 0)
+	if params.NParcels <= 1 || bypass {
+		c.messages.Inc()
+		c.avgPerMsg.Record(1)
+		c.mu.Unlock()
+		c.sink.EnqueueMessage(p.DestLocality, []*parcel.Parcel{p})
+		return
+	}
+
+	if q == nil {
+		dst := p.DestLocality
+		q = &baselineQueue{dst: dst}
+		q.flushTmr = c.svc.NewTimer(func() { c.flushDest(dst) })
+		c.queues[dst] = q
+	}
+	q.parcels = append(q.parcels, p)
+	q.bytes += p.WireSize()
+
+	switch {
+	case len(q.parcels) == 1:
+		_ = q.flushTmr.Start(params.Interval)
+	case len(q.parcels) >= params.NParcels || q.bytes >= params.MaxBufferBytes:
+		q.flushTmr.Stop()
+		ready = append(ready, baselineBatch{dst: q.dst, parcels: q.parcels})
+		q.parcels, q.bytes = nil, 0
+	}
+	c.mu.Unlock()
+	for _, batch := range ready {
+		c.messages.Inc()
+		c.avgPerMsg.Record(float64(len(batch.parcels)))
+		c.sink.EnqueueMessage(batch.dst, batch.parcels)
+	}
+}
+
+func (c *baselineCoalescer) flushDest(dst int) {
+	c.mu.Lock()
+	q := c.queues[dst]
+	var ready []baselineBatch
+	if q != nil && len(q.parcels) > 0 {
+		ready = append(ready, baselineBatch{dst: dst, parcels: q.parcels})
+		q.parcels, q.bytes = nil, 0
+	}
+	c.mu.Unlock()
+	for _, batch := range ready {
+		c.messages.Inc()
+		c.avgPerMsg.Record(float64(len(batch.parcels)))
+		c.sink.EnqueueMessage(batch.dst, batch.parcels)
+	}
+}
+
+// Name helpers shared with cmd/amc-bench.
+func CoalescerBenchName(baseline bool, workers int) string {
+	kind := "Striped"
+	if baseline {
+		kind = "Baseline"
+	}
+	return fmt.Sprintf("CoalescerPut%s/goroutines=%d", kind, workers)
+}

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// Thin wrappers so the suite runs under `go test -bench`; the bodies in
+// bench.go are shared with cmd/amc-bench.
+
+func BenchmarkEncodeBundle(b *testing.B) { EncodeBundle(b) }
+func BenchmarkDecodeBundle(b *testing.B) { DecodeBundle(b) }
+func BenchmarkPortEnqueue(b *testing.B)  { PortEnqueue(b) }
+func BenchmarkPortSend(b *testing.B)     { PortSend(b) }
+
+func BenchmarkCoalescerPut(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(CoalescerBenchName(false, workers), func(b *testing.B) {
+			CoalescerPut(b, workers)
+		})
+		b.Run(CoalescerBenchName(true, workers), func(b *testing.B) {
+			CoalescerPutBaseline(b, workers)
+		})
+	}
+}
+
+// TestZeroAllocSendPath asserts the acceptance criterion directly:
+// steady-state bundle encoding and the port send pipeline perform zero
+// allocations per operation.
+func TestZeroAllocSendPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EncodeBundle", EncodeBundle},
+		{"PortSend", PortSend},
+	} {
+		r := testing.Benchmark(tc.fn)
+		if a := r.AllocsPerOp(); a != 0 {
+			t.Errorf("%s: %d allocs/op, want 0", tc.name, a)
+		}
+	}
+}

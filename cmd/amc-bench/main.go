@@ -1,0 +1,144 @@
+// Command amc-bench runs the parcel-pipeline micro-benchmark suite
+// (package bench) outside `go test` and writes the results as JSON,
+// producing the committed BENCH_parcel.json snapshot.
+//
+// The suite measures the three layers of the zero-allocation send
+// pipeline — bundle encode/decode, port enqueue/send, and coalescer Put
+// under 1/4/16 concurrent senders against a single-mutex baseline — and
+// the report includes the striped-vs-baseline speedup at each
+// concurrency level plus pass/fail fields for the pipeline's two
+// headline claims (0 allocs/op on encode and send; >=2x coalescer
+// speedup at 16 senders).
+//
+// Examples:
+//
+//	amc-bench -o BENCH_parcel.json
+//	amc-bench -benchtime 2s -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/bench"
+)
+
+// result is one benchmark's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// speedup compares the striped coalescer against the single-mutex
+// baseline at one sender count.
+type speedup struct {
+	Goroutines int     `json:"goroutines"`
+	StripedNs  float64 `json:"striped_ns_per_op"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// report is the BENCH_parcel.json schema.
+type report struct {
+	GoVersion         string    `json:"go_version"`
+	GOMAXPROCS        int       `json:"gomaxprocs"`
+	Benchtime         string    `json:"benchtime"`
+	Results           []result  `json:"results"`
+	CoalescerSpeedups []speedup `json:"coalescer_speedups"`
+	ZeroAllocSendPath bool      `json:"zero_alloc_send_path"`
+	Speedup16OK       bool      `json:"coalescer_16x_speedup_ge_2"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so test.benchtime can be set
+	out := flag.String("o", "BENCH_parcel.json", "output file (- for stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measurement time")
+	verbose := flag.Bool("v", false, "print each result as it completes")
+	flag.Parse()
+
+	// testing.Benchmark honours the package-level benchtime flag.
+	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime.String(),
+	}
+
+	run := func(name string, fn func(*testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(fn)
+		res := result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		rep.Results = append(rep.Results, res)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%-44s %12d iters %10.1f ns/op %6d B/op %4d allocs/op\n",
+				name, r.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+		return r
+	}
+
+	encode := run("EncodeBundle", bench.EncodeBundle)
+	run("DecodeBundle", bench.DecodeBundle)
+	run("PortEnqueue", bench.PortEnqueue)
+	send := run("PortSend", bench.PortSend)
+
+	for _, workers := range []int{1, 4, 16} {
+		w := workers
+		striped := run(bench.CoalescerBenchName(false, w),
+			func(b *testing.B) { bench.CoalescerPut(b, w) })
+		baseline := run(bench.CoalescerBenchName(true, w),
+			func(b *testing.B) { bench.CoalescerPutBaseline(b, w) })
+		s := speedup{
+			Goroutines: w,
+			StripedNs:  float64(striped.T.Nanoseconds()) / float64(striped.N),
+			BaselineNs: float64(baseline.T.Nanoseconds()) / float64(baseline.N),
+		}
+		if s.StripedNs > 0 {
+			s.Speedup = s.BaselineNs / s.StripedNs
+		}
+		rep.CoalescerSpeedups = append(rep.CoalescerSpeedups, s)
+		if w == 16 {
+			rep.Speedup16OK = s.Speedup >= 2
+		}
+	}
+	rep.ZeroAllocSendPath = encode.AllocsPerOp() == 0 && send.AllocsPerOp() == 0
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, zero-alloc=%v, 16-sender speedup ok=%v)\n",
+		*out, len(rep.Results), rep.ZeroAllocSendPath, rep.Speedup16OK)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amc-bench:", err)
+	os.Exit(1)
+}

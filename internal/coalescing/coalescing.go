@@ -19,11 +19,23 @@
 // one action (the analog of HPX_ACTION_USES_MESSAGE_COALESCING); parcels
 // for other actions are unaffected. Parameters may be changed at runtime
 // — the hook the adaptive tuner uses.
+//
+// Concurrency design. Put runs inline on every sending task, so the
+// coalescer avoids any action-global lock on that path: per-destination
+// queues are striped across shardCount lock shards (by destination
+// modulo shard count), the tunable parameters and closed flag are read
+// through atomics, the arrival clock is a single atomic swap, and the
+// arrival-gap statistics are buffered per shard and folded into the
+// shared counters in batches. Concurrent senders targeting different
+// destinations therefore coalesce without contending; the counters lag
+// by at most arrivalBatch samples between reads (every accessor on
+// Coalescer flushes the buffers first).
 package coalescing
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/counters"
@@ -73,9 +85,18 @@ func (p Params) String() string {
 }
 
 // Enqueuer is the slice of the parcel port a Coalescer needs: handing a
-// ready batch over for transmission.
+// ready batch over for transmission. The enqueuer takes ownership of the
+// slice.
 type Enqueuer interface {
 	EnqueueMessage(dst int, parcels []*parcel.Parcel)
+}
+
+// ParcelEnqueuer is optionally implemented by enqueuers (the parcel
+// port) that can accept a single parcel without a wrapping slice; the
+// coalescer uses it on the bypass and pass-through paths to stay
+// allocation-free.
+type ParcelEnqueuer interface {
+	EnqueueParcel(dst int, p *parcel.Parcel)
 }
 
 // Options configures a Coalescer beyond its tunable Params.
@@ -106,21 +127,42 @@ type Options struct {
 	Trace *trace.Buffer
 }
 
+// shardCount stripes the per-destination queues; must be a power of two.
+const shardCount = 16
+
+// arrivalBatch is how many arrival-gap samples a shard buffers before
+// folding them into the shared average/histogram counters.
+const arrivalBatch = 32
+
+// shard is one lock stripe of the coalescer: the destination queues
+// whose locality hashes here, plus a local buffer of arrival-gap samples
+// awaiting a batched counter update. Padded so neighbouring shard locks
+// do not share a cache line.
+type shard struct {
+	mu     sync.Mutex
+	queues map[int]*destQueue
+	arrBuf [arrivalBatch]float64
+	arrN   int
+	_      [64]byte
+}
+
 // Coalescer batches outbound parcels of one action per destination.
 // It implements parcel.MessageHandler.
 type Coalescer struct {
 	enq      Enqueuer
+	enqOne   ParcelEnqueuer // non-nil when enq supports single parcels
 	action   string
 	svc      *timer.Service
 	noBypass bool
 	trc      *trace.Buffer
 	locality int
+	epoch    time.Time
 
-	mu          sync.Mutex
-	params      Params
-	queues      map[int]*destQueue
-	lastArrival time.Time
-	closed      bool
+	params    atomic.Pointer[Params]
+	closed    atomic.Bool
+	lastArrNS atomic.Int64 // ns since epoch of the previous Put; 0 = none
+
+	shards [shardCount]shard
 
 	// The five counters the paper added to HPX.
 	parcels     *counters.Raw              // /coalescing/count/parcels@action
@@ -130,6 +172,9 @@ type Coalescer struct {
 	arrivalHist *counters.HistogramCounter // /coalescing/time/parcel-arrival-histogram@action (µs)
 }
 
+// destQueue buffers parcels for one destination. Invariant (the fix for
+// the SetParams re-arm race): whenever the queue is non-empty, its flush
+// timer is armed; every mutation below maintains it.
 type destQueue struct {
 	dst      int
 	parcels  []*parcel.Parcel
@@ -161,13 +206,18 @@ func New(enq Enqueuer, params Params, opts Options) *Coalescer {
 		noBypass:    opts.DisableSparseBypass,
 		trc:         opts.Trace,
 		locality:    opts.Locality,
-		params:      params.normalized(),
-		queues:      make(map[int]*destQueue),
+		epoch:       time.Now(),
 		parcels:     counters.NewRaw(path("count/parcels")),
 		messages:    counters.NewRaw(path("count/messages")),
 		avgPerMsg:   counters.NewAverage(path("count/average-parcels-per-message")),
 		avgArrival:  counters.NewAverage(path("time/average-parcel-arrival")),
 		arrivalHist: counters.NewHistogramCounter(path("time/parcel-arrival-histogram"), lo, hi, nb),
+	}
+	c.enqOne, _ = enq.(ParcelEnqueuer)
+	norm := params.normalized()
+	c.params.Store(&norm)
+	for i := range c.shards {
+		c.shards[i].queues = make(map[int]*destQueue)
 	}
 	if opts.Registry != nil {
 		opts.Registry.MustRegister(c.parcels)
@@ -179,30 +229,39 @@ func New(enq Enqueuer, params Params, opts Options) *Coalescer {
 	return c
 }
 
+// shardFor returns the lock stripe owning destination dst.
+func (c *Coalescer) shardFor(dst int) *shard {
+	return &c.shards[uint(dst)&(shardCount-1)]
+}
+
 // Params returns the current parameters.
 func (c *Coalescer) Params() Params {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.params
+	return *c.params.Load()
 }
 
 // SetParams installs new parameters at runtime. Queues longer than the
-// new NParcels are flushed immediately; pending flush timers for
-// still-open queues are re-armed with the new interval.
+// new NParcels (or over the new byte cap) are flushed immediately; every
+// other non-empty queue has its flush timer re-armed with the new
+// interval, so no queue is ever left non-empty without a pending flush —
+// even if its previous timer fired concurrently with this call.
 func (c *Coalescer) SetParams(p Params) {
 	p = p.normalized()
+	c.params.Store(&p)
 	var ready []outBatch
-	c.mu.Lock()
-	c.params = p
-	for dst, q := range c.queues {
-		if len(q.parcels) >= p.NParcels || q.bytes >= p.MaxBufferBytes {
-			ready = append(ready, c.takeLocked(q))
-			delete(c.queues, dst)
-		} else if len(q.parcels) > 0 && q.flushTmr != nil {
-			_ = q.flushTmr.Reset(p.Interval)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.queues {
+			switch {
+			case len(q.parcels) >= p.NParcels || q.bytes >= p.MaxBufferBytes:
+				q.flushTmr.Stop()
+				ready = append(ready, q.take())
+			case len(q.parcels) > 0:
+				_ = q.flushTmr.Reset(p.Interval)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	c.emit(ready)
 }
 
@@ -214,34 +273,36 @@ type outBatch struct {
 // Put implements parcel.MessageHandler: Algorithm 1's coalescing message
 // handler. The parcel's DestLocality must be resolved.
 func (c *Coalescer) Put(p *parcel.Parcel) {
-	now := time.Now()
-	var ready []outBatch
-
-	c.mu.Lock()
-	if c.closed {
+	if c.closed.Load() {
 		// After Close the coalescer degrades to pass-through so no
 		// parcel is ever lost.
-		c.mu.Unlock()
 		c.parcels.Inc()
-		c.messages.Inc()
-		c.avgPerMsg.Record(1)
-		c.enq.EnqueueMessage(p.DestLocality, []*parcel.Parcel{p})
+		c.emitParcel(p.DestLocality, p)
 		return
 	}
-	params := c.params
+	params := *c.params.Load()
 	c.parcels.Inc()
 
-	// Arrival-interval instrumentation (time since last parcel, tslp).
+	// Arrival-interval instrumentation (time since last parcel, tslp):
+	// one atomic swap on a monotonic clock, no lock.
+	nowNS := int64(time.Since(c.epoch))
+	prevNS := c.lastArrNS.Swap(nowNS)
 	tslp := time.Duration(-1)
-	if !c.lastArrival.IsZero() {
-		tslp = now.Sub(c.lastArrival)
-		us := float64(tslp) / float64(time.Microsecond)
-		c.avgArrival.Record(us)
-		c.arrivalHist.Observe(us)
+	if prevNS != 0 && nowNS > prevNS {
+		tslp = time.Duration(nowNS - prevNS)
 	}
-	c.lastArrival = now
 
-	q := c.queues[p.DestLocality]
+	sh := c.shardFor(p.DestLocality)
+	var ready outBatch
+	sh.mu.Lock()
+	if tslp >= 0 {
+		sh.arrBuf[sh.arrN] = float64(tslp) / float64(time.Microsecond)
+		sh.arrN++
+		if sh.arrN == arrivalBatch {
+			c.flushArrivalLocked(sh)
+		}
+	}
+	q := sh.queues[p.DestLocality]
 
 	// Sparse-traffic bypass: if the gap since the previous parcel
 	// exceeds the wait interval and nothing is queued for this
@@ -249,112 +310,167 @@ func (c *Coalescer) Put(p *parcel.Parcel) {
 	// message — send immediately.
 	bypass := !c.noBypass && tslp >= 0 && tslp > params.Interval && (q == nil || len(q.parcels) == 0)
 	if params.NParcels <= 1 || bypass {
-		c.messages.Inc()
-		c.avgPerMsg.Record(1)
-		c.mu.Unlock()
-		c.enq.EnqueueMessage(p.DestLocality, []*parcel.Parcel{p})
+		sh.mu.Unlock()
+		c.emitParcel(p.DestLocality, p)
 		return
 	}
 
 	if q == nil {
-		q = &destQueue{dst: p.DestLocality}
 		dst := p.DestLocality
+		q = &destQueue{dst: dst}
 		q.flushTmr = c.svc.NewTimer(func() { c.flushDest(dst) })
-		c.queues[p.DestLocality] = q
+		sh.queues[dst] = q
+	}
+	if q.parcels == nil {
+		q.parcels = parcel.GetBatch()
 	}
 	q.parcels = append(q.parcels, p)
 	q.bytes += p.WireSize()
 
 	switch {
+	case len(q.parcels) >= params.NParcels || q.bytes >= params.MaxBufferBytes:
+		// Queue full (or buffer guard tripped): stop the timer and flush.
+		q.flushTmr.Stop()
+		ready = q.take()
 	case len(q.parcels) == 1:
 		// First parcel: start the flush timer.
 		_ = q.flushTmr.Start(params.Interval)
-	case len(q.parcels) >= params.NParcels || q.bytes >= params.MaxBufferBytes:
-		// Last parcel (queue full) or buffer guard: stop the timer and
-		// flush the queued parcels.
-		q.flushTmr.Stop()
-		ready = append(ready, c.takeLocked(q))
 	}
-	c.mu.Unlock()
-	c.emit(ready)
+	sh.mu.Unlock()
+	c.emitOne(ready)
 }
 
-// takeLocked removes and returns q's batch; the caller holds c.mu.
-func (c *Coalescer) takeLocked(q *destQueue) outBatch {
+// take removes and returns q's batch; the caller holds the shard lock.
+func (q *destQueue) take() outBatch {
 	b := outBatch{dst: q.dst, parcels: q.parcels}
 	q.parcels = nil
 	q.bytes = 0
 	return b
 }
 
-// emit hands ready batches to the port and updates message counters.
+// flushArrivalLocked folds the shard's buffered arrival samples into the
+// shared counters; the caller holds the shard lock.
+func (c *Coalescer) flushArrivalLocked(sh *shard) {
+	if sh.arrN == 0 {
+		return
+	}
+	sum := 0.0
+	for _, v := range sh.arrBuf[:sh.arrN] {
+		sum += v
+	}
+	c.avgArrival.RecordBatch(uint64(sh.arrN), sum)
+	c.arrivalHist.ObserveBatch(sh.arrBuf[:sh.arrN])
+	sh.arrN = 0
+}
+
+// flushArrivals drains every shard's arrival buffer so the counters are
+// exact; called on every read path.
+func (c *Coalescer) flushArrivals() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		c.flushArrivalLocked(sh)
+		sh.mu.Unlock()
+	}
+}
+
+// emitParcel hands one parcel to the port as a message of its own.
+func (c *Coalescer) emitParcel(dst int, p *parcel.Parcel) {
+	c.messages.Inc()
+	c.avgPerMsg.Record(1)
+	if c.enqOne != nil {
+		c.enqOne.EnqueueParcel(dst, p)
+		return
+	}
+	c.enq.EnqueueMessage(dst, []*parcel.Parcel{p})
+}
+
+// emitOne hands one ready batch to the port and updates message
+// counters; empty batches are ignored.
+func (c *Coalescer) emitOne(b outBatch) {
+	if len(b.parcels) == 0 {
+		return
+	}
+	c.messages.Inc()
+	c.avgPerMsg.Record(float64(len(b.parcels)))
+	c.trc.Record(trace.Event{
+		Kind: trace.KindFlush, Name: c.action, Locality: c.locality,
+		Start: time.Now(), Arg: int64(len(b.parcels)),
+	})
+	c.enq.EnqueueMessage(b.dst, b.parcels)
+}
+
+// emit hands ready batches to the port.
 func (c *Coalescer) emit(batches []outBatch) {
 	for _, b := range batches {
-		if len(b.parcels) == 0 {
-			continue
-		}
-		c.messages.Inc()
-		c.avgPerMsg.Record(float64(len(b.parcels)))
-		c.trc.Record(trace.Event{
-			Kind: trace.KindFlush, Name: c.action, Locality: c.locality,
-			Start: time.Now(), Arg: int64(len(b.parcels)),
-		})
-		c.enq.EnqueueMessage(b.dst, b.parcels)
+		c.emitOne(b)
 	}
 }
 
 // flushDest is the flush-timer callback for one destination.
 func (c *Coalescer) flushDest(dst int) {
-	c.mu.Lock()
-	q := c.queues[dst]
-	var ready []outBatch
+	sh := c.shardFor(dst)
+	sh.mu.Lock()
+	q := sh.queues[dst]
+	var ready outBatch
 	if q != nil && len(q.parcels) > 0 {
-		ready = append(ready, c.takeLocked(q))
+		ready = q.take()
 	}
-	c.mu.Unlock()
-	c.emit(ready)
+	sh.mu.Unlock()
+	c.emitOne(ready)
 }
 
 // Flush implements parcel.MessageHandler: it sends every queued parcel
 // immediately (explicit AM++-style flush, used at phase boundaries).
 func (c *Coalescer) Flush() {
 	var ready []outBatch
-	c.mu.Lock()
-	for _, q := range c.queues {
-		q.flushTmr.Stop()
-		if len(q.parcels) > 0 {
-			ready = append(ready, c.takeLocked(q))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.queues {
+			q.flushTmr.Stop()
+			if len(q.parcels) > 0 {
+				ready = append(ready, q.take())
+			}
 		}
+		c.flushArrivalLocked(sh)
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	c.emit(ready)
 }
 
 // Close implements parcel.MessageHandler: flushes all queues and stops
 // the flush timers. Subsequent Puts pass through uncoalesced.
 func (c *Coalescer) Close() {
-	c.mu.Lock()
-	c.closed = true
+	c.closed.Store(true)
 	var ready []outBatch
-	for _, q := range c.queues {
-		q.flushTmr.Stop()
-		if len(q.parcels) > 0 {
-			ready = append(ready, c.takeLocked(q))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.queues {
+			q.flushTmr.Stop()
+			if len(q.parcels) > 0 {
+				ready = append(ready, q.take())
+			}
 		}
+		sh.queues = make(map[int]*destQueue)
+		c.flushArrivalLocked(sh)
+		sh.mu.Unlock()
 	}
-	c.queues = make(map[int]*destQueue)
-	c.mu.Unlock()
 	c.emit(ready)
 }
 
 // QueuedParcels returns the total number of parcels currently buffered
 // across destinations (for tests and diagnostics).
 func (c *Coalescer) QueuedParcels() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, q := range c.queues {
-		n += len(q.parcels)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.queues {
+			n += len(q.parcels)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -369,6 +485,7 @@ type Stats struct {
 
 // Stats returns a snapshot of the coalescing counters.
 func (c *Coalescer) Stats() Stats {
+	c.flushArrivals()
 	return Stats{
 		Parcels:              c.parcels.Get(),
 		Messages:             c.messages.Get(),
@@ -377,5 +494,9 @@ func (c *Coalescer) Stats() Stats {
 	}
 }
 
-// ArrivalHistogram exposes the arrival-gap histogram counter.
-func (c *Coalescer) ArrivalHistogram() *counters.HistogramCounter { return c.arrivalHist }
+// ArrivalHistogram exposes the arrival-gap histogram counter, first
+// draining any batched samples so the reading is exact.
+func (c *Coalescer) ArrivalHistogram() *counters.HistogramCounter {
+	c.flushArrivals()
+	return c.arrivalHist
+}

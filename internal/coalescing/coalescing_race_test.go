@@ -1,0 +1,69 @@
+package coalescing
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRacePutSetParamsClose drives concurrent Put, SetParams and an
+// eventual Close across many destinations; it exists to be run under
+// -race and to verify conservation while parameters churn: every parcel
+// put is eventually emitted exactly once.
+func TestRacePutSetParamsClose(t *testing.T) {
+	s := &sink{}
+	c := newTestCoalescer(t, s, Params{NParcels: 8, Interval: 500 * time.Microsecond})
+
+	const workers = 8
+	const per = 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Parameter churn: cycle queue length and interval while Puts run.
+	go func() {
+		cycle := []Params{
+			{NParcels: 2, Interval: 200 * time.Microsecond},
+			{NParcels: 32, Interval: 5 * time.Millisecond},
+			{NParcels: 1, Interval: time.Millisecond},
+			{NParcels: 16, Interval: 100 * time.Microsecond},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.SetParams(cycle[i%len(cycle)])
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Put(mkParcel(w%5, i)) // several destinations, shared shards
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	c.Close()
+
+	// Close flushed everything; nothing may still be queued and every
+	// parcel must have been emitted exactly once.
+	if q := c.QueuedParcels(); q != 0 {
+		t.Errorf("queued after close = %d", q)
+	}
+	waitFor(t, 2*time.Second, func() bool { return s.parcelCount() == workers*per })
+	if got := s.parcelCount(); got != workers*per {
+		t.Errorf("emitted %d parcels, want %d", got, workers*per)
+	}
+
+	// Post-close Puts pass through immediately.
+	c.Put(mkParcel(0, 0))
+	if got := s.parcelCount(); got != workers*per+1 {
+		t.Errorf("post-close put not passed through: %d", got)
+	}
+}

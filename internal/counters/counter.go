@@ -131,6 +131,15 @@ func (c *Average) RecordDuration(d time.Duration) {
 	c.acc.Add(float64(d) / float64(time.Microsecond))
 }
 
+// RecordBatch folds a pre-aggregated batch of count samples with the
+// given sum, under a single lock acquisition. The running mean is exactly
+// as if each sample had been recorded individually; within-batch variance
+// is lost (see stats.Online.AddN). Hot paths use this to amortize
+// counter-mutex contention.
+func (c *Average) RecordBatch(count uint64, sum float64) {
+	c.acc.AddN(count, sum)
+}
+
 // Count returns the number of samples recorded.
 func (c *Average) Count() uint64 { return c.acc.Count() }
 
@@ -196,6 +205,9 @@ func (c *HistogramCounter) Reset() { c.h.Reset() }
 
 // Observe records a sample.
 func (c *HistogramCounter) Observe(x float64) { c.h.Observe(x) }
+
+// ObserveBatch records a batch of samples under one lock acquisition.
+func (c *HistogramCounter) ObserveBatch(xs []float64) { c.h.ObserveBatch(xs) }
 
 // ObserveDuration records a duration sample in microseconds.
 func (c *HistogramCounter) ObserveDuration(d time.Duration) { c.h.ObserveDuration(d) }

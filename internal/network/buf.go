@@ -1,0 +1,100 @@
+package network
+
+import "math/bits"
+
+// Payload buffer pool.
+//
+// Wire payloads are the highest-rate allocation of the transmission
+// pipeline: every message encoded by a parcel port and every frame read
+// off a TCP socket needs a byte buffer that lives exactly from encode (or
+// socket read) until the receiving port has decoded it. The pool recycles
+// those buffers across messages so the steady-state hot path performs no
+// heap allocation.
+//
+// Buffers are size-classed by power of two between minPayloadShift and
+// maxPayloadShift. Each class is backed by a fixed-capacity channel used
+// as a free list: channel operations do not allocate (unlike sync.Pool,
+// whose Put boxes the slice header on every call), which is what keeps
+// GetPayload/PutPayload off the allocation profile entirely. When a class
+// is empty, GetPayload falls back to make; when full, PutPayload lets the
+// buffer go to the garbage collector. Total pooled memory is bounded by
+// classBudgetBytes per class.
+//
+// Ownership protocol: Fabric.Send takes ownership of the payload; an
+// in-process fabric hands the same buffer to the destination handler,
+// which assumes ownership in turn. The parcel port releases payloads with
+// PutPayload after decoding (its "explicit release point"). Releasing is
+// optional — an unreleased buffer is simply collected — but a released
+// buffer must never be used again.
+
+const (
+	minPayloadShift = 8  // 256 B
+	maxPayloadShift = 20 // 1 MiB
+
+	// classBudgetBytes bounds the memory parked in each size class.
+	classBudgetBytes = 4 << 20
+)
+
+var payloadClasses [maxPayloadShift - minPayloadShift + 1]chan []byte
+
+func init() {
+	for i := range payloadClasses {
+		size := 1 << (minPayloadShift + i)
+		slots := classBudgetBytes / size
+		if slots > 4096 {
+			slots = 4096
+		}
+		if slots < 4 {
+			slots = 4
+		}
+		payloadClasses[i] = make(chan []byte, slots)
+	}
+}
+
+// payloadClass returns the class index for a request of n bytes, or -1
+// when n exceeds the largest class.
+func payloadClass(n int) int {
+	if n <= 1<<minPayloadShift {
+		return 0
+	}
+	shift := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if shift > maxPayloadShift {
+		return -1
+	}
+	return shift - minPayloadShift
+}
+
+// GetPayload returns a buffer of length n, recycled when a suitably sized
+// one is pooled. Contents are unspecified; callers overwrite or reslice
+// to zero length before appending.
+func GetPayload(n int) []byte {
+	c := payloadClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	select {
+	case b := <-payloadClasses[c]:
+		return b[:n]
+	default:
+		return make([]byte, n, 1<<(minPayloadShift+c))
+	}
+}
+
+// PutPayload recycles b. Only buffers whose capacity exactly matches a
+// size class are pooled (anything else — including buffers that were
+// never pooled — is left to the garbage collector), so PutPayload is safe
+// to call on any slice. The caller must not use b afterwards.
+func PutPayload(b []byte) {
+	c := cap(b)
+	if c < 1<<minPayloadShift || c&(c-1) != 0 {
+		return
+	}
+	idx := bits.TrailingZeros(uint(c)) - minPayloadShift
+	if idx < 0 || idx >= len(payloadClasses) {
+		return
+	}
+	select {
+	case payloadClasses[idx] <- b[:c]:
+	default:
+	}
+}

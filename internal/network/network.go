@@ -26,12 +26,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ring"
 	"repro/internal/timer"
 )
 
 // Handler consumes messages delivered to a locality. Handlers run on the
 // fabric's delivery goroutines and must be fast — typically they enqueue
 // the payload for the locality's scheduler to process as background work.
+// The handler assumes ownership of payload and should recycle it with
+// PutPayload once fully consumed.
 type Handler func(src int, payload []byte)
 
 // Fabric is a transport connecting a fixed set of localities, numbered
@@ -39,8 +42,11 @@ type Handler func(src int, payload []byte)
 type Fabric interface {
 	// Send transmits payload from locality src to locality dst. The call
 	// blocks for the modeled per-message send CPU cost and then returns;
-	// delivery happens asynchronously. The payload must not be modified
-	// after Send returns.
+	// delivery happens asynchronously. Send takes ownership of payload:
+	// the caller must not touch it again on success (in-process fabrics
+	// deliver the same buffer to the destination handler, which releases
+	// it via PutPayload). When Send returns an error the caller retains
+	// ownership and may recycle the buffer itself.
 	Send(src, dst int, payload []byte) error
 	// SetHandler installs the delivery callback for locality dst.
 	// It must be called before any Send targeting dst.
@@ -203,11 +209,13 @@ type linkKey struct{ src, dst int }
 // latency while preserving FIFO order. The transmit queue is unbounded so
 // Send never blocks on a saturated wire — the modeled costs, not Go
 // channel backpressure, pace the system, and bidirectional overload
-// cannot deadlock the parcel ports' background-work loops.
+// cannot deadlock the parcel ports' background-work loops. The queue is a
+// ring buffer so sustained traffic neither pins popped payloads nor
+// reallocates once the queue reaches its high-water mark.
 type link struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	q      []linkMsg
+	q      ring.Buffer[linkMsg]
 	closed bool
 	dq     chan deliverMsg
 }
@@ -222,7 +230,7 @@ func newLink() *link {
 func (lk *link) push(m linkMsg) {
 	lk.mu.Lock()
 	if !lk.closed {
-		lk.q = append(lk.q, m)
+		lk.q.Push(m)
 		lk.cond.Signal()
 	}
 	lk.mu.Unlock()
@@ -233,15 +241,10 @@ func (lk *link) push(m linkMsg) {
 func (lk *link) pop() (linkMsg, bool) {
 	lk.mu.Lock()
 	defer lk.mu.Unlock()
-	for len(lk.q) == 0 && !lk.closed {
+	for lk.q.Len() == 0 && !lk.closed {
 		lk.cond.Wait()
 	}
-	if len(lk.q) == 0 {
-		return linkMsg{}, false
-	}
-	m := lk.q[0]
-	lk.q = lk.q[1:]
-	return m, true
+	return lk.q.Pop()
 }
 
 func (lk *link) close() {
@@ -325,15 +328,16 @@ func (f *SimFabric) Send(src, dst int, payload []byte) error {
 
 	// Fault injection happens before any cost is paid so dropped
 	// messages are free, matching a send-side drop.
-	copies := 1
+	duplicate := false
 	if hook := f.fault.Load(); hook != nil {
 		switch (*hook)(src, dst, payload) {
 		case FaultDrop:
 			f.drops.Add(1)
+			PutPayload(payload)
 			return nil
 		case FaultDuplicate:
 			f.dupes.Add(1)
-			copies = 2
+			duplicate = true
 		}
 	}
 
@@ -344,8 +348,13 @@ func (f *SimFabric) Send(src, dst int, payload []byte) error {
 	f.bytes.Add(uint64(len(payload)))
 
 	lk := f.getLink(src, dst)
-	for i := 0; i < copies; i++ {
-		lk.push(linkMsg{src: src, dst: dst, payload: payload})
+	lk.push(linkMsg{src: src, dst: dst, payload: payload})
+	if duplicate {
+		// Each delivery hands buffer ownership to the handler, so the
+		// duplicate needs its own copy.
+		dup := GetPayload(len(payload))
+		copy(dup, payload)
+		lk.push(linkMsg{src: src, dst: dst, payload: dup})
 	}
 	return nil
 }

@@ -75,7 +75,9 @@ func (f *TCPFabric) readLoop(dst int, conn net.Conn) {
 		}
 		src := binary.LittleEndian.Uint32(hdr[0:4])
 		n := binary.LittleEndian.Uint32(hdr[4:8])
-		payload := make([]byte, n)
+		// Pooled receive buffer: the handler owns it and recycles it via
+		// PutPayload after decoding.
+		payload := GetPayload(int(n))
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
@@ -120,7 +122,7 @@ func (f *TCPFabric) Send(src, dst int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	frame := make([]byte, 8+len(payload))
+	frame := GetPayload(8 + len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(src))
 	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
 	copy(frame[8:], payload)
@@ -128,9 +130,13 @@ func (f *TCPFabric) Send(src, dst int, payload []byte) error {
 	f.mu.Lock()
 	_, err = conn.Write(frame)
 	f.mu.Unlock()
+	PutPayload(frame)
 	if err != nil {
 		return fmt.Errorf("network: tcp send %d->%d: %w", src, dst, err)
 	}
+	// The socket write copied the bytes; this transport is done with the
+	// caller's buffer, so recycle it on its behalf (Send owns it).
+	PutPayload(payload)
 	f.msgs.Add(1)
 	f.bytes.Add(uint64(len(payload)))
 	return nil

@@ -1,0 +1,60 @@
+package parcel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/agas"
+)
+
+// TestAppendBundleMatchesEncodeBundle pins the append-based encoder to
+// the original EncodeBundle output and verifies it appends after an
+// existing prefix without disturbing it.
+func TestAppendBundleMatchesEncodeBundle(t *testing.T) {
+	ps := []*Parcel{
+		{Dest: agas.MakeGID(1, 7), Action: "a", Args: []byte{1, 2, 3}, Source: 0},
+		{Dest: agas.MakeGID(2, 9), Action: "other", Args: nil, Continuation: agas.MakeGID(0, 4), Source: 1},
+	}
+	want := EncodeBundle(ps)
+
+	got := AppendBundle(nil, ps)
+	if !bytes.Equal(got, want) {
+		t.Errorf("AppendBundle(nil) = %x, want %x", got, want)
+	}
+
+	prefix := []byte("prefix")
+	buf := AppendBundle(append([]byte(nil), prefix...), ps)
+	if !bytes.Equal(buf[:len(prefix)], prefix) {
+		t.Error("AppendBundle disturbed existing prefix")
+	}
+	if !bytes.Equal(buf[len(prefix):], want) {
+		t.Errorf("appended encoding differs from EncodeBundle")
+	}
+
+	back, err := DecodeBundle(buf[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ps) || back[0].Action != "a" || back[1].Action != "other" {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+// TestEncodedSizeIsExact verifies the transmit path's buffer sizing:
+// bundleSize(count, sum of encodedSize) must equal the encoding's length
+// byte-for-byte, or the pooled-buffer send path would reallocate.
+func TestEncodedSizeIsExact(t *testing.T) {
+	ps := []*Parcel{
+		{Dest: agas.MakeGID(1, 1), Action: "", Args: nil},
+		{Dest: agas.MakeGID(1, 2), Action: "x", Args: make([]byte, 200)},
+		{Dest: agas.MakeGID(1, 3), Action: string(make([]byte, 150)), Args: make([]byte, 70000)},
+	}
+	sum := 0
+	for _, p := range ps {
+		sum += p.encodedSize()
+	}
+	wire := EncodeBundle(ps)
+	if got := bundleSize(len(ps), sum); got != len(wire) {
+		t.Errorf("bundleSize = %d, encoded length = %d", got, len(wire))
+	}
+}

@@ -1,0 +1,47 @@
+package parcel
+
+// Batch slice pool.
+//
+// Every coalesced message carries a []*Parcel that lives from the moment
+// a message handler cuts a batch until the port has serialized it. Those
+// slices are the second-highest-rate allocation of the send path (after
+// the payload buffers, pooled in internal/network). The pool recycles
+// them across messages: EnqueueMessage takes ownership of the slice it is
+// given, and the port returns it here after transmission.
+//
+// The free list is a fixed-capacity channel rather than a sync.Pool for
+// the same reason as network's payload pool: channel operations do not
+// allocate, keeping the steady-state pipeline off the allocation profile.
+
+const batchPoolSlots = 1024
+
+var batchPool = make(chan []*Parcel, batchPoolSlots)
+
+// GetBatch returns an empty parcel slice with spare capacity, recycled
+// from a previously released batch when one is available.
+func GetBatch() []*Parcel {
+	select {
+	case b := <-batchPool:
+		return b
+	default:
+		return make([]*Parcel, 0, 16)
+	}
+}
+
+// PutBatch recycles a batch slice. Elements are cleared so the pool never
+// retains parcels. The caller must not use the slice afterwards.
+func PutBatch(b []*Parcel) {
+	// Tiny slices (e.g. the single-parcel wrappers of naive handlers)
+	// would pollute the pool with useless capacity; let them go.
+	if cap(b) < 8 {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = nil
+	}
+	select {
+	case batchPool <- b[:0]:
+	default:
+	}
+}

@@ -1,0 +1,43 @@
+package parcel
+
+import "testing"
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := GetBatch()
+	if len(b) != 0 {
+		t.Fatalf("GetBatch returned non-empty slice (len %d)", len(b))
+	}
+	b = append(b, &Parcel{Action: "x"})
+	PutBatch(b)
+	b2 := GetBatch()
+	if len(b2) != 0 {
+		t.Errorf("recycled batch not empty: len %d", len(b2))
+	}
+	if cap(b2) > 0 {
+		// If we got a pooled slice back, its elements must be cleared.
+		full := b2[:cap(b2)]
+		for i, p := range full {
+			if p != nil {
+				t.Errorf("pooled batch retains parcel at %d", i)
+			}
+		}
+	}
+}
+
+func TestPutBatchSkipsTinySlices(t *testing.T) {
+	// Drain the pool.
+	for {
+		select {
+		case <-batchPool:
+			continue
+		default:
+		}
+		break
+	}
+	PutBatch(make([]*Parcel, 0, 4))
+	select {
+	case <-batchPool:
+		t.Error("tiny slice entered the pool")
+	default:
+	}
+}

@@ -17,6 +17,7 @@
 package parcel
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -70,23 +71,70 @@ var ErrBadBundle = errors.New("parcel: malformed bundle")
 // MaxBundleParcels bounds the parcel count field of a decoded bundle.
 const MaxBundleParcels = 1 << 20
 
-// EncodeBundle serializes parcels into a single wire message.
+// uvarintLen returns the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// encodedSize returns the exact encoded size of p inside a bundle
+// (unlike WireSize, which over-estimates varint prefixes for use as a
+// buffering guard).
+func (p *Parcel) encodedSize() int {
+	return 8 + 8 + 4 +
+		uvarintLen(uint64(len(p.Action))) + len(p.Action) +
+		uvarintLen(uint64(len(p.Args))) + len(p.Args)
+}
+
+// BundleSize returns the exact encoded size of a bundle carrying count
+// parcels whose encodedSize sum is parcelBytes.
+func bundleSize(count, parcelBytes int) int {
+	return 1 + uvarintLen(uint64(count)) + parcelBytes
+}
+
+// appendParcel appends the bundle encoding of one parcel to dst.
+func appendParcel(dst []byte, p *Parcel) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Dest))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Continuation))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Source))
+	dst = binary.AppendUvarint(dst, uint64(len(p.Action)))
+	dst = append(dst, p.Action...)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Args)))
+	dst = append(dst, p.Args...)
+	return dst
+}
+
+// appendBundleHeader appends a bundle header announcing count parcels.
+func appendBundleHeader(dst []byte, count int) []byte {
+	dst = append(dst, bundleMagic)
+	return binary.AppendUvarint(dst, uint64(count))
+}
+
+// AppendBundle appends the wire encoding of a parcel bundle to dst and
+// returns the extended slice. It allocates only when dst lacks capacity,
+// which is what makes the port's steady-state send path allocation-free:
+// the port sizes a pooled buffer with bundleSize first, so every append
+// lands in existing capacity.
+func AppendBundle(dst []byte, parcels []*Parcel) []byte {
+	dst = appendBundleHeader(dst, len(parcels))
+	for _, p := range parcels {
+		dst = appendParcel(dst, p)
+	}
+	return dst
+}
+
+// EncodeBundle serializes parcels into a single, exactly sized wire
+// message.
 func EncodeBundle(parcels []*Parcel) []byte {
-	size := 2 + 4
+	size := 0
 	for _, p := range parcels {
-		size += p.WireSize()
+		size += p.encodedSize()
 	}
-	w := serialization.NewWriter(size)
-	w.U8(bundleMagic)
-	w.Uvarint(uint64(len(parcels)))
-	for _, p := range parcels {
-		w.U64(uint64(p.Dest))
-		w.U64(uint64(p.Continuation))
-		w.U32(uint32(p.Source))
-		w.String(p.Action)
-		w.BytesField(p.Args)
-	}
-	return w.Bytes()
+	return AppendBundle(make([]byte, 0, bundleSize(len(parcels), size)), parcels)
 }
 
 // DecodeBundle reconstructs the parcels of a wire message. Decoded

@@ -3,6 +3,7 @@ package parcel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/agas"
 	"repro/internal/counters"
 	"repro/internal/network"
+	"repro/internal/ring"
 	"repro/internal/timer"
 	"repro/internal/trace"
 )
@@ -53,10 +55,26 @@ type Config struct {
 	// registration.
 	Registry *counters.Registry
 	// RxQueueDepth bounds buffered undecoded incoming messages
-	// (default 65536).
+	// (default 65536). When the queue is full further messages are
+	// dropped and counted by parcels/count/rx-dropped; the fabric
+	// delivery goroutine is never blocked.
 	RxQueueDepth int
 	// Trace optionally records message-level events; nil disables.
 	Trace *trace.Buffer
+}
+
+// outShardCount shards the outbound queue by destination so senders
+// targeting different localities do not serialize on one lock. Must be a
+// power of two.
+const outShardCount = 8
+
+// outShard is one destination stripe of the outbound queue: a ring
+// buffer of ready wire messages under its own lock, padded so adjacent
+// shard locks do not share a cache line.
+type outShard struct {
+	mu sync.Mutex
+	q  ring.Buffer[outMessage]
+	_  [64]byte
 }
 
 // Port is a locality's parcel endpoint. Outbound parcels enter via Put
@@ -66,6 +84,12 @@ type Config struct {
 // fabric's delivery goroutine and likewise decoded by DoBackgroundWork.
 // All time spent in DoBackgroundWork is the "background work" of the
 // paper's Section III metrics.
+//
+// The transmission pipeline is allocation-free in steady state: single
+// parcels travel through the queue without a wrapping slice, batch slices
+// are recycled through the package batch pool, and wire payloads are
+// encoded into pooled buffers (internal/network) that the receiving port
+// releases after decoding.
 type Port struct {
 	locality int
 	fabric   network.Fabric
@@ -75,11 +99,12 @@ type Port struct {
 	handlersMu sync.RWMutex
 	handlers   map[string]MessageHandler
 
-	trc    *trace.Buffer
-	outMu  sync.Mutex
-	outQ   []outMessage
-	rxCh   chan rxMessage
-	closed atomic.Bool
+	trc        *trace.Buffer
+	out        [outShardCount]outShard
+	outPending atomic.Int64
+	sendCursor atomic.Uint32
+	rxCh       chan rxMessage
+	closed     atomic.Bool
 
 	// Counters (always allocated; optionally registered).
 	parcelsSent  *counters.Raw
@@ -90,10 +115,15 @@ type Port struct {
 	bytesRecvd   *counters.Raw
 	sendErrors   *counters.Raw
 	decodeErrors *counters.Raw
+	rxDropped    *counters.Raw
 }
 
+// outMessage is one wire message awaiting transmission. Exactly one of
+// single and parcels is set: the direct (uncoalesced) path carries its
+// parcel inline so enqueueing a single parcel allocates nothing.
 type outMessage struct {
 	dst     int
+	single  *Parcel
 	parcels []*Parcel
 }
 
@@ -128,11 +158,12 @@ func NewPort(cfg Config) *Port {
 		bytesRecvd:   mk("data", "count/received-bytes"),
 		sendErrors:   mk("parcels", "count/send-errors"),
 		decodeErrors: mk("parcels", "count/decode-errors"),
+		rxDropped:    mk("parcels", "count/rx-dropped"),
 	}
 	if cfg.Registry != nil {
 		for _, c := range []*counters.Raw{
 			p.parcelsSent, p.parcelsRecvd, p.messagesSent, p.messagesRcvd,
-			p.bytesSent, p.bytesRecvd, p.sendErrors, p.decodeErrors,
+			p.bytesSent, p.bytesRecvd, p.sendErrors, p.decodeErrors, p.rxDropped,
 		} {
 			cfg.Registry.MustRegister(c)
 		}
@@ -183,37 +214,62 @@ func (p *Port) Put(pcl *Parcel) error {
 		h.Put(pcl)
 		return nil
 	}
-	p.EnqueueMessage(pcl.DestLocality, []*Parcel{pcl})
+	p.enqueue(outMessage{dst: pcl.DestLocality, single: pcl})
 	return nil
 }
 
 // EnqueueMessage schedules one wire message carrying the given parcels
 // for transmission by background work. Message handlers call this when
-// their policy decides a batch is ready.
+// their policy decides a batch is ready. EnqueueMessage takes ownership
+// of the parcels slice: after transmission the port recycles it through
+// GetBatch/PutBatch, so the caller must not retain or reuse it.
 func (p *Port) EnqueueMessage(dst int, parcels []*Parcel) {
 	if len(parcels) == 0 {
 		return
 	}
-	p.outMu.Lock()
-	p.outQ = append(p.outQ, outMessage{dst: dst, parcels: parcels})
-	p.outMu.Unlock()
+	p.enqueue(outMessage{dst: dst, parcels: parcels})
+}
+
+// EnqueueParcel schedules a single parcel as its own wire message,
+// without the wrapping slice EnqueueMessage needs. Handlers whose policy
+// sends a lone parcel (sparse-traffic bypass, pass-through) use it to
+// keep the uncoalesced path allocation-free.
+func (p *Port) EnqueueParcel(dst int, pcl *Parcel) {
+	p.enqueue(outMessage{dst: dst, single: pcl})
+}
+
+// enqueue places one ready wire message on its destination's shard.
+func (p *Port) enqueue(m outMessage) {
+	s := &p.out[uint(m.dst)&(outShardCount-1)]
+	s.mu.Lock()
+	s.q.Push(m)
+	s.mu.Unlock()
+	p.outPending.Add(1)
 }
 
 // PendingOutbound returns the number of wire messages waiting for
 // background transmission.
 func (p *Port) PendingOutbound() int {
-	p.outMu.Lock()
-	defer p.outMu.Unlock()
-	return len(p.outQ)
+	return int(p.outPending.Load())
 }
 
 // onWireMessage runs on the fabric delivery goroutine: it must only
-// queue. Decoding happens in DoBackgroundWork on a scheduler worker.
+// queue, and it must never block — a stalled consumer would otherwise
+// wedge the fabric for every destination sharing the delivery goroutine.
+// When the receive queue is full the message is dropped and counted by
+// parcels/count/rx-dropped (parcel-level reliability is the job of
+// higher layers; see continuation retries).
 func (p *Port) onWireMessage(src int, payload []byte) {
 	if p.closed.Load() {
+		network.PutPayload(payload)
 		return
 	}
-	p.rxCh <- rxMessage{src: src, payload: payload}
+	select {
+	case p.rxCh <- rxMessage{src: src, payload: payload}:
+	default:
+		p.rxDropped.Inc()
+		network.PutPayload(payload)
+	}
 }
 
 // DoBackgroundWork performs up to maxUnits units of network background
@@ -239,28 +295,67 @@ func (p *Port) DoBackgroundWork(maxUnits int) int {
 	return done
 }
 
-// sendOne transmits one queued outbound message, if any.
+// sendOne transmits one queued outbound message, if any. Shards are
+// scanned round-robin from a rotating cursor so concurrent background
+// workers start on different shards and no destination starves.
 func (p *Port) sendOne() bool {
-	p.outMu.Lock()
-	if len(p.outQ) == 0 {
-		p.outMu.Unlock()
+	if p.outPending.Load() == 0 {
 		return false
 	}
-	m := p.outQ[0]
-	p.outQ = p.outQ[1:]
-	p.outMu.Unlock()
-
-	start := time.Now()
-	payload := EncodeBundle(m.parcels)
-	if err := p.fabric.Send(p.locality, m.dst, payload); err != nil {
-		p.sendErrors.Inc()
+	start := uint(p.sendCursor.Add(1))
+	for i := uint(0); i < outShardCount; i++ {
+		s := &p.out[(start+i)&(outShardCount-1)]
+		s.mu.Lock()
+		m, ok := s.q.Pop()
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		p.outPending.Add(-1)
+		p.transmit(m)
 		return true
 	}
-	p.parcelsSent.Add(int64(len(m.parcels)))
+	return false
+}
+
+// transmit serializes one wire message into a pooled payload buffer and
+// hands it to the fabric. On success buffer ownership passes to the
+// fabric (and ultimately the receiving port); on failure the buffer is
+// recycled here. Batch slices are recycled either way.
+func (p *Port) transmit(m outMessage) {
+	start := time.Now()
+	count, size := 1, 0
+	if m.single != nil {
+		size = m.single.encodedSize()
+	} else {
+		count = len(m.parcels)
+		for _, pc := range m.parcels {
+			size += pc.encodedSize()
+		}
+	}
+	buf := network.GetPayload(bundleSize(count, size))
+	payload := appendBundleHeader(buf[:0], count)
+	if m.single != nil {
+		payload = appendParcel(payload, m.single)
+	} else {
+		for _, pc := range m.parcels {
+			payload = appendParcel(payload, pc)
+		}
+	}
+	nbytes := len(payload)
+	err := p.fabric.Send(p.locality, m.dst, payload)
+	if m.parcels != nil {
+		PutBatch(m.parcels)
+	}
+	if err != nil {
+		p.sendErrors.Inc()
+		network.PutPayload(payload)
+		return
+	}
+	p.parcelsSent.Add(int64(count))
 	p.messagesSent.Inc()
-	p.bytesSent.Add(int64(len(payload)))
-	p.trc.RecordSpan(trace.KindMessage, "send", p.locality, start, int64(len(payload)))
-	return true
+	p.bytesSent.Add(int64(nbytes))
+	p.trc.RecordSpan(trace.KindMessage, "send", p.locality, start, int64(nbytes))
 }
 
 // receiveOne decodes one queued incoming message, if any.
@@ -270,17 +365,21 @@ func (p *Port) receiveOne() bool {
 		// Pay the modeled fixed per-message receive CPU cost here, on the
 		// worker doing background work.
 		timer.Spin(p.fabric.Model().RecvCPU(len(m.payload)))
+		nbytes := len(m.payload)
 		parcels, err := DecodeBundle(m.payload)
+		// Explicit release point: DecodeBundle copied everything it
+		// needs, so the wire buffer can go back to the pool.
+		network.PutPayload(m.payload)
 		if err != nil {
 			p.decodeErrors.Inc()
 			return true
 		}
 		p.messagesRcvd.Inc()
-		p.bytesRecvd.Add(int64(len(m.payload)))
+		p.bytesRecvd.Add(int64(nbytes))
 		p.parcelsRecvd.Add(int64(len(parcels)))
 		p.trc.Record(trace.Event{
 			Kind: trace.KindMessage, Name: "recv", Locality: p.locality,
-			Start: time.Now(), Arg: int64(len(m.payload)),
+			Start: time.Now(), Arg: int64(nbytes),
 		})
 		for _, pcl := range parcels {
 			p.deliver(pcl)
@@ -306,12 +405,26 @@ func (p *Port) FlushHandlers() {
 }
 
 // Drain performs background work until both queues are empty, bounded by
-// the timeout; it reports whether everything drained.
+// the timeout; it reports whether everything drained. Idle iterations
+// back off (yield, then short sleeps) instead of spinning, so a Drain
+// waiting on in-flight fabric deliveries does not burn a core.
 func (p *Port) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	idle := 0
 	for time.Now().Before(deadline) {
-		if p.DoBackgroundWork(64) == 0 && p.PendingOutbound() == 0 && len(p.rxCh) == 0 {
+		worked := p.DoBackgroundWork(64)
+		if worked == 0 && p.PendingOutbound() == 0 && len(p.rxCh) == 0 {
 			return true
+		}
+		if worked == 0 {
+			idle++
+			if idle <= 4 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+		} else {
+			idle = 0
 		}
 	}
 	return false
@@ -323,6 +436,7 @@ type Stats struct {
 	MessagesSent, MessagesReceived int64
 	BytesSent, BytesReceived       int64
 	SendErrors, DecodeErrors       int64
+	RxDropped                      int64
 }
 
 // Stats returns a snapshot of the port's traffic counters.
@@ -336,6 +450,7 @@ func (p *Port) Stats() Stats {
 		BytesReceived:    p.bytesRecvd.Get(),
 		SendErrors:       p.sendErrors.Get(),
 		DecodeErrors:     p.decodeErrors.Get(),
+		RxDropped:        p.rxDropped.Get(),
 	}
 }
 

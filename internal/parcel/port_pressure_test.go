@@ -1,0 +1,125 @@
+package parcel
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/network"
+)
+
+// TestPortRxQueueFullDrops exercises the non-blocking receive path: when
+// the bounded receive queue is full, further wire messages are dropped
+// and counted by parcels/count/rx-dropped instead of blocking the
+// fabric's delivery goroutine.
+func TestPortRxQueueFullDrops(t *testing.T) {
+	fabric := network.NewSimFabric(2, network.CostModel{})
+	defer fabric.Close()
+	resolve := func(g agas.GID) (int, error) { return g.AllocLocality(), nil }
+	rx := NewPort(Config{
+		Locality:     0,
+		Fabric:       fabric,
+		Resolve:      resolve,
+		Deliver:      func(p *Parcel) {},
+		RxQueueDepth: 2,
+	})
+	defer rx.Close()
+	tx := NewPort(Config{
+		Locality: 1,
+		Fabric:   fabric,
+		Resolve:  resolve,
+		Deliver:  func(p *Parcel) {},
+	})
+	defer tx.Close()
+
+	const sent = 10
+	for i := 0; i < sent; i++ {
+		if err := tx.Put(&Parcel{Dest: agas.MakeGID(0, uint64(i+1)), DestLocality: 0, Action: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Transmit everything while the receiver does no background work, so
+	// its 2-slot receive queue overflows.
+	for tx.DoBackgroundWork(64) > 0 {
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rx.Stats().RxDropped < sent-2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rx-dropped = %d, want %d", rx.Stats().RxDropped, sent-2)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The receiver can still decode what it kept.
+	if !rx.Drain(2 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	s := rx.Stats()
+	if s.RxDropped != sent-2 || s.MessagesReceived != 2 {
+		t.Errorf("stats = %+v, want 8 dropped / 2 received", s)
+	}
+}
+
+// passHandler is a trivial message handler that forwards every parcel
+// unbatched, used to stress handler install/remove concurrency.
+type passHandler struct{ port *Port }
+
+func (h *passHandler) Put(p *Parcel) { h.port.EnqueueParcel(p.DestLocality, p) }
+func (h *passHandler) Flush()        {}
+func (h *passHandler) Close()        {}
+
+// TestPortRacePutBackgroundSetHandler runs Put, DoBackgroundWork and
+// SetMessageHandler concurrently; it exists to be run under -race and to
+// verify no parcels are lost while handlers churn.
+func TestPortRacePutBackgroundSetHandler(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	const workers = 4
+	const per = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.ports[0].DoBackgroundWork(32)
+				c.ports[1].DoBackgroundWork(32)
+			}
+		}
+	}()
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				if i%2 == 0 {
+					c.ports[0].SetMessageHandler("hot", &passHandler{port: c.ports[0]})
+				} else {
+					c.ports[0].SetMessageHandler("hot", nil)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p := &Parcel{Dest: agas.MakeGID(1, uint64(w*per+i+1)), DestLocality: -1, Action: "hot"}
+				if err := c.ports[0].Put(p); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.pump(5 * time.Second)
+	close(stop)
+	if got := len(c.received(1)); got != workers*per {
+		t.Errorf("received %d parcels, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"testing"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	b := New[int](4)
+	for i := 0; i < 100; i++ {
+		b.Push(i)
+	}
+	if b.Len() != 100 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := b.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := b.Pop(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var b Buffer[string]
+	b.Push("a")
+	b.Push("b")
+	if v, _ := b.Peek(); v != "a" {
+		t.Errorf("peek = %q", v)
+	}
+	if v, _ := b.Pop(); v != "a" {
+		t.Errorf("pop = %q", v)
+	}
+	if b.Len() != 1 {
+		t.Errorf("len = %d", b.Len())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	b := New[int](8)
+	// Interleave pushes and pops so head wraps repeatedly without growth.
+	next, expect := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 5; i++ {
+			b.Push(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := b.Pop()
+			if !ok || v != expect {
+				t.Fatalf("round %d: pop = %d, %v, want %d", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+	if got := b.Cap(); got != 16 {
+		t.Errorf("cap grew to %d despite bounded occupancy", got)
+	}
+}
+
+func TestGrowPreservesOrderAcrossWrap(t *testing.T) {
+	b := New[int](4)
+	// Advance head so the queue wraps, then force growth.
+	for i := 0; i < 12; i++ {
+		b.Push(i)
+	}
+	for i := 0; i < 12; i++ {
+		b.Pop()
+	}
+	for i := 0; i < 40; i++ {
+		b.Push(100 + i)
+	}
+	for i := 0; i < 40; i++ {
+		v, ok := b.Pop()
+		if !ok || v != 100+i {
+			t.Fatalf("pop = %d, %v, want %d", v, ok, 100+i)
+		}
+	}
+}
+
+func TestPopClearsSlot(t *testing.T) {
+	b := New[*int](4)
+	x := 7
+	b.Push(&x)
+	b.Pop()
+	// The vacated slot must not retain the pointer.
+	for i := range b.buf {
+		if b.buf[i] != nil {
+			t.Errorf("slot %d still holds a pointer after pop", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New[*int](4)
+	x := 1
+	for i := 0; i < 10; i++ {
+		b.Push(&x)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("len = %d after reset", b.Len())
+	}
+	for i := range b.buf {
+		if b.buf[i] != nil {
+			t.Errorf("slot %d retained after reset", i)
+		}
+	}
+	b.Push(&x)
+	if b.Len() != 1 {
+		t.Errorf("push after reset: len = %d", b.Len())
+	}
+}

@@ -279,15 +279,20 @@ const (
 )
 
 func encodeResult(res []byte, err error) []byte {
-	w := serialization.NewWriter(1 + len(res))
+	// The encoding is built in a pooled writer and copied out at exact
+	// size: the copy must own its memory (it becomes the result parcel's
+	// Args), but the writer's scratch buffer is recycled across the many
+	// result parcels a run produces.
+	w := serialization.GetWriter()
+	defer serialization.PutWriter(w)
 	if err != nil {
 		w.U8(resultErr)
 		w.String(err.Error())
-		return w.Bytes()
+	} else {
+		w.U8(resultOK)
+		w.BytesField(res)
 	}
-	w.U8(resultOK)
-	w.BytesField(res)
-	return w.Bytes()
+	return append(make([]byte, 0, w.Len()), w.Bytes()...)
 }
 
 func decodeResult(data []byte) ([]byte, error) {

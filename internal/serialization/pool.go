@@ -1,0 +1,35 @@
+package serialization
+
+import "sync"
+
+// maxPooledWriterCap bounds the buffer capacity a writer may carry back
+// into the pool. Writers that grew beyond it (a giant coalesced bundle,
+// a bulk array payload) drop their buffer on release so the pool's
+// steady-state footprint stays proportional to typical message sizes.
+const maxPooledWriterCap = 1 << 20
+
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter(4096) },
+}
+
+// GetWriter returns an empty pooled Writer. Release it with PutWriter
+// once the encoded bytes have been consumed or copied; the returned
+// encoding (Bytes) aliases the writer's buffer and is invalidated by
+// PutWriter.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not use w or any
+// slice obtained from w.Bytes() afterwards.
+func PutWriter(w *Writer) {
+	if w == nil {
+		return
+	}
+	if cap(w.buf) > maxPooledWriterCap {
+		w.buf = nil
+	}
+	writerPool.Put(w)
+}

@@ -1,0 +1,61 @@
+package serialization
+
+import "testing"
+
+func TestGetWriterIsReset(t *testing.T) {
+	w := GetWriter()
+	w.U64(42)
+	w.String("payload")
+	if w.Len() == 0 {
+		t.Fatal("writer recorded nothing")
+	}
+	PutWriter(w)
+	w2 := GetWriter()
+	defer PutWriter(w2)
+	if w2.Len() != 0 {
+		t.Errorf("pooled writer not reset: %d bytes", w2.Len())
+	}
+}
+
+func TestPutWriterNilSafe(t *testing.T) {
+	PutWriter(nil) // must not panic
+}
+
+func TestPutWriterDropsOversizedBuffer(t *testing.T) {
+	w := GetWriter()
+	big := make([]byte, maxPooledWriterCap+1)
+	w.BytesField(big)
+	if cap(w.buf) <= maxPooledWriterCap {
+		t.Fatalf("test setup: writer did not grow past the cap (%d)", cap(w.buf))
+	}
+	PutWriter(w)
+	if w.buf != nil {
+		t.Error("oversized buffer retained by released writer")
+	}
+}
+
+func TestWriterPoolRoundTripEncoding(t *testing.T) {
+	// A pooled writer must encode identically to a fresh one.
+	w := GetWriter()
+	defer PutWriter(w)
+	w.U8(7)
+	w.Uvarint(300)
+	w.String("abc")
+	fresh := NewWriter(16)
+	fresh.U8(7)
+	fresh.Uvarint(300)
+	fresh.String("abc")
+	if string(w.Bytes()) != string(fresh.Bytes()) {
+		t.Errorf("pooled encoding %x != fresh encoding %x", w.Bytes(), fresh.Bytes())
+	}
+}
+
+func BenchmarkPooledWriter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := GetWriter()
+		w.U64(uint64(i))
+		w.String("bench")
+		PutWriter(w)
+	}
+}

@@ -74,6 +74,35 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Microsecond))
 }
 
+// ObserveBatch records a batch of samples under a single lock
+// acquisition. Hot paths that would otherwise contend on the histogram
+// mutex (the coalescer's striped Put) buffer samples locally and fold
+// them in here; the result is identical to observing each sample
+// individually.
+func (h *Histogram) ObserveBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, x := range xs {
+		h.count++
+		h.sum += x
+		switch {
+		case x < h.low:
+			h.under++
+		case x >= h.high:
+			h.over++
+		default:
+			i := int((x - h.low) / h.width)
+			if i >= len(h.buckets) { // guard against floating point edge
+				i = len(h.buckets) - 1
+			}
+			h.buckets[i]++
+		}
+	}
+}
+
 // Count returns the total number of observations, including under/overflow.
 func (h *Histogram) Count() uint64 {
 	h.mu.Lock()

@@ -41,3 +41,37 @@ func TestZeroAllocSendPath(t *testing.T) {
 		}
 	}
 }
+
+func BenchmarkSchedSpawnExecute(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		for _, stealing := range []bool{true, false} {
+			b.Run(SchedBenchName("SpawnExecute", stealing, workers), func(b *testing.B) {
+				SchedSpawnExecute(b, stealing, workers, 0)
+			})
+		}
+	}
+}
+
+func BenchmarkSchedEmptyTaskLatency(b *testing.B) {
+	for _, stealing := range []bool{true, false} {
+		b.Run(SchedBenchName("EmptyTaskLatency", stealing, 4), func(b *testing.B) {
+			SchedEmptyTaskLatency(b, stealing, 4)
+		})
+	}
+}
+
+func BenchmarkSchedStealImbalance(b *testing.B) {
+	for _, stealing := range []bool{true, false} {
+		b.Run(SchedBenchName("StealImbalance", stealing, 16), func(b *testing.B) {
+			SchedStealImbalance(b, stealing, 16)
+		})
+	}
+}
+
+func BenchmarkSchedBackgroundStarvation(b *testing.B) {
+	for _, stealing := range []bool{true, false} {
+		b.Run(SchedBenchName("BackgroundStarvation", stealing, 4), func(b *testing.B) {
+			SchedBackgroundStarvation(b, stealing, 4)
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/timer"
+)
+
+// Scheduler micro-benchmarks. The work-stealing scheduler
+// (runtime.SchedBench) is always measured against the seed's
+// single-channel design (runtime.ChanSchedBench) so the speedup is a
+// measurement, not a claim: spawn/execute throughput at several worker
+// counts on fine-grained tasks, cold-start empty-task latency through
+// the park/wake path, a steal-heavy imbalanced load, and background
+// network work under task saturation.
+
+// schedPool abstracts the two scheduler implementations under test.
+type schedPool interface {
+	Spawn(fn func()) bool
+	Stats() runtime.SchedStats
+	Stop()
+}
+
+func newPool(stealing bool, cfg runtime.SchedBenchConfig) schedPool {
+	if stealing {
+		return runtime.NewSchedBench(cfg)
+	}
+	return runtime.NewChanSchedBench(cfg)
+}
+
+// SchedSpawnExecute measures end-to-end spawn+execute throughput:
+// `workers` producer goroutines spawn b.N fine-grained tasks
+// (taskSpin of busy work each; 0 means empty) and wait for all of them
+// to finish. ns/op is the per-task cost of the whole scheduling cycle.
+func SchedSpawnExecute(b *testing.B, stealing bool, workers int, taskSpin time.Duration) {
+	p := newPool(stealing, runtime.SchedBenchConfig{Workers: workers})
+	defer p.Stop()
+	body := func() {}
+	if taskSpin > 0 {
+		body = func() { timer.Spin(taskSpin) }
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	task := func() { body(); wg.Done() }
+	per := b.N / workers
+	extra := b.N - per*workers
+	var producers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		producers.Add(1)
+		go func(n int) {
+			defer producers.Done()
+			for i := 0; i < n; i++ {
+				if !p.Spawn(task) {
+					b.Error("spawn failed")
+					return
+				}
+			}
+		}(n)
+	}
+	producers.Wait()
+	wg.Wait()
+	b.StopTimer()
+	// The last task's accounting epilogue runs just after its body
+	// signals the WaitGroup, so give the counter a moment to catch up.
+	deadline := time.Now().Add(time.Second)
+	for p.Stats().Tasks < int64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("executed %d of %d tasks", p.Stats().Tasks, b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// SchedEmptyTaskLatency measures the cold-path latency of one task
+// spawned into an otherwise idle scheduler: the spawn, the wake of a
+// parked (or sleeping) worker, the execution and the completion signal.
+func SchedEmptyTaskLatency(b *testing.B, stealing bool, workers int) {
+	p := newPool(stealing, runtime.SchedBenchConfig{Workers: workers})
+	defer p.Stop()
+	done := make(chan struct{})
+	task := func() { done <- struct{}{} }
+	// Let the workers reach their deepest idle state before measuring.
+	time.Sleep(5 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Spawn(task) {
+			b.Fatal("spawn failed")
+		}
+		<-done
+	}
+}
+
+// SchedStealImbalance preloads every task onto a single worker's inject
+// queue, so the rest of the pool makes progress only by stealing. The
+// single-channel baseline has no per-worker queues — all workers share
+// the one channel — so it is reported for scale, not contrast, via the
+// plain Spawn path.
+func SchedStealImbalance(b *testing.B, stealing bool, workers int) {
+	cfg := runtime.SchedBenchConfig{Workers: workers}
+	b.ReportAllocs()
+	if stealing {
+		p := runtime.NewSchedBench(cfg)
+		defer p.Stop()
+		var wg sync.WaitGroup
+		wg.Add(b.N)
+		task := func() { timer.Spin(time.Microsecond); wg.Done() }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !p.SpawnTo(0, task) {
+				b.Fatal("spawn failed")
+			}
+		}
+		wg.Wait()
+		return
+	}
+	p := runtime.NewChanSchedBench(cfg)
+	defer p.Stop()
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	task := func() { timer.Spin(time.Microsecond); wg.Done() }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Spawn(task) {
+			b.Fatal("spawn failed")
+		}
+	}
+	wg.Wait()
+}
+
+// SchedBackgroundStarvation saturates the pool with a steady task
+// stream while background network work is always available, and reports
+// how many background units were processed per executed task
+// (bg-units/task). The work-stealing scheduler interleaves a periodic
+// background batch even when tasks are runnable; the single-channel
+// baseline only reaches the network when a worker happens to find its
+// queue empty.
+func SchedBackgroundStarvation(b *testing.B, stealing bool, workers int) {
+	var bgDone atomic.Int64
+	bg := func(maxUnits int) int {
+		bgDone.Add(int64(maxUnits))
+		return maxUnits
+	}
+	p := newPool(stealing, runtime.SchedBenchConfig{Workers: workers, Background: bg})
+	defer p.Stop()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	task := func() { timer.Spin(time.Microsecond); wg.Done() }
+	for i := 0; i < b.N; i++ {
+		if !p.Spawn(task) {
+			b.Fatal("spawn failed")
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(bgDone.Load())/float64(b.N), "bg-units/task")
+}
+
+// SchedBenchName names a scheduler benchmark variant consistently for
+// bench_test.go and cmd/amc-bench.
+func SchedBenchName(kind string, stealing bool, workers int) string {
+	impl := "WorkStealing"
+	if !stealing {
+		impl = "Chan"
+	}
+	return fmt.Sprintf("Sched%s%s/workers=%d", kind, impl, workers)
+}

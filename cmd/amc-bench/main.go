@@ -1,18 +1,28 @@
-// Command amc-bench runs the parcel-pipeline micro-benchmark suite
-// (package bench) outside `go test` and writes the results as JSON,
-// producing the committed BENCH_parcel.json snapshot.
+// Command amc-bench runs the micro-benchmark suites (package bench)
+// outside `go test` and writes the results as JSON, producing the
+// committed BENCH_parcel.json and BENCH_sched.json snapshots.
 //
-// The suite measures the three layers of the zero-allocation send
-// pipeline — bundle encode/decode, port enqueue/send, and coalescer Put
-// under 1/4/16 concurrent senders against a single-mutex baseline — and
-// the report includes the striped-vs-baseline speedup at each
-// concurrency level plus pass/fail fields for the pipeline's two
+// The parcel suite measures the three layers of the zero-allocation
+// send pipeline — bundle encode/decode, port enqueue/send, and
+// coalescer Put under 1/4/16 concurrent senders against a single-mutex
+// baseline — and its report includes the striped-vs-baseline speedup at
+// each concurrency level plus pass/fail fields for the pipeline's two
 // headline claims (0 allocs/op on encode and send; >=2x coalescer
 // speedup at 16 senders).
+//
+// The sched suite measures the work-stealing task scheduler against the
+// seed's single-channel design: spawn/execute throughput at 1/4/16
+// workers, cold-start empty-task latency through the park/wake path, a
+// steal-heavy imbalanced load, and background network work under task
+// saturation. Its report includes the per-worker-count speedups and a
+// pass/fail field for the scheduler's headline claim (>=2x throughput
+// at 16 workers on fine-grained tasks).
 //
 // Examples:
 //
 //	amc-bench -o BENCH_parcel.json
+//	amc-bench -suite sched -o BENCH_sched.json
+//	amc-bench -suite all
 //	amc-bench -benchtime 2s -v
 package main
 
@@ -36,6 +46,9 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Extra carries testing.B.ReportMetric values (e.g. the background
+	// starvation benchmark's bg-units/task).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // speedup compares the striped coalescer against the single-mutex
@@ -58,9 +71,68 @@ type report struct {
 	Speedup16OK       bool      `json:"coalescer_16x_speedup_ge_2"`
 }
 
+// schedSpeedup compares the work-stealing scheduler against the
+// single-channel baseline at one worker count.
+type schedSpeedup struct {
+	Workers        int     `json:"workers"`
+	WorkStealingNs float64 `json:"work_stealing_ns_per_op"`
+	ChanNs         float64 `json:"chan_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// schedReport is the BENCH_sched.json schema.
+type schedReport struct {
+	GoVersion            string         `json:"go_version"`
+	GOMAXPROCS           int            `json:"gomaxprocs"`
+	Benchtime            string         `json:"benchtime"`
+	Results              []result       `json:"results"`
+	SpawnExecuteSpeedups []schedSpeedup `json:"spawn_execute_speedups"`
+	Speedup16OK          bool           `json:"spawn_execute_16x_speedup_ge_2"`
+	EmptyTaskLatency     schedSpeedup   `json:"empty_task_latency"`
+	StealImbalance       schedSpeedup   `json:"steal_imbalance"`
+}
+
+// runner measures one benchmark, records it in a result list, and
+// optionally echoes it to stderr.
+type runner struct {
+	verbose bool
+	results *[]result
+}
+
+func (rn runner) run(name string, fn func(*testing.B)) testing.BenchmarkResult {
+	r := testing.Benchmark(fn)
+	res := result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	if len(r.Extra) > 0 {
+		res.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			res.Extra[k] = v
+		}
+	}
+	*rn.results = append(*rn.results, res)
+	if rn.verbose {
+		fmt.Fprintf(os.Stderr, "%-60s %12d iters %10.1f ns/op %6d B/op %4d allocs/op\n",
+			name, r.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	return r
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
 func main() {
 	testing.Init() // register test.* flags so test.benchtime can be set
-	out := flag.String("o", "BENCH_parcel.json", "output file (- for stdout)")
+	suite := flag.String("suite", "parcel", "benchmark suite: parcel, sched, or all")
+	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measurement time")
 	verbose := flag.Bool("v", false, "print each result as it completes")
 	flag.Parse()
@@ -70,47 +142,52 @@ func main() {
 		fatal(err)
 	}
 
+	switch *suite {
+	case "parcel":
+		runParcel(orDefault(*out, "BENCH_parcel.json"), *benchtime, *verbose)
+	case "sched":
+		runSched(orDefault(*out, "BENCH_sched.json"), *benchtime, *verbose)
+	case "all":
+		if *out != "" {
+			fatal(fmt.Errorf("-o cannot be combined with -suite all; each suite writes its default file"))
+		}
+		runParcel("BENCH_parcel.json", *benchtime, *verbose)
+		runSched("BENCH_sched.json", *benchtime, *verbose)
+	default:
+		fatal(fmt.Errorf("unknown suite %q (want parcel, sched, or all)", *suite))
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func runParcel(out string, benchtime time.Duration, verbose bool) {
 	rep := report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchtime:  benchtime.String(),
 	}
+	rn := runner{verbose: verbose, results: &rep.Results}
 
-	run := func(name string, fn func(*testing.B)) testing.BenchmarkResult {
-		r := testing.Benchmark(fn)
-		res := result{
-			Name:        name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		if r.Bytes > 0 && r.T > 0 {
-			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
-		}
-		rep.Results = append(rep.Results, res)
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "%-44s %12d iters %10.1f ns/op %6d B/op %4d allocs/op\n",
-				name, r.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
-		}
-		return r
-	}
-
-	encode := run("EncodeBundle", bench.EncodeBundle)
-	run("DecodeBundle", bench.DecodeBundle)
-	run("PortEnqueue", bench.PortEnqueue)
-	send := run("PortSend", bench.PortSend)
+	encode := rn.run("EncodeBundle", bench.EncodeBundle)
+	rn.run("DecodeBundle", bench.DecodeBundle)
+	rn.run("PortEnqueue", bench.PortEnqueue)
+	send := rn.run("PortSend", bench.PortSend)
 
 	for _, workers := range []int{1, 4, 16} {
 		w := workers
-		striped := run(bench.CoalescerBenchName(false, w),
+		striped := rn.run(bench.CoalescerBenchName(false, w),
 			func(b *testing.B) { bench.CoalescerPut(b, w) })
-		baseline := run(bench.CoalescerBenchName(true, w),
+		baseline := rn.run(bench.CoalescerBenchName(true, w),
 			func(b *testing.B) { bench.CoalescerPutBaseline(b, w) })
 		s := speedup{
 			Goroutines: w,
-			StripedNs:  float64(striped.T.Nanoseconds()) / float64(striped.N),
-			BaselineNs: float64(baseline.T.Nanoseconds()) / float64(baseline.N),
+			StripedNs:  nsPerOp(striped),
+			BaselineNs: nsPerOp(baseline),
 		}
 		if s.StripedNs > 0 {
 			s.Speedup = s.BaselineNs / s.StripedNs
@@ -122,20 +199,73 @@ func main() {
 	}
 	rep.ZeroAllocSendPath = encode.AllocsPerOp() == 0 && send.AllocsPerOp() == 0
 
+	writeJSON(out, rep)
+	fmt.Printf("wrote %s (%d benchmarks, zero-alloc=%v, 16-sender speedup ok=%v)\n",
+		out, len(rep.Results), rep.ZeroAllocSendPath, rep.Speedup16OK)
+}
+
+func runSched(out string, benchtime time.Duration, verbose bool) {
+	rep := schedReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime.String(),
+	}
+	rn := runner{verbose: verbose, results: &rep.Results}
+
+	pair := func(workers int, kind string, fn func(b *testing.B, stealing bool)) schedSpeedup {
+		ws := rn.run(bench.SchedBenchName(kind, true, workers),
+			func(b *testing.B) { fn(b, true) })
+		ch := rn.run(bench.SchedBenchName(kind, false, workers),
+			func(b *testing.B) { fn(b, false) })
+		s := schedSpeedup{
+			Workers:        workers,
+			WorkStealingNs: nsPerOp(ws),
+			ChanNs:         nsPerOp(ch),
+		}
+		if s.WorkStealingNs > 0 {
+			s.Speedup = s.ChanNs / s.WorkStealingNs
+		}
+		return s
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		w := workers
+		s := pair(w, "SpawnExecute", func(b *testing.B, stealing bool) {
+			bench.SchedSpawnExecute(b, stealing, w, 0)
+		})
+		rep.SpawnExecuteSpeedups = append(rep.SpawnExecuteSpeedups, s)
+		if w == 16 {
+			rep.Speedup16OK = s.Speedup >= 2
+		}
+	}
+	rep.EmptyTaskLatency = pair(4, "EmptyTaskLatency", func(b *testing.B, stealing bool) {
+		bench.SchedEmptyTaskLatency(b, stealing, 4)
+	})
+	rep.StealImbalance = pair(16, "StealImbalance", func(b *testing.B, stealing bool) {
+		bench.SchedStealImbalance(b, stealing, 16)
+	})
+	pair(4, "BackgroundStarvation", func(b *testing.B, stealing bool) {
+		bench.SchedBackgroundStarvation(b, stealing, 4)
+	})
+
+	writeJSON(out, rep)
+	fmt.Printf("wrote %s (%d benchmarks, 16-worker spawn/execute speedup ok=%v)\n",
+		out, len(rep.Results), rep.Speedup16OK)
+}
+
+func writeJSON(out string, rep any) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, zero-alloc=%v, 16-sender speedup ok=%v)\n",
-		*out, len(rep.Results), rep.ZeroAllocSendPath, rep.Speedup16OK)
 }
 
 func fatal(err error) {

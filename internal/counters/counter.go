@@ -170,6 +170,11 @@ func (c *Elapsed) Reset() { c.ns.Store(0) }
 // Add accumulates a duration.
 func (c *Elapsed) Add(d time.Duration) { c.ns.Add(int64(d)) }
 
+// AddNanos accumulates a pre-summed batch of nanoseconds. Hot paths that
+// aggregate many task durations locally flush them here in one atomic
+// add, the Elapsed analog of Average.RecordBatch.
+func (c *Elapsed) AddNanos(ns int64) { c.ns.Add(ns) }
+
 // Total returns the accumulated duration.
 func (c *Elapsed) Total() time.Duration { return time.Duration(c.ns.Load()) }
 

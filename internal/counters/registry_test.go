@@ -64,6 +64,10 @@ func TestElapsedCounter(t *testing.T) {
 	if got := c.Total(); got != 750*time.Millisecond {
 		t.Errorf("total = %v", got)
 	}
+	c.AddNanos(int64(250 * time.Millisecond))
+	if got := c.Total(); got != time.Second {
+		t.Errorf("total after AddNanos = %v", got)
+	}
 	c.Reset()
 	if c.Total() != 0 {
 		t.Error("reset failed")

@@ -122,15 +122,18 @@ func (f *TCPFabric) Send(src, dst int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	frame := GetPayload(8 + len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(src))
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
-	copy(frame[8:], payload)
+	// Header and payload go out as one writev (net.Buffers) on the TCP
+	// connection: a single syscall per message with no copy of the
+	// payload into a combined frame buffer. The vectored write also
+	// keeps the framing atomic under the connection mutex.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(src))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
 
 	f.mu.Lock()
-	_, err = conn.Write(frame)
+	_, err = bufs.WriteTo(conn)
 	f.mu.Unlock()
-	PutPayload(frame)
 	if err != nil {
 		return fmt.Errorf("network: tcp send %d->%d: %w", src, dst, err)
 	}

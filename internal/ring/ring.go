@@ -84,6 +84,30 @@ func (b *Buffer[T]) Peek() (T, bool) {
 	return b.buf[b.head], true
 }
 
+// MoveTo pops up to n elements from the head of b and pushes them onto
+// the tail of dst, preserving FIFO order, and returns how many moved.
+// It is the bulk-transfer primitive behind the scheduler's steal-half
+// operation and inject-queue draining: elements are copied slot to slot
+// without any intermediate buffer, and vacated slots are zeroed exactly
+// as Pop would. Callers synchronize both buffers.
+func (b *Buffer[T]) MoveTo(dst *Buffer[T], n int) int {
+	if n > b.n {
+		n = b.n
+	}
+	if n <= 0 {
+		return 0
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		idx := (b.head + i) & (len(b.buf) - 1)
+		dst.Push(b.buf[idx])
+		b.buf[idx] = zero
+	}
+	b.head = (b.head + n) & (len(b.buf) - 1)
+	b.n -= n
+	return n
+}
+
 // Reset discards all elements, zeroing occupied slots but keeping the
 // backing array.
 func (b *Buffer[T]) Reset() {

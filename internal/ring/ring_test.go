@@ -113,3 +113,71 @@ func TestReset(t *testing.T) {
 		t.Errorf("push after reset: len = %d", b.Len())
 	}
 }
+
+func TestMoveTo(t *testing.T) {
+	src := New[int](8)
+	dst := New[int](8)
+	dst.Push(-1) // pre-existing tail content must precede moved elements
+	for i := 0; i < 10; i++ {
+		src.Push(i)
+	}
+	if got := src.MoveTo(dst, 4); got != 4 {
+		t.Fatalf("moved %d, want 4", got)
+	}
+	if src.Len() != 6 || dst.Len() != 5 {
+		t.Fatalf("lens = %d, %d", src.Len(), dst.Len())
+	}
+	want := []int{-1, 0, 1, 2, 3}
+	for i, w := range want {
+		if v, ok := dst.Pop(); !ok || v != w {
+			t.Errorf("dst pop %d = %d, %v, want %d", i, v, ok, w)
+		}
+	}
+	// Remaining source order is preserved.
+	for i := 4; i < 10; i++ {
+		if v, ok := src.Pop(); !ok || v != i {
+			t.Errorf("src pop = %d, %v, want %d", v, ok, i)
+		}
+	}
+}
+
+func TestMoveToMoreThanAvailable(t *testing.T) {
+	src := New[int](4)
+	dst := New[int](4)
+	src.Push(1)
+	src.Push(2)
+	if got := src.MoveTo(dst, 100); got != 2 {
+		t.Fatalf("moved %d, want 2", got)
+	}
+	if src.Len() != 0 {
+		t.Errorf("src len = %d", src.Len())
+	}
+	if got := src.MoveTo(dst, 1); got != 0 {
+		t.Errorf("move from empty = %d", got)
+	}
+	if got := src.MoveTo(dst, -1); got != 0 {
+		t.Errorf("move negative = %d", got)
+	}
+}
+
+func TestMoveToZeroesVacatedSlots(t *testing.T) {
+	src := New[*int](4)
+	dst := New[*int](4)
+	x := 1
+	// Wrap the head so the move crosses the ring boundary.
+	for i := 0; i < 14; i++ {
+		src.Push(&x)
+		if i%2 == 0 {
+			src.Pop()
+		}
+	}
+	n := src.Len()
+	if got := src.MoveTo(dst, n); got != n {
+		t.Fatalf("moved %d, want %d", got, n)
+	}
+	for i := range src.buf {
+		if src.buf[i] != nil {
+			t.Errorf("slot %d still holds a pointer after move", i)
+		}
+	}
+}

@@ -62,6 +62,7 @@ func newLocality(rt *Runtime, id int) *Locality {
 		workers:      rt.cfg.WorkersPerLocality,
 		queueSize:    rt.cfg.TaskQueueSize,
 		idleSleep:    rt.cfg.IdleSleep,
+		maxIdleSleep: rt.cfg.MaxIdleSleep,
 		bgBatch:      rt.cfg.BackgroundBatch,
 		taskOverhead: rt.cfg.TaskOverhead,
 		registry:     l.registry,

@@ -72,9 +72,16 @@ type Config struct {
 	// TaskQueueSize bounds each locality's runnable-task queue
 	// (default 65536).
 	TaskQueueSize int
-	// IdleSleep is how long an idle worker naps when neither tasks nor
-	// background work are available (default 20µs).
+	// IdleSleep is the first park interval of an idle worker's backoff,
+	// reached after the spin and yield phases find neither tasks nor
+	// background work (default 20µs).
 	IdleSleep time.Duration
+	// MaxIdleSleep caps the idle backoff: park intervals double from
+	// IdleSleep up to this bound, which is also how often a fully idle
+	// worker polls for background network work (default 1ms). Parked
+	// workers are woken immediately by spawn, so task latency does not
+	// pay this interval.
+	MaxIdleSleep time.Duration
 	// BackgroundBatch is how many background work units a worker performs
 	// per idle visit (default 8).
 	BackgroundBatch int

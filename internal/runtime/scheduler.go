@@ -2,11 +2,13 @@ package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/counters"
+	"repro/internal/ring"
 	"repro/internal/timer"
 )
 
@@ -27,16 +29,115 @@ type schedConfig struct {
 	workers      int
 	queueSize    int
 	idleSleep    time.Duration
+	maxIdleSleep time.Duration
 	bgBatch      int
 	taskOverhead time.Duration
 	registry     *counters.Registry
 }
 
-// scheduler is a locality's task execution engine: a fixed pool of worker
-// goroutines (the analog of HPX's OS-thread pool) executing lightweight
-// tasks from a shared queue and performing network background work when no
-// task is runnable. It maintains the counters behind the paper's Section
-// III metrics:
+// Tuning constants of the work-stealing scheduler.
+const (
+	// flushEvery is how many tasks a worker executes between flushes of
+	// its private Section III accounting deltas into the shared
+	// counters. Shared-counter traffic per task is therefore amortized
+	// to a few atomic adds every flushEvery tasks (≪ 1 per task);
+	// stats() and the derived counters force a flush so reads stay
+	// exact.
+	flushEvery = 256
+	// bgCheckEvery is how many consecutive tasks a worker runs before
+	// performing one background-work batch even though tasks are still
+	// runnable, bounding network starvation under task floods (HPX
+	// schedulers likewise interleave periodic parcel-port maintenance).
+	bgCheckEvery = 64
+	// spinRounds and yieldRounds shape the idle backoff: an idle worker
+	// re-checks all queues spinRounds times, yields the processor
+	// yieldRounds times, and only then parks on its wake channel with a
+	// sleep that doubles from idleSleep up to maxIdleSleep.
+	spinRounds  = 4
+	yieldRounds = 4
+	// batchRun is how many uninstrumented tasks a worker runs
+	// back-to-back inside one timed span (see executeBatch): the clock
+	// reads and delta adds are paid once per span instead of once per
+	// task, while the span still measures exactly those tasks' run time.
+	batchRun = 32
+)
+
+// worker is one scheduler worker's private state. The deque, inject
+// queue and accounting block are laid out per worker and padded so that
+// steady-state operation touches no cache line shared with another
+// worker.
+type worker struct {
+	id int
+
+	// mu guards dq, the worker's local run deque: the owner pops from
+	// the head, thieves move the oldest half to their own deque. The
+	// lock is per worker, so in steady state it is uncontended.
+	mu sync.Mutex
+	dq ring.Buffer[task]
+
+	// injMu guards inj, the inject queue that spawn fills from outside
+	// the worker, and the running count of tasks ever injected.
+	injMu    sync.Mutex
+	inj      ring.Buffer[task]
+	injCount int64
+
+	// Batched Section III accounting: the owner accumulates per-task
+	// deltas into these atomics. They live on this worker's own cache
+	// lines, so the adds never bounce a line shared across workers.
+	// flushMu serializes flushers (the owner, stats() readers, stop) so
+	// each flushed batch pairs its task count with its duration sums
+	// consistently.
+	flushMu sync.Mutex
+	dTasks  atomic.Int64
+	dFunc   atomic.Int64 // Σ t_func of unflushed tasks, nanoseconds
+	dExec   atomic.Int64 // Σ t_exec of unflushed tasks, nanoseconds
+	dBg     atomic.Int64 // unflushed background-work time, nanoseconds
+
+	// Owner-only backoff and flush cursors (no synchronization needed).
+	sinceFlush   int
+	sinceBgCheck int
+	searching    bool // owner-only: counted in scheduler.nSearching
+
+	// parkCh (capacity 1) wakes a parked worker when spawn enqueues
+	// work; parkTimer bounds a park so background work is still polled.
+	parkCh    chan struct{}
+	parkTimer *time.Timer
+
+	_ [64]byte // pad workers apart when allocated adjacently
+}
+
+// spawnHint is a P-local inject-queue assignment handed out by the
+// scheduler's hint pool. Queue indices round-robin across the hints as
+// they are created, and sync.Pool storage is per-P, so each spawning
+// execution context sticks to its own inject queue with no shared
+// atomic operation on the steady-state path (the pool's New, which does
+// take one, runs only on first use per P and after GC clears the pool).
+// On a machine where workers occupy their own Ps this makes a worker's
+// own spawns land in the queue it drains — the work-stealing "push to
+// your own deque" fast path — while spawns from elsewhere spread
+// round-robin and imbalance is corrected by stealing.
+type spawnHint struct {
+	idx uint32
+}
+
+// scheduler is a locality's task execution engine: a fixed pool of
+// worker goroutines (the analog of HPX's OS-thread pool) executing
+// lightweight tasks and performing network background work when no task
+// is runnable.
+//
+// Tasks are distributed work-stealing style: spawn distributes new
+// tasks across per-worker inject queues (choosing the queue through a
+// P-local hint, so concurrent spawners do not contend), each worker
+// drains its inject queue into a private deque and runs from that, and
+// a worker whose queues are empty steals the oldest half of a victim's
+// deque before falling back to background network work and finally to
+// an adaptive spin → yield → park backoff. Parked workers are woken by
+// spawn — but only when no other worker is already searching for work,
+// mirroring the Go runtime's spinning-M throttle — so empty-task
+// latency does not pay the park sleep and a steady spawn stream does
+// not pay a wake per task.
+//
+// It maintains the counters behind the paper's Section III metrics:
 //
 //	/threads{locality#i}/count/cumulative        — tasks executed (n_t)
 //	/threads{locality#i}/time/cumulative         — Σ t_func   (Eq. 1)
@@ -45,20 +146,51 @@ type schedConfig struct {
 //	/threads{locality#i}/background-work         — Σ t_bg     (Eq. 3, seconds)
 //	/threads{locality#i}/background-overhead     — Σt_bg / (Σt_func+Σt_bg) (Eq. 4)
 //
+// The accounting behind these counters is batched: workers accumulate
+// deltas privately and flush every flushEvery tasks, when going idle,
+// and at shutdown; stats() and the derived counters flush all workers
+// before reading, so observed values are exact with respect to every
+// completed task while the steady state performs ~zero shared atomic
+// operations per task.
+//
 // The denominator of the background-overhead ratio is the scheduler's
 // total busy time (task time plus background time), keeping the metric a
 // dimensionless fraction of busy time spent on network processing; the
 // paper's Eq. 4 uses HPX's cumulative thread time, which likewise covers
 // all scheduler activity.
 type scheduler struct {
-	cfg   schedConfig
-	queue chan task
-	bg    backgroundWorker
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	cfg     schedConfig
+	bg      backgroundWorker
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	workers []*worker
 
-	spawned atomic.Int64
-	started time.Time
+	stopping atomic.Bool
+
+	// injSoftCap is the per-worker inject-queue occupancy beyond which
+	// spawn yields after enqueueing (soft backpressure; see spawn).
+	injSoftCap int
+
+	hintSeq  atomic.Uint32
+	hintPool sync.Pool
+
+	// Parked workers, LIFO so recently-parked (cache-warm) workers wake
+	// first. nParked mirrors len(parked) so spawn can skip the lock
+	// with a plain load when nobody is parked; nSearching counts
+	// workers between "found no task" and "found one", letting spawn
+	// skip the wake entirely while somebody is already looking.
+	parkMu     sync.Mutex
+	parked     []*worker
+	nParked    atomic.Int32
+	nSearching atomic.Int32
+
+	// base anchors monotonic time for task instrumentation:
+	// time.Since(base) reads only the monotonic clock, which is cheaper
+	// than time.Now's wall+monotonic pair and is taken twice per task.
+	base time.Time
+
+	startNano atomic.Int64 // wall clock at start(), 0 before
+	stopNano  atomic.Int64 // wall clock at stop() completion, 0 while running
 
 	numTasks    *counters.Raw
 	cumFunc     *counters.Elapsed
@@ -79,6 +211,12 @@ func newScheduler(cfg schedConfig, bg backgroundWorker) *scheduler {
 	if cfg.idleSleep <= 0 {
 		cfg.idleSleep = 20 * time.Microsecond
 	}
+	if cfg.maxIdleSleep <= 0 {
+		cfg.maxIdleSleep = time.Millisecond
+	}
+	if cfg.maxIdleSleep < cfg.idleSleep {
+		cfg.maxIdleSleep = cfg.idleSleep
+	}
 	if cfg.bgBatch <= 0 {
 		cfg.bgBatch = 8
 	}
@@ -91,8 +229,8 @@ func newScheduler(cfg schedConfig, bg backgroundWorker) *scheduler {
 	}
 	s := &scheduler{
 		cfg:         cfg,
-		queue:       make(chan task, cfg.queueSize),
 		bg:          bg,
+		base:        time.Now(),
 		quit:        make(chan struct{}),
 		numTasks:    counters.NewRaw(path("count/cumulative")),
 		cumFunc:     counters.NewElapsed(path("time/cumulative")),
@@ -100,7 +238,27 @@ func newScheduler(cfg schedConfig, bg backgroundWorker) *scheduler {
 		avgOverhead: counters.NewAverage(path("time/average-overhead")),
 		bgWork:      counters.NewElapsed(path("background-work")),
 	}
+	s.hintPool.New = func() any {
+		return &spawnHint{idx: (s.hintSeq.Add(1) - 1) % uint32(cfg.workers)}
+	}
+	// The per-worker queues grow on demand; size them so a queueSize
+	// burst spread across the pool fits without reallocation, and apply
+	// soft backpressure past that point so the rings stay at their
+	// initial size in steady state.
+	perWorker := cfg.queueSize / cfg.workers
+	if perWorker < 16 {
+		perWorker = 16
+	}
+	s.injSoftCap = perWorker
+	s.workers = make([]*worker, cfg.workers)
+	for i := range s.workers {
+		w := &worker{id: i, parkCh: make(chan struct{}, 1)}
+		w.dq = *ring.New[task](perWorker)
+		w.inj = *ring.New[task](perWorker)
+		s.workers[i] = w
+	}
 	s.bgOverhead = counters.NewDerived(path("background-overhead"), func() float64 {
+		s.flushAll()
 		bgSec := s.bgWork.Value()
 		busy := s.cumFunc.Value() + bgSec
 		if busy == 0 {
@@ -109,15 +267,23 @@ func newScheduler(cfg schedConfig, bg backgroundWorker) *scheduler {
 		return bgSec / busy
 	})
 	// idle-rate: the fraction of worker wall time spent neither running
-	// tasks nor doing background work (HPX's /threads/idle-rate).
+	// tasks nor doing background work (HPX's /threads/idle-rate). Wall
+	// time is frozen at stop(), so post-run reads report the run's idle
+	// rate instead of decaying toward 1 as real time keeps passing.
 	s.idleRate = counters.NewDerived(path("idle-rate"), func() float64 {
-		if s.started.IsZero() {
+		startNs := s.startNano.Load()
+		if startNs == 0 {
 			return 0
 		}
-		wall := time.Since(s.started).Seconds() * float64(s.cfg.workers)
+		endNs := s.stopNano.Load()
+		if endNs == 0 {
+			endNs = time.Now().UnixNano()
+		}
+		wall := float64(endNs-startNs) / float64(time.Second) * float64(s.cfg.workers)
 		if wall <= 0 {
 			return 0
 		}
+		s.flushAll()
 		busy := s.cumFunc.Value() + s.bgWork.Value()
 		rate := 1 - busy/wall
 		if rate < 0 {
@@ -126,75 +292,454 @@ func newScheduler(cfg schedConfig, bg backgroundWorker) *scheduler {
 		return rate
 	})
 	if cfg.registry != nil {
-		cfg.registry.MustRegister(s.numTasks)
-		cfg.registry.MustRegister(s.cumFunc)
-		cfg.registry.MustRegister(s.cumExec)
-		cfg.registry.MustRegister(s.avgOverhead)
-		cfg.registry.MustRegister(s.bgWork)
+		// Register through flush-on-read wrappers so registry queries
+		// observe every completed task even between batch flushes.
+		cfg.registry.MustRegister(flushOnRead{s.numTasks, s})
+		cfg.registry.MustRegister(flushOnRead{s.cumFunc, s})
+		cfg.registry.MustRegister(flushOnRead{s.cumExec, s})
+		cfg.registry.MustRegister(flushOnRead{s.avgOverhead, s})
+		cfg.registry.MustRegister(flushOnRead{s.bgWork, s})
 		cfg.registry.MustRegister(s.bgOverhead)
 		cfg.registry.MustRegister(s.idleRate)
 	}
 	return s
 }
 
+// flushOnRead exposes a scheduler counter to the registry with
+// read-time exactness: Value() first flushes all workers' batched
+// accounting deltas into the shared counters, so moving the Section III
+// bookkeeping off the per-task hot path never changes what a counter
+// query returns, only what it costs.
+type flushOnRead struct {
+	counters.Counter
+	s *scheduler
+}
+
+func (c flushOnRead) Value() float64 {
+	c.s.flushAll()
+	return c.Counter.Value()
+}
+
 // start launches the worker pool.
 func (s *scheduler) start() {
-	s.started = time.Now()
-	for i := 0; i < s.cfg.workers; i++ {
+	s.startNano.Store(time.Now().UnixNano())
+	for _, w := range s.workers {
 		s.wg.Add(1)
-		go s.worker()
+		go s.run(w)
 	}
 }
 
-// stop shuts the pool down after the queue drains of already-spawned
-// tasks that are immediately runnable; tasks spawned after stop may be
-// dropped.
+// stop shuts the pool down after the queues drain of already-spawned
+// tasks that are immediately runnable; tasks spawned concurrently with
+// stop may be dropped. stop is idempotent and never blocks spawners:
+// spawn observes the stopping flag and fails fast instead of queueing.
 func (s *scheduler) stop() {
+	if s.stopping.Swap(true) {
+		s.wg.Wait()
+		return
+	}
 	close(s.quit)
+	s.wakeAll()
 	s.wg.Wait()
+	s.flushAll()
+	s.stopNano.Store(time.Now().UnixNano())
 }
 
-// spawn enqueues a task. It reports false if the scheduler is stopping.
+// spawn enqueues a task into a per-worker inject queue chosen by a
+// P-local hint, so concurrent spawners touch disjoint queues and no
+// shared atomic is updated on the steady-state path. It reports false
+// if the scheduler is stopping; it never blocks, so a spawn racing stop
+// cannot hang (the task may simply be dropped).
 func (s *scheduler) spawn(fn func()) bool {
-	select {
-	case <-s.quit:
+	if s.stopping.Load() {
 		return false
-	default:
 	}
-	s.spawned.Add(1)
-	s.queue <- task{run: fn}
+	h := s.hintPool.Get().(*spawnHint)
+	w := s.workers[h.idx]
+	s.hintPool.Put(h)
+
+	w.injMu.Lock()
+	overloaded := w.inj.Len() >= s.injSoftCap
+	w.inj.Push(task{run: fn})
+	w.injCount++
+	w.injMu.Unlock()
+
+	s.maybeWake()
+	if overloaded {
+		// Soft backpressure: the task is already enqueued (so this can
+		// never deadlock a worker spawning from inside a task), but a
+		// producer running ahead of the pool yields so consumers catch
+		// up instead of growing the rings — and the GC load of scanning
+		// them — without bound.
+		goruntime.Gosched()
+	}
 	return true
 }
 
-// pending returns the number of queued-but-not-started tasks.
-func (s *scheduler) pending() int { return len(s.queue) }
+// spawnTo enqueues a task directly onto worker i's inject queue,
+// bypassing the spawn hint. Tests and benchmarks use it to construct
+// imbalanced (steal-heavy) workloads.
+func (s *scheduler) spawnTo(i int, fn func()) bool {
+	if s.stopping.Load() {
+		return false
+	}
+	w := s.workers[i%len(s.workers)]
+	w.injMu.Lock()
+	overloaded := w.inj.Len() >= s.injSoftCap
+	w.inj.Push(task{run: fn})
+	w.injCount++
+	w.injMu.Unlock()
+	s.maybeWake()
+	if overloaded {
+		goruntime.Gosched()
+	}
+	return true
+}
 
-func (s *scheduler) worker() {
+// maybeWake wakes one parked worker after an enqueue, unless some
+// worker is already searching for work (it will find the new task
+// without a wakeup — the analog of the Go runtime's "don't wake a P
+// while an M is spinning" rule, which keeps a steady spawn stream from
+// paying a park/wake handshake per task).
+func (s *scheduler) maybeWake() {
+	if s.nSearching.Load() == 0 && s.nParked.Load() > 0 {
+		s.wakeOne()
+	}
+}
+
+// pending returns the number of queued-but-not-started tasks across all
+// deques and inject queues.
+func (s *scheduler) pending() int {
+	n := 0
+	for _, w := range s.workers {
+		w.mu.Lock()
+		n += w.dq.Len()
+		w.mu.Unlock()
+		w.injMu.Lock()
+		n += w.inj.Len()
+		w.injMu.Unlock()
+	}
+	return n
+}
+
+// spawned returns the number of tasks ever accepted by spawn/spawnTo.
+func (s *scheduler) spawned() int64 {
+	var n int64
+	for _, w := range s.workers {
+		w.injMu.Lock()
+		n += w.injCount
+		w.injMu.Unlock()
+	}
+	return n
+}
+
+// run is the worker loop: local work, then stolen work, then background
+// network work, then adaptive backoff. The worker marks itself
+// "searching" while it hunts for work so spawn can skip the wake path,
+// and hands the search off to a parked peer whenever it pulls a batch
+// larger than the single task it is about to run.
+func (s *scheduler) run(w *worker) {
 	defer s.wg.Done()
+	idle := 0
 	for {
-		// Runnable tasks take priority over background work.
-		select {
-		case t := <-s.queue:
-			s.execute(t)
-			continue
-		default:
-		}
-		select {
-		case t := <-s.queue:
-			s.execute(t)
-		case <-s.quit:
-			return
-		default:
-			// No runnable task: perform network background work; if the
-			// network is also idle, nap briefly (HPX schedulers likewise
-			// spin with exponential backoff before sleeping).
-			bgStart := time.Now()
-			if n := s.bg.DoBackgroundWork(s.cfg.bgBatch); n > 0 {
-				s.bgWork.Add(time.Since(bgStart))
-			} else {
-				time.Sleep(s.cfg.idleSleep)
+		if t, more, ok := s.findTask(w); ok {
+			idle = 0
+			if w.searching {
+				w.searching = false
+				s.nSearching.Add(-1)
 			}
+			if more {
+				// The find left runnable work behind (in this worker's
+				// own deque); wake a parked peer to come steal it so a
+				// burst injected while the pool slept fans out instead
+				// of draining serially through one worker.
+				s.maybeWake()
+			}
+			s.executeBatch(w, t, more)
+			continue
 		}
+		if s.stopping.Load() {
+			if w.searching {
+				w.searching = false
+				s.nSearching.Add(-1)
+			}
+			s.flushWorker(w)
+			return
+		}
+		if !w.searching {
+			w.searching = true
+			s.nSearching.Add(1)
+		}
+		// No runnable task anywhere: perform network background work;
+		// if the network is also idle, back off.
+		if s.doBackground(w) {
+			idle = 0
+			continue
+		}
+		idle++
+		switch {
+		case idle <= spinRounds:
+			// Spin: immediately re-check the queues.
+		case idle <= spinRounds+yieldRounds:
+			goruntime.Gosched()
+		default:
+			s.flushWorker(w) // publish accounting before a long idle
+			shift := idle - spinRounds - yieldRounds - 1
+			sleep := s.cfg.idleSleep << shift
+			if sleep > s.cfg.maxIdleSleep || sleep <= 0 {
+				sleep = s.cfg.maxIdleSleep
+			}
+			s.park(w, sleep)
+		}
+	}
+}
+
+// findTask locates the next runnable task: the worker's own deque, then
+// its inject queue (drained wholesale into the deque), then the other
+// workers' deques and inject queues, stealing the oldest half of the
+// first non-empty victim queue. more reports whether the worker's deque
+// still holds runnable tasks beyond the returned one.
+func (s *scheduler) findTask(w *worker) (t task, more, ok bool) {
+	w.mu.Lock()
+	if t, ok := w.dq.Pop(); ok {
+		more = w.dq.Len() > 0
+		w.mu.Unlock()
+		return t, more, true
+	}
+	w.mu.Unlock()
+
+	if t, more, ok := s.drainInject(w, w); ok {
+		return t, more, true
+	}
+	for i := 1; i < len(s.workers); i++ {
+		v := s.workers[(w.id+i)%len(s.workers)]
+		if t, more, ok := s.stealDeque(w, v); ok {
+			return t, more, true
+		}
+		if t, more, ok := s.drainInject(w, v); ok {
+			return t, more, true
+		}
+	}
+	return task{}, false, false
+}
+
+// drainInject moves half of v's inject queue (all of it when v == w)
+// into w's deque and pops the first task. Lock order is always injMu
+// before mu; inject locks are never nested, so the ordering is acyclic.
+func (s *scheduler) drainInject(w, v *worker) (t task, more, ok bool) {
+	v.injMu.Lock()
+	n := v.inj.Len()
+	if n == 0 {
+		v.injMu.Unlock()
+		return task{}, false, false
+	}
+	take := n
+	if v != w {
+		take = n - n/2
+	}
+	w.mu.Lock()
+	v.inj.MoveTo(&w.dq, take)
+	t, _ = w.dq.Pop()
+	more = w.dq.Len() > 0
+	w.mu.Unlock()
+	v.injMu.Unlock()
+	return t, more, true
+}
+
+// stealDeque moves the oldest half of v's deque into w's and pops the
+// first task. Both deque locks are held, ordered by worker id to avoid
+// deadlock with a symmetric steal.
+func (s *scheduler) stealDeque(w, v *worker) (t task, more, ok bool) {
+	a, b := w, v
+	if b.id < a.id {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+	n := v.dq.Len()
+	if n == 0 {
+		b.mu.Unlock()
+		a.mu.Unlock()
+		return task{}, false, false
+	}
+	v.dq.MoveTo(&w.dq, n-n/2)
+	t, _ = w.dq.Pop()
+	more = w.dq.Len() > 0
+	b.mu.Unlock()
+	a.mu.Unlock()
+	return t, more, true
+}
+
+// doBackground runs one background-work batch, charging the time to the
+// worker's private accounting; it reports whether any work was done.
+func (s *scheduler) doBackground(w *worker) bool {
+	bgStart := time.Since(s.base)
+	if n := s.bg.DoBackgroundWork(s.cfg.bgBatch); n > 0 {
+		w.dBg.Add(int64(time.Since(s.base) - bgStart))
+		return true
+	}
+	return false
+}
+
+// park blocks the worker until spawn wakes it, the scheduler stops, or
+// sleep elapses (so background work is still polled while parked). The
+// worker re-checks for work after publishing its parked state, closing
+// the race with a spawner that enqueued before seeing it parked.
+func (s *scheduler) park(w *worker, sleep time.Duration) {
+	// Stop counting as a searcher before the final work re-check: from
+	// here on, a spawner that finds nSearching at zero takes the wake
+	// path, and a spawner that observed this worker still searching must
+	// have enqueued early enough for haveWork below to see the task.
+	if w.searching {
+		w.searching = false
+		s.nSearching.Add(-1)
+	}
+	s.parkMu.Lock()
+	s.parked = append(s.parked, w)
+	s.nParked.Store(int32(len(s.parked)))
+	s.parkMu.Unlock()
+
+	if s.stopping.Load() || s.haveWork(w) {
+		s.unpark(w)
+		return
+	}
+	if w.parkTimer == nil {
+		w.parkTimer = time.NewTimer(sleep)
+	} else {
+		w.parkTimer.Reset(sleep)
+	}
+	select {
+	case <-w.parkCh:
+	case <-w.parkTimer.C:
+	case <-s.quit:
+	}
+	if !w.parkTimer.Stop() {
+		select {
+		case <-w.parkTimer.C:
+		default:
+		}
+	}
+	s.unpark(w)
+}
+
+// unpark removes the worker from the parked list if still present and
+// drains a stray wake token so the next park does not wake spuriously.
+func (s *scheduler) unpark(w *worker) {
+	s.parkMu.Lock()
+	for i, p := range s.parked {
+		if p == w {
+			s.parked = append(s.parked[:i], s.parked[i+1:]...)
+			break
+		}
+	}
+	s.nParked.Store(int32(len(s.parked)))
+	s.parkMu.Unlock()
+	select {
+	case <-w.parkCh:
+	default:
+	}
+}
+
+// haveWork reports whether any queue holds a runnable task.
+func (s *scheduler) haveWork(w *worker) bool {
+	for _, v := range s.workers {
+		v.mu.Lock()
+		n := v.dq.Len()
+		v.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+		v.injMu.Lock()
+		n = v.inj.Len()
+		v.injMu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeOne pops and wakes the most recently parked worker.
+func (s *scheduler) wakeOne() {
+	var w *worker
+	s.parkMu.Lock()
+	if n := len(s.parked); n > 0 {
+		w = s.parked[n-1]
+		s.parked = s.parked[:n-1]
+		s.nParked.Store(int32(len(s.parked)))
+	}
+	s.parkMu.Unlock()
+	if w != nil {
+		select {
+		case w.parkCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wakeAll wakes every parked worker (used by stop).
+func (s *scheduler) wakeAll() {
+	s.parkMu.Lock()
+	ws := s.parked
+	s.parked = nil
+	s.nParked.Store(0)
+	s.parkMu.Unlock()
+	for _, w := range ws {
+		select {
+		case w.parkCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// executeBatch runs t and, when the task-overhead simulation is off, up
+// to batchRun-1 further tasks already sitting in w's own deque inside a
+// single timed span: one pair of monotonic clock reads and one set of
+// delta adds covers the whole run of back-to-back tasks, so the
+// per-task instrumentation cost amortizes toward zero while the summed
+// counters (Σ t_func, Σ t_exec, n_t) measure exactly the batched tasks.
+// With taskOverhead configured, each task carries its own simulated
+// thread-management phases and is timed individually by execute.
+func (s *scheduler) executeBatch(w *worker, t task, more bool) {
+	if s.cfg.taskOverhead > 0 {
+		s.execute(w, t)
+		return
+	}
+	var buf [batchRun - 1]task
+	n := 0
+	if more {
+		w.mu.Lock()
+		for n < len(buf) {
+			t2, ok := w.dq.Pop()
+			if !ok {
+				break
+			}
+			buf[n] = t2
+			n++
+		}
+		w.mu.Unlock()
+	}
+	start := time.Since(s.base)
+	t.run()
+	for i := 0; i < n; i++ {
+		buf[i].run()
+	}
+	dur := int64(time.Since(s.base) - start)
+	// Without the overhead simulation t_func and t_exec are the same
+	// measurement (no thread-management phases to separate).
+	w.dFunc.Add(dur)
+	w.dExec.Add(dur)
+	w.dTasks.Add(int64(n + 1))
+
+	w.sinceFlush += n + 1
+	if w.sinceFlush >= flushEvery {
+		w.sinceFlush = 0
+		s.flushWorker(w)
+	}
+	w.sinceBgCheck += n + 1
+	if w.sinceBgCheck >= bgCheckEvery {
+		w.sinceBgCheck = 0
+		s.doBackground(w)
 	}
 }
 
@@ -202,23 +747,73 @@ func (s *scheduler) worker() {
 // configured per-task thread-management cost (stack setup, context
 // switch, cleanup — 1–2 µs for an HPX lightweight thread) is spent
 // before and after the user function: it is part of t_func (Eq. 1) but
-// not of t_exec, so Eq. 2's task-overhead counter reports it.
-func (s *scheduler) execute(t task) {
-	funcStart := time.Now()
+// not of t_exec, so Eq. 2's task-overhead counter reports it. With the
+// cost disabled, t_func and t_exec are the same measurement, and the
+// task pays only two monotonic clock reads (time.Since against the
+// scheduler's base instant skips the wall-clock half of time.Now) and
+// three cache-local atomic adds.
+func (s *scheduler) execute(w *worker, t task) {
+	var funcDur, execDur time.Duration
 	if s.cfg.taskOverhead > 0 {
+		funcStart := time.Since(s.base)
 		timer.Spin(s.cfg.taskOverhead / 2)
-	}
-	execStart := time.Now()
-	t.run()
-	execDur := time.Since(execStart)
-	if s.cfg.taskOverhead > 0 {
+		execStart := time.Since(s.base)
+		t.run()
+		execDur = time.Since(s.base) - execStart
 		timer.Spin(s.cfg.taskOverhead / 2)
+		funcDur = time.Since(s.base) - funcStart
+	} else {
+		start := time.Since(s.base)
+		t.run()
+		execDur = time.Since(s.base) - start
+		funcDur = execDur
 	}
-	s.cumExec.Add(execDur)
-	s.numTasks.Inc()
-	funcDur := time.Since(funcStart)
-	s.cumFunc.Add(funcDur)
-	s.avgOverhead.RecordDuration(funcDur - execDur)
+	w.dFunc.Add(int64(funcDur))
+	w.dExec.Add(int64(execDur))
+	w.dTasks.Add(1)
+
+	w.sinceFlush++
+	if w.sinceFlush >= flushEvery {
+		w.sinceFlush = 0
+		s.flushWorker(w)
+	}
+	w.sinceBgCheck++
+	if w.sinceBgCheck >= bgCheckEvery {
+		w.sinceBgCheck = 0
+		s.doBackground(w)
+	}
+}
+
+// flushWorker moves the worker's private accounting deltas into the
+// shared counters. It is safe to call from any goroutine: deltas are
+// swapped out atomically, and flushMu keeps each batch's task count
+// paired with its duration sums so the average-overhead counter folds
+// exact (count, sum) batches.
+func (s *scheduler) flushWorker(w *worker) {
+	w.flushMu.Lock()
+	tasks := w.dTasks.Swap(0)
+	fn := w.dFunc.Swap(0)
+	ex := w.dExec.Swap(0)
+	bg := w.dBg.Swap(0)
+	w.flushMu.Unlock()
+	if tasks == 0 && fn == 0 && ex == 0 && bg == 0 {
+		return
+	}
+	if tasks > 0 {
+		s.numTasks.Add(tasks)
+		s.avgOverhead.RecordBatch(uint64(tasks), float64(fn-ex)/float64(time.Microsecond))
+	}
+	s.cumFunc.AddNanos(fn)
+	s.cumExec.AddNanos(ex)
+	s.bgWork.AddNanos(bg)
+}
+
+// flushAll flushes every worker's pending accounting deltas, making the
+// shared counters exact with respect to all completed work.
+func (s *scheduler) flushAll() {
+	for _, w := range s.workers {
+		s.flushWorker(w)
+	}
 }
 
 // snapshot of the scheduler's Section III counters.
@@ -231,7 +826,10 @@ type schedStats struct {
 	BgOverhead  float64 // Eq. 4 ratio
 }
 
+// stats flushes all workers' accounting batches and returns the exact
+// Section III snapshot.
 func (s *scheduler) stats() schedStats {
+	s.flushAll()
 	return schedStats{
 		Tasks:       s.numTasks.Get(),
 		CumFunc:     s.cumFunc.Total(),

@@ -42,6 +42,16 @@ func TestZeroAllocSendPath(t *testing.T) {
 	}
 }
 
+func BenchmarkReliableChaos(b *testing.B) {
+	for _, lossPct := range []float64{0, 1, 5, 10} {
+		b.Run(ReliableBenchName(lossPct), func(b *testing.B) {
+			ReliableChaos(b, lossPct)
+		})
+	}
+}
+
+func BenchmarkReliableLinkDownDetection(b *testing.B) { ReliableLinkDownDetection(b) }
+
 func BenchmarkSchedSpawnExecute(b *testing.B) {
 	for _, workers := range []int{1, 4, 16} {
 		for _, stealing := range []bool{true, false} {

@@ -80,6 +80,32 @@ type schedSpeedup struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+// lossPoint is one chaos measurement of the reliable-delivery layer at a
+// fixed injected loss rate.
+type lossPoint struct {
+	LossPct          float64 `json:"loss_pct"`
+	ParcelsPerSec    float64 `json:"parcels_per_sec"`
+	NetworkOverhead  float64 `json:"network_overhead"`
+	RetransmitsPerOp float64 `json:"retransmits_per_op"`
+	DupsPerOp        float64 `json:"dups_per_op"`
+}
+
+// reliableReport is the BENCH_reliable.json schema: goodput and Eq. 4
+// network overhead of a coalescing toy app over the reliable layer as the
+// injected frame-loss rate grows, plus the failure-detection latency of a
+// partitioned link.
+type reliableReport struct {
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchtime  string      `json:"benchtime"`
+	Results    []result    `json:"results"`
+	LossSweep  []lossPoint `json:"loss_sweep"`
+	LinkDownNs float64     `json:"link_down_detection_ns"`
+	// GoodputRetainedAt5 is goodput at 5% loss divided by goodput at 0%
+	// loss: the headline resilience figure.
+	GoodputRetainedAt5 float64 `json:"goodput_retained_at_5pct_loss"`
+}
+
 // schedReport is the BENCH_sched.json schema.
 type schedReport struct {
 	GoVersion            string         `json:"go_version"`
@@ -131,7 +157,7 @@ func nsPerOp(r testing.BenchmarkResult) float64 {
 
 func main() {
 	testing.Init() // register test.* flags so test.benchtime can be set
-	suite := flag.String("suite", "parcel", "benchmark suite: parcel, sched, or all")
+	suite := flag.String("suite", "parcel", "benchmark suite: parcel, sched, reliable, or all")
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measurement time")
 	verbose := flag.Bool("v", false, "print each result as it completes")
@@ -147,14 +173,17 @@ func main() {
 		runParcel(orDefault(*out, "BENCH_parcel.json"), *benchtime, *verbose)
 	case "sched":
 		runSched(orDefault(*out, "BENCH_sched.json"), *benchtime, *verbose)
+	case "reliable":
+		runReliable(orDefault(*out, "BENCH_reliable.json"), *benchtime, *verbose)
 	case "all":
 		if *out != "" {
 			fatal(fmt.Errorf("-o cannot be combined with -suite all; each suite writes its default file"))
 		}
 		runParcel("BENCH_parcel.json", *benchtime, *verbose)
 		runSched("BENCH_sched.json", *benchtime, *verbose)
+		runReliable("BENCH_reliable.json", *benchtime, *verbose)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want parcel, sched, or all)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want parcel, sched, reliable, or all)", *suite))
 	}
 }
 
@@ -251,6 +280,42 @@ func runSched(out string, benchtime time.Duration, verbose bool) {
 	writeJSON(out, rep)
 	fmt.Printf("wrote %s (%d benchmarks, 16-worker spawn/execute speedup ok=%v)\n",
 		out, len(rep.Results), rep.Speedup16OK)
+}
+
+func runReliable(out string, benchtime time.Duration, verbose bool) {
+	rep := reliableReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime.String(),
+	}
+	rn := runner{verbose: verbose, results: &rep.Results}
+
+	var goodput0 float64
+	for _, lossPct := range []float64{0, 1, 5, 10} {
+		l := lossPct
+		r := rn.run("ReliableChaos/"+bench.ReliableBenchName(l),
+			func(b *testing.B) { bench.ReliableChaos(b, l) })
+		p := lossPoint{
+			LossPct:          l,
+			ParcelsPerSec:    r.Extra["parcels/sec"],
+			NetworkOverhead:  r.Extra["network-overhead"],
+			RetransmitsPerOp: r.Extra["retransmits/op"],
+			DupsPerOp:        r.Extra["dups/op"],
+		}
+		rep.LossSweep = append(rep.LossSweep, p)
+		if l == 0 {
+			goodput0 = p.ParcelsPerSec
+		}
+		if l == 5 && goodput0 > 0 {
+			rep.GoodputRetainedAt5 = p.ParcelsPerSec / goodput0
+		}
+	}
+	down := rn.run("ReliableLinkDownDetection", bench.ReliableLinkDownDetection)
+	rep.LinkDownNs = nsPerOp(down)
+
+	writeJSON(out, rep)
+	fmt.Printf("wrote %s (%d benchmarks, goodput retained at 5%% loss=%.2f)\n",
+		out, len(rep.Results), rep.GoodputRetainedAt5)
 }
 
 func writeJSON(out string, rep any) {

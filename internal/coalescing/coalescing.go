@@ -407,6 +407,25 @@ func (c *Coalescer) emit(batches []outBatch) {
 	}
 }
 
+// FlushDest implements parcel.DestFlusher: it immediately emits the
+// queued parcels of one destination, stopping its flush timer. The parcel
+// port calls it when the transport declares the destination's link down —
+// coalescing degrades to fail-fast for that destination so queued parcels
+// surface send errors promptly instead of waiting out flush timers behind
+// a dead link (and Drain terminates).
+func (c *Coalescer) FlushDest(dst int) {
+	sh := c.shardFor(dst)
+	sh.mu.Lock()
+	q := sh.queues[dst]
+	var ready outBatch
+	if q != nil && len(q.parcels) > 0 {
+		q.flushTmr.Stop()
+		ready = q.take()
+	}
+	sh.mu.Unlock()
+	c.emitOne(ready)
+}
+
 // flushDest is the flush-timer callback for one destination.
 func (c *Coalescer) flushDest(dst int) {
 	sh := c.shardFor(dst)

@@ -1,0 +1,88 @@
+package network_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+)
+
+// faultFabric is a Fabric that supports runtime fault-hook swaps; both
+// concrete fabrics satisfy it.
+type faultFabric interface {
+	network.Fabric
+	SetFaultHook(network.FaultHook)
+}
+
+// hammerFabric exercises SetFaultHook, Send and Close concurrently so the
+// race detector can observe unsynchronized access to the hook pointer,
+// connection cache or stats counters.
+func hammerFabric(t *testing.T, f faultFabric) {
+	t.Helper()
+	n := f.Localities()
+	for i := 0; i < n; i++ {
+		f.SetHandler(i, func(src int, payload []byte) {
+			network.PutPayload(payload)
+		})
+	}
+	plan := network.NewFaultPlan(3)
+	plan.SetDefault(network.LinkFaults{
+		DropRate:      0.2,
+		DuplicateRate: 0.1,
+		DelayRate:     0.1,
+		Delay:         50 * time.Microsecond,
+	})
+	hooks := []network.FaultHook{plan.Hook(), nil,
+		func(src, dst int, payload []byte) network.Fault {
+			return network.Fault{Action: network.FaultDrop}
+		}}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.SetFaultHook(hooks[i%len(hooks)])
+		}
+	}()
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				b := network.GetPayload(16)
+				if err := f.Send(s%n, (s+1)%n, b); err != nil {
+					// Closed mid-run: caller retains ownership on error.
+					network.PutPayload(b)
+					return
+				}
+			}
+		}(s)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := f.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	_ = f.Stats()
+}
+
+func TestChaosFaultHookRaceSim(t *testing.T) {
+	hammerFabric(t, network.NewSimFabric(2, network.CostModel{Latency: time.Microsecond}))
+}
+
+func TestChaosFaultHookRaceTCP(t *testing.T) {
+	f, err := network.NewTCPFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammerFabric(t, f)
+}

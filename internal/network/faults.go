@@ -1,0 +1,165 @@
+package network
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LinkFaults configures fault injection for one direction of one link
+// (or, as a FaultPlan default, for every link without an override). All
+// rates are probabilities in [0, 1]; they are evaluated in the order
+// partition, burst loss, drop, duplicate, delay, reorder, and at most one
+// fault fires per message.
+type LinkFaults struct {
+	// Partition drops every message on the link (a one-way partition:
+	// the reverse direction is configured independently).
+	Partition bool
+	// DropRate is the per-message probability of silent loss.
+	DropRate float64
+	// DuplicateRate is the per-message probability of delivering twice.
+	DuplicateRate float64
+	// DelayRate is the per-message probability of adding Delay extra
+	// delivery latency.
+	DelayRate float64
+	// Delay is the extra latency applied by DelayRate faults
+	// (default 500µs).
+	Delay time.Duration
+	// ReorderRate is the per-message probability of holding the message
+	// back until the next message on the link overtakes it.
+	ReorderRate float64
+	// BurstEvery and BurstLen inject correlated loss: of every BurstEvery
+	// consecutive messages on the link, the first BurstLen are dropped.
+	// Zero disables bursts.
+	BurstEvery int
+	BurstLen   int
+}
+
+// DefaultFaultDelay is the extra latency of a delay fault when
+// LinkFaults.Delay is zero.
+const DefaultFaultDelay = 500 * time.Microsecond
+
+// FaultPlan is a composable, deterministic fault model: a default
+// LinkFaults applied to every link plus per-link overrides, driven by a
+// seeded PRNG so chaos runs are reproducible. Compile it into a fabric
+// with Hook:
+//
+//	plan := network.NewFaultPlan(1)
+//	plan.SetDefault(network.LinkFaults{DropRate: 0.05, ReorderRate: 0.05})
+//	plan.SetLink(0, 1, network.LinkFaults{Partition: true})
+//	fabric.SetFaultHook(plan.Hook())
+//
+// FaultPlan is safe for concurrent use, including reconfiguration while
+// the fabric is sending.
+type FaultPlan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	def   LinkFaults
+	links map[linkKey]*linkFaultState
+
+	injected uint64 // messages that received a non-deliver fault
+}
+
+// linkFaultState is the per-link mutable state: the override (if any) and
+// the message counter driving burst loss.
+type linkFaultState struct {
+	faults LinkFaults
+	count  int
+}
+
+// NewFaultPlan creates an empty plan (all messages deliver) with a
+// deterministic PRNG seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		rng:   rand.New(rand.NewSource(seed)),
+		links: make(map[linkKey]*linkFaultState),
+	}
+}
+
+// SetDefault installs the fault configuration for links without an
+// override. Burst-loss counters of default-configured links restart.
+func (p *FaultPlan) SetDefault(f LinkFaults) {
+	p.mu.Lock()
+	p.def = f
+	p.mu.Unlock()
+}
+
+// SetLink installs a per-link override for messages from src to dst.
+func (p *FaultPlan) SetLink(src, dst int, f LinkFaults) {
+	p.mu.Lock()
+	p.links[linkKey{src, dst}] = &linkFaultState{faults: f}
+	p.mu.Unlock()
+}
+
+// ClearLink removes the per-link override, reverting src->dst to the
+// default configuration.
+func (p *FaultPlan) ClearLink(src, dst int) {
+	p.mu.Lock()
+	delete(p.links, linkKey{src, dst})
+	p.mu.Unlock()
+}
+
+// Injected returns how many messages received a non-deliver fault.
+func (p *FaultPlan) Injected() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Hook compiles the plan into a FaultHook for Fabric.SetFaultHook.
+func (p *FaultPlan) Hook() FaultHook {
+	return p.decide
+}
+
+func (p *FaultPlan) decide(src, dst int, payload []byte) Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	f := p.def
+	var st *linkFaultState
+	if override, ok := p.links[linkKey{src, dst}]; ok {
+		f = override.faults
+		st = override
+	}
+
+	if f.Partition {
+		p.injected++
+		return Fault{Action: FaultDrop}
+	}
+	if f.BurstEvery > 0 && f.BurstLen > 0 {
+		if st == nil {
+			// Burst state for a default-configured link still needs a
+			// per-link counter, lazily materialized as an override that
+			// mirrors the default.
+			st = &linkFaultState{faults: f}
+			p.links[linkKey{src, dst}] = st
+		}
+		pos := st.count % f.BurstEvery
+		st.count++
+		if pos < f.BurstLen {
+			p.injected++
+			return Fault{Action: FaultDrop}
+		}
+	}
+
+	r := p.rng.Float64()
+	switch {
+	case r < f.DropRate:
+		p.injected++
+		return Fault{Action: FaultDrop}
+	case r < f.DropRate+f.DuplicateRate:
+		p.injected++
+		return Fault{Action: FaultDuplicate}
+	case r < f.DropRate+f.DuplicateRate+f.DelayRate:
+		p.injected++
+		d := f.Delay
+		if d <= 0 {
+			d = DefaultFaultDelay
+		}
+		return Fault{Action: FaultDelay, Delay: d}
+	case r < f.DropRate+f.DuplicateRate+f.DelayRate+f.ReorderRate:
+		p.injected++
+		return Fault{Action: FaultReorder}
+	}
+	return Fault{Action: FaultDeliver}
+}

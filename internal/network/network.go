@@ -161,6 +161,8 @@ type Stats struct {
 	BytesSent    uint64
 	Dropped      uint64
 	Duplicated   uint64
+	Delayed      uint64
+	Reordered    uint64
 }
 
 // FaultAction tells the fabric what to do with a message under fault
@@ -174,17 +176,43 @@ const (
 	FaultDrop
 	// FaultDuplicate delivers the message twice.
 	FaultDuplicate
+	// FaultDelay delivers the message after the extra delay carried in
+	// Fault.Delay, on top of the modeled wire latency.
+	FaultDelay
+	// FaultReorder holds the message back and releases it behind the next
+	// message transmitted on the same link, swapping their wire order. If
+	// no later message ever follows, the held message is released when
+	// the link closes (recycled, not delivered) — a retransmission layer
+	// above the fabric turns that into plain loss.
+	FaultReorder
 )
 
-// FaultHook inspects every message before transmission; tests use it to
-// inject drops and duplicates deterministically.
-type FaultHook func(src, dst int, payload []byte) FaultAction
+// Fault is a fault-injection decision for one message.
+type Fault struct {
+	// Action selects what happens to the message.
+	Action FaultAction
+	// Delay is the extra delivery delay applied by FaultDelay.
+	Delay time.Duration
+}
+
+// FaultHook inspects every message before transmission and decides its
+// fate; tests and the chaos harness use it to inject drops, duplicates,
+// delays and reordering deterministically. See FaultPlan for a composable
+// configuration-driven implementation.
+type FaultHook func(src, dst int, payload []byte) Fault
 
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("network: fabric closed")
 
 // ErrBadLocality reports an out-of-range locality id.
 var ErrBadLocality = errors.New("network: locality out of range")
+
+// ErrLinkDown reports that a reliability layer above the fabric has
+// exhausted its retry budget for the destination link and stopped
+// retransmitting. It lives here (rather than in internal/reliable) so the
+// parcel port can classify send failures without importing the
+// reliability layer.
+var ErrLinkDown = errors.New("network: link down")
 
 // SimFabric is the in-process simulated fabric.
 type SimFabric struct {
@@ -195,11 +223,13 @@ type SimFabric struct {
 	closed   atomic.Bool
 	fault    atomic.Pointer[FaultHook]
 
-	msgs   atomic.Uint64
-	bytes  atomic.Uint64
-	drops  atomic.Uint64
-	dupes  atomic.Uint64
-	active sync.WaitGroup
+	msgs    atomic.Uint64
+	bytes   atomic.Uint64
+	drops   atomic.Uint64
+	dupes   atomic.Uint64
+	delays  atomic.Uint64
+	reorder atomic.Uint64
+	active  sync.WaitGroup
 }
 
 type linkKey struct{ src, dst int }
@@ -216,6 +246,7 @@ type link struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      ring.Buffer[linkMsg]
+	held   *linkMsg // message parked by FaultReorder awaiting a successor
 	closed bool
 	dq     chan deliverMsg
 }
@@ -226,11 +257,29 @@ func newLink() *link {
 	return lk
 }
 
-// push enqueues a message; pushes after close are dropped.
-func (lk *link) push(m linkMsg) {
+// push enqueues a message; pushes after close recycle the payload instead
+// of delivering (the buffer must not leak out of the pool). With hold set
+// the message is parked and released behind the next pushed message
+// (FaultReorder); at most one message is held per link — a second hold
+// while one is parked enqueues normally.
+func (lk *link) push(m linkMsg, hold bool) {
 	lk.mu.Lock()
-	if !lk.closed {
-		lk.q.Push(m)
+	if lk.closed {
+		lk.mu.Unlock()
+		PutPayload(m.payload)
+		return
+	}
+	if hold && lk.held == nil {
+		lk.held = &m
+		lk.mu.Unlock()
+		return
+	}
+	lk.q.Push(m)
+	lk.cond.Signal()
+	if !hold && lk.held != nil {
+		h := *lk.held
+		lk.held = nil
+		lk.q.Push(h)
 		lk.cond.Signal()
 	}
 	lk.mu.Unlock()
@@ -250,6 +299,10 @@ func (lk *link) pop() (linkMsg, bool) {
 func (lk *link) close() {
 	lk.mu.Lock()
 	lk.closed = true
+	if lk.held != nil {
+		PutPayload(lk.held.payload)
+		lk.held = nil
+	}
 	lk.cond.Broadcast()
 	lk.mu.Unlock()
 }
@@ -257,6 +310,8 @@ func (lk *link) close() {
 type linkMsg struct {
 	src, dst int
 	payload  []byte
+	// extra is additional delivery delay injected by FaultDelay.
+	extra time.Duration
 }
 
 type deliverMsg struct {
@@ -310,6 +365,8 @@ func (f *SimFabric) Stats() Stats {
 		BytesSent:    f.bytes.Load(),
 		Dropped:      f.drops.Load(),
 		Duplicated:   f.dupes.Load(),
+		Delayed:      f.delays.Load(),
+		Reordered:    f.reorder.Load(),
 	}
 }
 
@@ -328,16 +385,20 @@ func (f *SimFabric) Send(src, dst int, payload []byte) error {
 
 	// Fault injection happens before any cost is paid so dropped
 	// messages are free, matching a send-side drop.
-	duplicate := false
+	var fault Fault
 	if hook := f.fault.Load(); hook != nil {
-		switch (*hook)(src, dst, payload) {
+		fault = (*hook)(src, dst, payload)
+		switch fault.Action {
 		case FaultDrop:
 			f.drops.Add(1)
 			PutPayload(payload)
 			return nil
 		case FaultDuplicate:
 			f.dupes.Add(1)
-			duplicate = true
+		case FaultDelay:
+			f.delays.Add(1)
+		case FaultReorder:
+			f.reorder.Add(1)
 		}
 	}
 
@@ -348,13 +409,17 @@ func (f *SimFabric) Send(src, dst int, payload []byte) error {
 	f.bytes.Add(uint64(len(payload)))
 
 	lk := f.getLink(src, dst)
-	lk.push(linkMsg{src: src, dst: dst, payload: payload})
-	if duplicate {
+	m := linkMsg{src: src, dst: dst, payload: payload}
+	if fault.Action == FaultDelay {
+		m.extra = fault.Delay
+	}
+	lk.push(m, fault.Action == FaultReorder)
+	if fault.Action == FaultDuplicate {
 		// Each delivery hands buffer ownership to the handler, so the
 		// duplicate needs its own copy.
 		dup := GetPayload(len(payload))
 		copy(dup, payload)
-		lk.push(linkMsg{src: src, dst: dst, payload: dup})
+		lk.push(linkMsg{src: src, dst: dst, payload: dup}, false)
 	}
 	return nil
 }
@@ -389,10 +454,10 @@ func (f *SimFabric) runTx(lk *link) {
 		if !ok {
 			break
 		}
-		if tx := f.model.TxTime(len(m.payload)); tx > 0 {
+		if tx := f.model.TxTime(len(m.payload)); tx > 0 && !f.closed.Load() {
 			time.Sleep(tx)
 		}
-		delay := f.model.Latency
+		delay := f.model.Latency + m.extra
 		if f.model.Rendezvous(len(m.payload)) {
 			delay += f.model.RendezvousRTT
 		}
@@ -410,10 +475,13 @@ func (f *SimFabric) runTx(lk *link) {
 func (f *SimFabric) runDelivery(lk *link) {
 	defer f.active.Done()
 	for m := range lk.dq {
-		if wait := time.Until(m.deliverAt); wait > 0 {
+		if wait := time.Until(m.deliverAt); wait > 0 && !f.closed.Load() {
 			time.Sleep(wait)
 		}
 		if f.closed.Load() {
+			// Undelivered in-flight payloads go back to the pool instead
+			// of leaking out of it.
+			PutPayload(m.payload)
 			continue
 		}
 		if hp := f.handlers[m.dst].Load(); hp != nil {

@@ -191,11 +191,11 @@ func TestSimFabricFaultDrop(t *testing.T) {
 	c := newCollector()
 	f.SetHandler(1, c.handler)
 	var n atomic.Int32
-	f.SetFaultHook(func(src, dst int, p []byte) FaultAction {
+	f.SetFaultHook(func(src, dst int, p []byte) Fault {
 		if n.Add(1)%2 == 1 {
-			return FaultDrop
+			return Fault{Action: FaultDrop}
 		}
-		return FaultDeliver
+		return Fault{Action: FaultDeliver}
 	})
 	for i := 0; i < 10; i++ {
 		if err := f.Send(0, 1, []byte{byte(i)}); err != nil {
@@ -218,7 +218,7 @@ func TestSimFabricFaultDuplicate(t *testing.T) {
 	defer f.Close()
 	c := newCollector()
 	f.SetHandler(1, c.handler)
-	f.SetFaultHook(func(int, int, []byte) FaultAction { return FaultDuplicate })
+	f.SetFaultHook(func(int, int, []byte) Fault { return Fault{Action: FaultDuplicate} })
 	if err := f.Send(0, 1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TCPFabric implements Fabric over real loopback TCP sockets, validating
@@ -25,9 +26,13 @@ type TCPFabric struct {
 	conns  map[linkKey]net.Conn
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	fault  atomic.Pointer[FaultHook]
 
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
+	msgs   atomic.Uint64
+	bytes  atomic.Uint64
+	drops  atomic.Uint64
+	dupes  atomic.Uint64
+	delays atomic.Uint64
 }
 
 // NewTCPFabric creates a TCP fabric connecting n localities, each
@@ -106,11 +111,35 @@ func (f *TCPFabric) SetHandler(dst int, h Handler) {
 
 // Stats implements Fabric.
 func (f *TCPFabric) Stats() Stats {
-	return Stats{MessagesSent: f.msgs.Load(), BytesSent: f.bytes.Load()}
+	return Stats{
+		MessagesSent: f.msgs.Load(),
+		BytesSent:    f.bytes.Load(),
+		Dropped:      f.drops.Load(),
+		Duplicated:   f.dupes.Load(),
+		Delayed:      f.delays.Load(),
+	}
+}
+
+// SetFaultHook installs (or, with nil, removes) a fault-injection hook,
+// mirroring SimFabric.SetFaultHook. Drops skip the socket write entirely;
+// duplicates write the frame twice; FaultDelay (and FaultReorder, which a
+// byte-stream transport can only express as a delay — later frames
+// overtake the delayed one) writes the frame from a timer goroutine after
+// the extra latency.
+func (f *TCPFabric) SetFaultHook(h FaultHook) {
+	if h == nil {
+		f.fault.Store(nil)
+		return
+	}
+	f.fault.Store(&h)
 }
 
 // Send implements Fabric. Writes on a given (src,dst) pair are serialized
-// by a per-connection mutex, so framing is never interleaved.
+// by the fabric mutex, so framing is never interleaved. A dial or write
+// error evicts the cached connection (closing it) so the next Send
+// redials instead of failing forever on a dead socket; the message itself
+// is reported lost to the caller, which retains payload ownership —
+// redelivery is the reliability layer's job.
 func (f *TCPFabric) Send(src, dst int, payload []byte) error {
 	if f.closed.Load() {
 		return ErrClosed
@@ -118,6 +147,61 @@ func (f *TCPFabric) Send(src, dst int, payload []byte) error {
 	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
 		return fmt.Errorf("%w: src=%d dst=%d n=%d", ErrBadLocality, src, dst, f.n)
 	}
+
+	duplicate := false
+	if hook := f.fault.Load(); hook != nil {
+		fault := (*hook)(src, dst, payload)
+		switch fault.Action {
+		case FaultDrop:
+			f.drops.Add(1)
+			PutPayload(payload)
+			return nil
+		case FaultDuplicate:
+			f.dupes.Add(1)
+			duplicate = true
+		case FaultDelay, FaultReorder:
+			f.delays.Add(1)
+			delay := fault.Delay
+			if delay <= 0 {
+				delay = DefaultFaultDelay
+			}
+			// The timer goroutine is not tracked by f.wg: firing after
+			// Close just recycles the payload, so Close need not wait.
+			time.AfterFunc(delay, func() {
+				if f.closed.Load() {
+					PutPayload(payload)
+					return
+				}
+				// Best effort: a late write on a dead connection is just
+				// another injected loss.
+				if err := f.writeFrame(src, dst, payload); err == nil {
+					f.msgs.Add(1)
+					f.bytes.Add(uint64(len(payload)))
+				}
+				PutPayload(payload)
+			})
+			return nil
+		}
+	}
+
+	if err := f.writeFrame(src, dst, payload); err != nil {
+		return err
+	}
+	if duplicate {
+		_ = f.writeFrame(src, dst, payload)
+	}
+	// The socket write copied the bytes; this transport is done with the
+	// caller's buffer, so recycle it on its behalf (Send owns it).
+	PutPayload(payload)
+	f.msgs.Add(1)
+	f.bytes.Add(uint64(len(payload)))
+	return nil
+}
+
+// writeFrame frames and writes one message on the cached (dialing if
+// needed) connection for the link. On a write error the connection is
+// closed and evicted from the cache so the next attempt redials.
+func (f *TCPFabric) writeFrame(src, dst int, payload []byte) error {
 	conn, err := f.getConn(src, dst)
 	if err != nil {
 		return err
@@ -125,7 +209,7 @@ func (f *TCPFabric) Send(src, dst int, payload []byte) error {
 	// Header and payload go out as one writev (net.Buffers) on the TCP
 	// connection: a single syscall per message with no copy of the
 	// payload into a combined frame buffer. The vectored write also
-	// keeps the framing atomic under the connection mutex.
+	// keeps the framing atomic under the fabric mutex.
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(src))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
@@ -133,15 +217,19 @@ func (f *TCPFabric) Send(src, dst int, payload []byte) error {
 
 	f.mu.Lock()
 	_, err = bufs.WriteTo(conn)
+	if err != nil {
+		// Evict the broken connection (only if it is still the cached
+		// one — a concurrent sender may have already redialed).
+		key := linkKey{src, dst}
+		if f.conns[key] == conn {
+			delete(f.conns, key)
+		}
+		_ = conn.Close()
+	}
 	f.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("network: tcp send %d->%d: %w", src, dst, err)
 	}
-	// The socket write copied the bytes; this transport is done with the
-	// caller's buffer, so recycle it on its behalf (Send owns it).
-	PutPayload(payload)
-	f.msgs.Add(1)
-	f.bytes.Add(uint64(len(payload)))
 	return nil
 }
 

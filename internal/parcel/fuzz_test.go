@@ -1,0 +1,107 @@
+package parcel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/agas"
+)
+
+// TestDecodeBundleHostile feeds DecodeBundle deliberately malformed wire
+// messages: every case must return ErrBadBundle without panicking or
+// over-allocating.
+func TestDecodeBundleHostile(t *testing.T) {
+	// A varint whose continuation bits never terminate.
+	runaway := bytes.Repeat([]byte{0x80}, 12)
+
+	// count=1 but the parcel body is cut short.
+	truncatedBody := append([]byte{bundleMagic, 1}, make([]byte, 10)...)
+
+	// Valid header announcing more parcels than the hard cap.
+	hugeCount := binary.AppendUvarint([]byte{bundleMagic}, MaxBundleParcels+1)
+
+	// count=1, fixed fields present, then an action-length varint claiming
+	// a gigantic string.
+	bigAction := append([]byte{bundleMagic, 1}, make([]byte, 20)...)
+	bigAction = binary.AppendUvarint(bigAction, 1<<40)
+
+	// count=1, fixed fields, empty action, args-length varint claiming far
+	// more bytes than remain.
+	bigArgs := append([]byte{bundleMagic, 1}, make([]byte, 20)...)
+	bigArgs = binary.AppendUvarint(bigArgs, 0)     // action ""
+	bigArgs = binary.AppendUvarint(bigArgs, 1<<40) // args length lie
+	bigArgs = append(bigArgs, 0xEE)
+
+	// A valid one-parcel bundle with trailing junk.
+	trailing := append(EncodeBundle([]*Parcel{{Action: "x", Source: 0}}), 0xDE, 0xAD)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte{0x00, 0x01}},
+		{"magic only", []byte{bundleMagic}},
+		{"runaway count varint", append([]byte{bundleMagic}, runaway...)},
+		{"count over limit", hugeCount},
+		{"truncated parcel body", truncatedBody},
+		{"oversized action length", bigAction},
+		{"oversized args length", bigArgs},
+		{"trailing bytes", trailing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps, err := DecodeBundle(tc.data)
+			if !errors.Is(err, ErrBadBundle) {
+				t.Fatalf("DecodeBundle(%x) = (%v parcels, %v), want ErrBadBundle",
+					tc.data, len(ps), err)
+			}
+		})
+	}
+}
+
+// FuzzDecodeBundle asserts the no-panic property of the bundle decoder on
+// arbitrary input, and that accepted input round-trips losslessly.
+func FuzzDecodeBundle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{bundleMagic})
+	f.Add([]byte{bundleMagic, 0x00})
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Add(EncodeBundle([]*Parcel{{
+		Dest:         agas.GID(42),
+		Continuation: agas.GID(7),
+		Source:       3,
+		Action:       "fuzz/seed",
+		Args:         []byte("payload"),
+	}}))
+	f.Add(EncodeBundle([]*Parcel{
+		{Action: "a", Source: 1},
+		{Action: "b", Source: 2, Args: make([]byte, 100)},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeBundle(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a semantic round-trip: re-encoding
+		// and re-decoding yields the same parcels. (Byte-for-byte equality
+		// is too strong: varint decoding accepts non-canonical encodings.)
+		ps2, err := DecodeBundle(EncodeBundle(ps))
+		if err != nil {
+			t.Fatalf("re-decode of accepted bundle failed: %v", err)
+		}
+		if len(ps2) != len(ps) {
+			t.Fatalf("round-trip parcel count %d, want %d", len(ps2), len(ps))
+		}
+		for i := range ps {
+			a, b := ps[i], ps2[i]
+			if a.Dest != b.Dest || a.Continuation != b.Continuation ||
+				a.Source != b.Source || a.Action != b.Action ||
+				!bytes.Equal(a.Args, b.Args) {
+				t.Fatalf("parcel %d round-trip mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

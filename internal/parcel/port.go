@@ -32,6 +32,15 @@ type MessageHandler interface {
 	Close()
 }
 
+// DestFlusher is optionally implemented by message handlers (the
+// coalescer) that can flush a single destination's queue on demand. The
+// port uses it to degrade coalescing for a destination whose link the
+// transport has declared down: queued parcels are emitted immediately and
+// fail fast instead of idling behind flush timers.
+type DestFlusher interface {
+	FlushDest(dst int)
+}
+
 // Resolver maps a GID to its hosting locality (the AGAS lookup).
 type Resolver func(agas.GID) (int, error)
 
@@ -116,6 +125,7 @@ type Port struct {
 	sendErrors   *counters.Raw
 	decodeErrors *counters.Raw
 	rxDropped    *counters.Raw
+	linkDown     *counters.Raw
 }
 
 // outMessage is one wire message awaiting transmission. Exactly one of
@@ -159,11 +169,13 @@ func NewPort(cfg Config) *Port {
 		sendErrors:   mk("parcels", "count/send-errors"),
 		decodeErrors: mk("parcels", "count/decode-errors"),
 		rxDropped:    mk("parcels", "count/rx-dropped"),
+		linkDown:     mk("parcels", "count/link-down"),
 	}
 	if cfg.Registry != nil {
 		for _, c := range []*counters.Raw{
 			p.parcelsSent, p.parcelsRecvd, p.messagesSent, p.messagesRcvd,
 			p.bytesSent, p.bytesRecvd, p.sendErrors, p.decodeErrors, p.rxDropped,
+			p.linkDown,
 		} {
 			cfg.Registry.MustRegister(c)
 		}
@@ -350,6 +362,14 @@ func (p *Port) transmit(m outMessage) {
 	if err != nil {
 		p.sendErrors.Inc()
 		network.PutPayload(payload)
+		if errors.Is(err, network.ErrLinkDown) {
+			// The transport gave up on this destination: flush the
+			// coalescing queues targeting it so buffered parcels fail
+			// fast instead of waiting out flush timers behind a dead
+			// link, and count the event.
+			p.linkDown.Inc()
+			p.flushDest(m.dst)
+		}
 		return
 	}
 	p.parcelsSent.Add(int64(count))
@@ -387,6 +407,23 @@ func (p *Port) receiveOne() bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// flushDest asks every handler that supports per-destination flushing to
+// emit its queue for dst. Handlers without DestFlusher are left alone — a
+// full Flush would punish healthy destinations for one dead link.
+func (p *Port) flushDest(dst int) {
+	p.handlersMu.RLock()
+	var hs []DestFlusher
+	for _, h := range p.handlers {
+		if df, ok := h.(DestFlusher); ok {
+			hs = append(hs, df)
+		}
+	}
+	p.handlersMu.RUnlock()
+	for _, df := range hs {
+		df.FlushDest(dst)
 	}
 }
 
@@ -437,6 +474,7 @@ type Stats struct {
 	BytesSent, BytesReceived       int64
 	SendErrors, DecodeErrors       int64
 	RxDropped                      int64
+	LinkDown                       int64
 }
 
 // Stats returns a snapshot of the port's traffic counters.
@@ -451,6 +489,7 @@ func (p *Port) Stats() Stats {
 		SendErrors:       p.sendErrors.Get(),
 		DecodeErrors:     p.decodeErrors.Get(),
 		RxDropped:        p.rxDropped.Get(),
+		LinkDown:         p.linkDown.Get(),
 	}
 }
 

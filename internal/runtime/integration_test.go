@@ -72,14 +72,14 @@ func TestDroppedParcelFailsOnlyItsFuture(t *testing.T) {
 
 	var mu sync.Mutex
 	dropped := 0
-	fabric.SetFaultHook(func(src, dst int, payload []byte) network.FaultAction {
+	fabric.SetFaultHook(func(src, dst int, payload []byte) network.Fault {
 		mu.Lock()
 		defer mu.Unlock()
 		if src == 0 && dropped == 0 {
 			dropped++
-			return network.FaultDrop
+			return network.Fault{Action: network.FaultDrop}
 		}
-		return network.FaultDeliver
+		return network.Fault{Action: network.FaultDeliver}
 	})
 
 	const n = 20
@@ -118,8 +118,8 @@ func TestDuplicatedParcelIsHarmless(t *testing.T) {
 		_ = fabric.Close()
 	}()
 	rt.MustRegisterAction("echo", echoAction)
-	fabric.SetFaultHook(func(int, int, []byte) network.FaultAction {
-		return network.FaultDuplicate
+	fabric.SetFaultHook(func(int, int, []byte) network.Fault {
+		return network.Fault{Action: network.FaultDuplicate}
 	})
 	f, err := rt.Locality(0).Async(1, "echo", []byte("x"))
 	if err != nil {

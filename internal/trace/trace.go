@@ -30,6 +30,9 @@ const (
 	KindFlush
 	// KindPhase marks application phase boundaries.
 	KindPhase
+	// KindRetransmit marks reliability-layer events: frame
+	// retransmissions and link-down declarations.
+	KindRetransmit
 	numKinds
 )
 
@@ -44,6 +47,8 @@ func (k Kind) String() string {
 		return "flush"
 	case KindPhase:
 		return "phase"
+	case KindRetransmit:
+		return "retransmit"
 	default:
 		return "unknown"
 	}

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/taskbench"
+)
 
 // Thin wrappers so the suite runs under `go test -bench`; the bodies in
 // bench.go are shared with cmd/amc-bench.
@@ -39,6 +43,14 @@ func TestZeroAllocSendPath(t *testing.T) {
 		if a := r.AllocsPerOp(); a != 0 {
 			t.Errorf("%s: %d allocs/op, want 0", tc.name, a)
 		}
+	}
+}
+
+func BenchmarkTaskbenchGraph(b *testing.B) {
+	for _, pattern := range []taskbench.Pattern{taskbench.Stencil1D, taskbench.FFT, taskbench.Random} {
+		b.Run(TaskbenchBenchName(pattern), func(b *testing.B) {
+			TaskbenchGraph(b, pattern)
+		})
 	}
 }
 

@@ -18,10 +18,23 @@
 // pass/fail field for the scheduler's headline claim (>=2x throughput
 // at 16 workers on fine-grained tasks).
 //
+// The taskbench suite is the Task Bench-style workload harness
+// (internal/taskbench): all eight dependence patterns are executed
+// across a 3×3 coalescing-parameter grid on two simulated localities,
+// recording per-pattern execution time, Eq. 4 network overhead and the
+// Pearson correlation between the two, followed by the adaptive
+// phase demo (stencil → fft → random under a live OverheadTuner).
+// -quick shrinks it to a CI-smoke size.
+//
+// An unknown -suite value prints the registry of available suites and
+// exits nonzero; `-suite help` prints the same listing.
+//
 // Examples:
 //
 //	amc-bench -o BENCH_parcel.json
 //	amc-bench -suite sched -o BENCH_sched.json
+//	amc-bench -suite taskbench -o BENCH_taskbench.json
+//	amc-bench -suite taskbench -quick
 //	amc-bench -suite all
 //	amc-bench -benchtime 2s -v
 package main
@@ -30,12 +43,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro/bench"
+	"repro/internal/taskbench"
 )
 
 // result is one benchmark's measurement.
@@ -155,12 +171,59 @@ func nsPerOp(r testing.BenchmarkResult) float64 {
 	return float64(r.T.Nanoseconds()) / float64(r.N)
 }
 
+// options carries the command-line knobs shared by every suite.
+type options struct {
+	benchtime time.Duration
+	verbose   bool
+	quick     bool
+}
+
+// suiteDef registers one runnable suite: its default output file, a
+// one-line description for the usage listing, and the runner.
+type suiteDef struct {
+	name       string
+	defaultOut string
+	desc       string
+	run        func(out string, opts options)
+}
+
+// suites is the registry the -suite flag is validated against; "all"
+// runs every entry with its default output file.
+var suites = []suiteDef{
+	{"parcel", "BENCH_parcel.json", "zero-allocation send pipeline and striped coalescer vs single-mutex baseline", runParcel},
+	{"sched", "BENCH_sched.json", "work-stealing task scheduler vs single-channel baseline", runSched},
+	{"reliable", "BENCH_reliable.json", "goodput and Eq. 4 overhead under injected frame loss; link-down detection", runReliable},
+	{"taskbench", "BENCH_taskbench.json", "Task Bench-style pattern sweep: per-pattern overhead/time correlation + adaptive phase demo", runTaskbench},
+}
+
+// lookupSuite resolves a -suite value against the registry.
+func lookupSuite(name string) (suiteDef, bool) {
+	for _, s := range suites {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return suiteDef{}, false
+}
+
+// listSuites prints the available suites (the -suite validation error
+// path, so unknown values fail loudly instead of silently doing
+// nothing).
+func listSuites(w io.Writer) {
+	fmt.Fprintln(w, "available suites:")
+	for _, s := range suites {
+		fmt.Fprintf(w, "  %-10s %s (writes %s)\n", s.name, s.desc, s.defaultOut)
+	}
+	fmt.Fprintf(w, "  %-10s run every suite with its default output file\n", "all")
+}
+
 func main() {
 	testing.Init() // register test.* flags so test.benchtime can be set
-	suite := flag.String("suite", "parcel", "benchmark suite: parcel, sched, reliable, or all")
+	suite := flag.String("suite", "parcel", "benchmark suite to run (see -suite help)")
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measurement time")
 	verbose := flag.Bool("v", false, "print each result as it completes")
+	quick := flag.Bool("quick", false, "shrink the taskbench suite to CI-smoke size")
 	flag.Parse()
 
 	// testing.Benchmark honours the package-level benchtime flag.
@@ -168,22 +231,25 @@ func main() {
 		fatal(err)
 	}
 
+	opts := options{benchtime: *benchtime, verbose: *verbose, quick: *quick}
 	switch *suite {
-	case "parcel":
-		runParcel(orDefault(*out, "BENCH_parcel.json"), *benchtime, *verbose)
-	case "sched":
-		runSched(orDefault(*out, "BENCH_sched.json"), *benchtime, *verbose)
-	case "reliable":
-		runReliable(orDefault(*out, "BENCH_reliable.json"), *benchtime, *verbose)
 	case "all":
 		if *out != "" {
 			fatal(fmt.Errorf("-o cannot be combined with -suite all; each suite writes its default file"))
 		}
-		runParcel("BENCH_parcel.json", *benchtime, *verbose)
-		runSched("BENCH_sched.json", *benchtime, *verbose)
-		runReliable("BENCH_reliable.json", *benchtime, *verbose)
+		for _, s := range suites {
+			s.run(s.defaultOut, opts)
+		}
+	case "help", "list":
+		listSuites(os.Stdout)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want parcel, sched, reliable, or all)", *suite))
+		s, ok := lookupSuite(*suite)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "amc-bench: unknown suite %q\n", *suite)
+			listSuites(os.Stderr)
+			os.Exit(2)
+		}
+		s.run(orDefault(*out, s.defaultOut), opts)
 	}
 }
 
@@ -194,13 +260,13 @@ func orDefault(s, def string) string {
 	return s
 }
 
-func runParcel(out string, benchtime time.Duration, verbose bool) {
+func runParcel(out string, opts options) {
 	rep := report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchtime:  benchtime.String(),
+		Benchtime:  opts.benchtime.String(),
 	}
-	rn := runner{verbose: verbose, results: &rep.Results}
+	rn := runner{verbose: opts.verbose, results: &rep.Results}
 
 	encode := rn.run("EncodeBundle", bench.EncodeBundle)
 	rn.run("DecodeBundle", bench.DecodeBundle)
@@ -229,17 +295,17 @@ func runParcel(out string, benchtime time.Duration, verbose bool) {
 	rep.ZeroAllocSendPath = encode.AllocsPerOp() == 0 && send.AllocsPerOp() == 0
 
 	writeJSON(out, rep)
-	fmt.Printf("wrote %s (%d benchmarks, zero-alloc=%v, 16-sender speedup ok=%v)\n",
+	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, zero-alloc=%v, 16-sender speedup ok=%v)\n",
 		out, len(rep.Results), rep.ZeroAllocSendPath, rep.Speedup16OK)
 }
 
-func runSched(out string, benchtime time.Duration, verbose bool) {
+func runSched(out string, opts options) {
 	rep := schedReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchtime:  benchtime.String(),
+		Benchtime:  opts.benchtime.String(),
 	}
-	rn := runner{verbose: verbose, results: &rep.Results}
+	rn := runner{verbose: opts.verbose, results: &rep.Results}
 
 	pair := func(workers int, kind string, fn func(b *testing.B, stealing bool)) schedSpeedup {
 		ws := rn.run(bench.SchedBenchName(kind, true, workers),
@@ -278,17 +344,17 @@ func runSched(out string, benchtime time.Duration, verbose bool) {
 	})
 
 	writeJSON(out, rep)
-	fmt.Printf("wrote %s (%d benchmarks, 16-worker spawn/execute speedup ok=%v)\n",
+	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, 16-worker spawn/execute speedup ok=%v)\n",
 		out, len(rep.Results), rep.Speedup16OK)
 }
 
-func runReliable(out string, benchtime time.Duration, verbose bool) {
+func runReliable(out string, opts options) {
 	rep := reliableReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchtime:  benchtime.String(),
+		Benchtime:  opts.benchtime.String(),
 	}
-	rn := runner{verbose: verbose, results: &rep.Results}
+	rn := runner{verbose: opts.verbose, results: &rep.Results}
 
 	var goodput0 float64
 	for _, lossPct := range []float64{0, 1, 5, 10} {
@@ -314,8 +380,90 @@ func runReliable(out string, benchtime time.Duration, verbose bool) {
 	rep.LinkDownNs = nsPerOp(down)
 
 	writeJSON(out, rep)
-	fmt.Printf("wrote %s (%d benchmarks, goodput retained at 5%% loss=%.2f)\n",
+	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, goodput retained at 5%% loss=%.2f)\n",
 		out, len(rep.Results), rep.GoodputRetainedAt5)
+}
+
+// taskbenchReport is the BENCH_taskbench.json schema: the Task Bench-
+// style pattern sweep (per-pattern {execution time, Eq. 4 overhead,
+// Pearson r} across the coalescing grid) plus the adaptive phase demo.
+type taskbenchReport struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	Localities int    `json:"localities"`
+	// Graph echoes the swept workload shape.
+	Graph struct {
+		Width       int `json:"width"`
+		Steps       int `json:"steps"`
+		Iterations  int `json:"iterations"`
+		OutputBytes int `json:"output_bytes"`
+	} `json:"graph"`
+	Patterns  []taskbench.PatternReport  `json:"patterns"`
+	PhaseDemo taskbench.PhaseDemoResult  `json:"phase_demo"`
+	// BestAbsR is the strongest per-pattern |r|; CorrelationOK is the
+	// acceptance headline (some pattern reaches |r| >= 0.8, reproducing
+	// the paper's overhead/time correlation claim), and
+	// PhaseReconvergedOK that the tuner settled on different parameters
+	// for at least two phases.
+	BestAbsR           float64 `json:"best_abs_r"`
+	BestRPattern       string  `json:"best_r_pattern"`
+	CorrelationOK      bool    `json:"correlation_abs_r_ge_0_8"`
+	PhaseReconvergedOK bool    `json:"phase_demo_reconverged"`
+}
+
+func runTaskbench(out string, opts options) {
+	sweepCfg := bench.TaskbenchSweepConfig(opts.quick)
+	phaseCfg := bench.TaskbenchPhaseConfig(opts.quick)
+
+	rep := taskbenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      opts.quick,
+		Localities: sweepCfg.Localities,
+	}
+	rep.Graph.Width = sweepCfg.Graph.Width
+	rep.Graph.Steps = sweepCfg.Graph.Steps
+	rep.Graph.Iterations = sweepCfg.Graph.Iterations
+	rep.Graph.OutputBytes = sweepCfg.Graph.OutputBytes
+
+	reports, err := taskbench.RunSweep(sweepCfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Patterns = reports
+	for _, pr := range reports {
+		if opts.verbose {
+			fmt.Fprintf(os.Stderr, "%-20s r=%+.3f valid=%v best=%.2fms (n=%d t=%gus) worst=%.2fms\n",
+				pr.Pattern, pr.PearsonR, pr.RValid, pr.Best.WallMS, pr.Best.NParcels, pr.Best.IntervalUS, pr.Worst.WallMS)
+		}
+		if pr.RValid && math.Abs(pr.PearsonR) > rep.BestAbsR {
+			rep.BestAbsR = math.Abs(pr.PearsonR)
+			rep.BestRPattern = pr.Pattern
+		}
+	}
+	rep.CorrelationOK = rep.BestAbsR >= 0.8
+
+	demo, err := taskbench.RunPhaseDemo(phaseCfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.PhaseDemo = demo
+	rep.PhaseReconvergedOK = demo.Reconverged
+
+	writeJSON(out, rep)
+	fmt.Fprintf(statusW(out), "wrote %s (%d patterns, best |r|=%.3f on %s, correlation ok=%v, phase reconverged=%v)\n",
+		out, len(rep.Patterns), rep.BestAbsR, rep.BestRPattern, rep.CorrelationOK, rep.PhaseReconvergedOK)
+}
+
+// statusW is where a suite's one-line human summary goes: stderr when
+// the JSON report itself is streaming to stdout (`-o -`), so the
+// output stays machine-parseable, stdout otherwise.
+func statusW(out string) io.Writer {
+	if out == "-" {
+		return os.Stderr
+	}
+	return os.Stdout
 }
 
 func writeJSON(out string, rep any) {

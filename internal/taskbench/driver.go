@@ -1,0 +1,269 @@
+package taskbench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lco"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/serialization"
+)
+
+// Action is the default active-message action name carrying dependence
+// outputs between tasks. Enable coalescing for this action to route
+// taskbench traffic through the coalescing layer.
+const Action = "taskbench/input"
+
+// Options configures a Bench on a runtime.
+type Options struct {
+	// ActionName overrides the registered action name (default Action),
+	// letting several independent benches coexist on one runtime.
+	ActionName string
+	// Timeout bounds one Run (default 60s).
+	Timeout time.Duration
+}
+
+// Bench binds the taskbench driver to a runtime: it registers the input
+// action once and then executes any number of graphs sequentially. Task
+// points are block-partitioned across localities (point p lives on
+// locality p*L/Width), so a pattern's cross-partition edges become
+// parcels while vertical edges stay local, exactly as a distributed
+// Task Bench instance would behave.
+type Bench struct {
+	rt      *runtime.Runtime
+	action  string
+	timeout time.Duration
+
+	mu  sync.Mutex // serializes Run
+	cur atomic.Pointer[run]
+}
+
+// run is the state of one graph execution.
+type run struct {
+	g      Graph
+	owners []int // owner locality per point
+	// deps and dependents are indexed step*Width+point.
+	deps       [][]int
+	dependents [][]int
+	remaining  []atomic.Int32
+	latches    []*lco.Latch // one per step, counting Width completions
+	executed   atomic.Int64
+	payload    []byte
+}
+
+// New registers the input action and returns a bench bound to the
+// runtime.
+func New(rt *runtime.Runtime, opts Options) (*Bench, error) {
+	b := &Bench{rt: rt, action: opts.ActionName, timeout: opts.Timeout}
+	if b.action == "" {
+		b.action = Action
+	}
+	if b.timeout <= 0 {
+		b.timeout = defaultTimeout
+	}
+	if err := rt.RegisterAction(b.action, b.inputAction); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ActionName returns the action the bench's dependence messages use —
+// the name to pass to EnableCoalescing / SetCoalescingParams.
+func (b *Bench) ActionName() string { return b.action }
+
+// Result summarizes one graph execution.
+type Result struct {
+	// Graph is the executed graph (defaults resolved).
+	Graph Graph
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+	// Tasks is the number of task bodies executed (must equal
+	// Graph.TotalTasks()).
+	Tasks int64
+	// NetworkOverhead is the Eq. 4 metric over the run, and
+	// TaskOverheadUS the Eq. 2 metric.
+	NetworkOverhead float64
+	TaskOverheadUS  float64
+	// MessagesSent and ParcelsSent are the port-level deltas across all
+	// localities: how much coalesced wire traffic the run generated.
+	MessagesSent, ParcelsSent int64
+}
+
+// Run executes one graph to completion and returns its measurements.
+// Runs are serialized; concurrent calls block.
+func (b *Bench) Run(g Graph) (Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	g = g.WithDefaults()
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	ru := b.prepare(g)
+	b.cur.Store(ru)
+	defer b.cur.Store(nil)
+
+	portBefore := b.portStats()
+	before := metrics.Snapshot(b.rt)
+	start := time.Now()
+
+	// Seed every zero-dependency task: all of step 0, plus any later
+	// task whose pattern gives it no inputs (Trivial everywhere, Random
+	// points that drew no edges). Dataflow triggers everything else.
+	w := g.Width
+	for s := 0; s < g.Steps; s++ {
+		for p := 0; p < w; p++ {
+			idx := s*w + p
+			if len(ru.deps[idx]) != 0 {
+				continue
+			}
+			s, p := s, p
+			if !b.rt.Locality(ru.owners[p]).Spawn(func() { b.runTask(ru, s, p) }) {
+				return Result{}, runtime.ErrStopped
+			}
+		}
+	}
+
+	deadline := time.Now().Add(b.timeout)
+	for s, latch := range ru.latches {
+		left := time.Until(deadline)
+		if left <= 0 || latch.WaitTimeout(left) != nil {
+			return Result{}, fmt.Errorf("taskbench: %s stalled at step %d with %d/%d tasks executed",
+				g, s, ru.executed.Load(), g.TotalTasks())
+		}
+	}
+
+	wall := time.Since(start)
+	after := metrics.Snapshot(b.rt)
+	portAfter := b.portStats()
+
+	phase := metrics.Phase{
+		Tasks:          after.Tasks - before.Tasks,
+		TaskDuration:   after.TaskDuration - before.TaskDuration,
+		ExecDuration:   after.ExecDuration - before.ExecDuration,
+		BackgroundWork: after.BackgroundWork - before.BackgroundWork,
+	}
+	return Result{
+		Graph:           g,
+		Wall:            wall,
+		Tasks:           ru.executed.Load(),
+		NetworkOverhead: phase.NetworkOverhead(),
+		TaskOverheadUS:  phase.TaskOverheadUS(),
+		MessagesSent:    portAfter[0] - portBefore[0],
+		ParcelsSent:     portAfter[1] - portBefore[1],
+	}, nil
+}
+
+// prepare builds the dependence tables and completion LCOs for a graph.
+func (b *Bench) prepare(g Graph) *run {
+	w, L := g.Width, b.rt.Localities()
+	ru := &run{
+		g:          g,
+		owners:     make([]int, w),
+		deps:       make([][]int, w*g.Steps),
+		dependents: make([][]int, w*g.Steps),
+		remaining:  make([]atomic.Int32, w*g.Steps),
+		latches:    make([]*lco.Latch, g.Steps),
+		payload:    make([]byte, g.OutputBytes),
+	}
+	for p := 0; p < w; p++ {
+		ru.owners[p] = p * L / w
+	}
+	for i := range ru.payload {
+		ru.payload[i] = byte(i)
+	}
+	for s := 0; s < g.Steps; s++ {
+		ru.latches[s] = lco.NewLatch(w)
+		for p := 0; p < w; p++ {
+			idx := s*w + p
+			deps := g.Dependencies(s, p)
+			ru.deps[idx] = deps
+			ru.remaining[idx].Store(int32(len(deps)))
+			// Invert into the producers' dependent lists.
+			for _, q := range deps {
+				pidx := (s-1)*w + q
+				ru.dependents[pidx] = append(ru.dependents[pidx], p)
+			}
+		}
+	}
+	return ru
+}
+
+// portStats sums {messages, parcels} sent across all localities.
+func (b *Bench) portStats() [2]int64 {
+	var out [2]int64
+	for i := 0; i < b.rt.Localities(); i++ {
+		st := b.rt.Locality(i).Port().Stats()
+		out[0] += st.MessagesSent
+		out[1] += st.ParcelsSent
+	}
+	return out
+}
+
+// inputAction receives one dependence output for (step, point); the last
+// arriving input runs the task body inline — the action already executes
+// as a scheduler task on the owning locality, so no extra hop is needed.
+func (b *Bench) inputAction(ctx *runtime.Context, args []byte) ([]byte, error) {
+	r := serialization.NewReader(args)
+	step := int(r.Uvarint())
+	point := int(r.Uvarint())
+	r.BytesField() // payload: carried for wire-size realism, content unused
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("taskbench: corrupt input parcel: %w", err)
+	}
+	ru := b.cur.Load()
+	if ru == nil {
+		return nil, errors.New("taskbench: input parcel with no active run")
+	}
+	w := ru.g.Width
+	if step < 0 || step >= ru.g.Steps || point < 0 || point >= w {
+		return nil, fmt.Errorf("taskbench: input for (%d,%d) outside %s", step, point, ru.g)
+	}
+	switch n := ru.remaining[step*w+point].Add(-1); {
+	case n == 0:
+		b.runTask(ru, step, point)
+	case n < 0:
+		return nil, fmt.Errorf("taskbench: surplus input for task (%d,%d)", step, point)
+	}
+	return nil, nil
+}
+
+// runTask executes the task body at (step, point): spin the configured
+// grain, emit one message per dependent in the next step, and count down
+// the step's completion latch.
+func (b *Bench) runTask(ru *run, step, point int) {
+	if grind(ru.g.Iterations) < 0 {
+		panic("taskbench: grind underflow") // unreachable; pins the spin loop
+	}
+	w := ru.g.Width
+	if step+1 < ru.g.Steps {
+		loc := b.rt.Locality(ru.owners[point])
+		for _, q := range ru.dependents[step*w+point] {
+			wr := serialization.NewWriter(16 + len(ru.payload))
+			wr.Uvarint(uint64(step + 1))
+			wr.Uvarint(uint64(q))
+			wr.BytesField(ru.payload)
+			if err := loc.Apply(ru.owners[q], b.action, wr.Bytes()); err != nil {
+				// The latch still counts down: a send failure surfaces as
+				// a stalled downstream step with this task recorded done.
+				break
+			}
+		}
+	}
+	ru.executed.Add(1)
+	ru.latches[step].CountDown(1)
+}
+
+// grind is the task grain: iters dependent floating-point operations the
+// compiler cannot elide.
+func grind(iters int) float64 {
+	x := 1.0
+	for i := 0; i < iters; i++ {
+		x = x*1.0000001 + 1e-9
+	}
+	return x
+}

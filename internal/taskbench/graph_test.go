@@ -1,0 +1,193 @@
+package taskbench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDependenciesInBounds checks, for every pattern at width 1, 2 and a
+// non-power-of-two width, that every dependence set is sorted, free of
+// duplicates, within [0, width), and empty at step 0.
+func TestDependenciesInBounds(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 16} {
+		for _, pat := range AllPatterns {
+			g := Graph{Width: w, Steps: 9, Pattern: pat}.WithDefaults()
+			for s := 0; s < g.Steps; s++ {
+				for p := 0; p < w; p++ {
+					deps := g.Dependencies(s, p)
+					if s == 0 && len(deps) != 0 {
+						t.Fatalf("%s w=%d: step 0 task %d has deps %v", pat, w, p, deps)
+					}
+					for i, q := range deps {
+						if q < 0 || q >= w {
+							t.Fatalf("%s w=%d: dep %d of (%d,%d) out of bounds", pat, w, q, s, p)
+						}
+						if i > 0 && deps[i-1] >= q {
+							t.Fatalf("%s w=%d: deps of (%d,%d) not sorted/deduped: %v", pat, w, s, p, deps)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDependenciesOutOfRange checks the accessors reject out-of-range
+// coordinates instead of fabricating edges.
+func TestDependenciesOutOfRange(t *testing.T) {
+	g := Graph{Width: 4, Steps: 4, Pattern: Stencil1D}.WithDefaults()
+	for _, c := range [][2]int{{1, -1}, {1, 4}, {-1, 0}, {0, 0}} {
+		if deps := g.Dependencies(c[0], c[1]); len(deps) != 0 {
+			t.Errorf("Dependencies(%d,%d) = %v, want empty", c[0], c[1], deps)
+		}
+	}
+	if deps := g.Dependents(g.Steps-1, 0); len(deps) != 0 {
+		t.Errorf("Dependents at final step = %v, want empty", deps)
+	}
+}
+
+// TestRandomDeterministic checks the random pattern is a pure function
+// of the seed: identical seeds give identical graphs, different seeds
+// differ somewhere.
+func TestRandomDeterministic(t *testing.T) {
+	a := Graph{Width: 12, Steps: 6, Pattern: Random, Seed: 42}.WithDefaults()
+	b := Graph{Width: 12, Steps: 6, Pattern: Random, Seed: 42}.WithDefaults()
+	c := Graph{Width: 12, Steps: 6, Pattern: Random, Seed: 43}.WithDefaults()
+	same, diff := true, false
+	for s := 0; s < a.Steps; s++ {
+		for p := 0; p < a.Width; p++ {
+			if !reflect.DeepEqual(a.Dependencies(s, p), b.Dependencies(s, p)) {
+				same = false
+			}
+			if !reflect.DeepEqual(a.Dependencies(s, p), c.Dependencies(s, p)) {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("random pattern differs between identical seeds")
+	}
+	if !diff {
+		t.Error("random pattern identical across different seeds")
+	}
+}
+
+// TestDependentsInverse checks Dependents is the exact inverse of
+// Dependencies for every pattern, including at non-power-of-two widths —
+// the invariant the driver's message accounting relies on.
+func TestDependentsInverse(t *testing.T) {
+	for _, w := range []int{1, 2, 5, 8} {
+		for _, pat := range AllPatterns {
+			g := Graph{Width: w, Steps: 7, Pattern: pat}.WithDefaults()
+			for s := 0; s < g.Steps-1; s++ {
+				for p := 0; p < w; p++ {
+					for _, q := range g.Dependents(s, p) {
+						found := false
+						for _, d := range g.Dependencies(s+1, q) {
+							if d == p {
+								found = true
+							}
+						}
+						if !found {
+							t.Fatalf("%s w=%d: (%d,%d) lists dependent %d which does not depend on it", pat, w, s, p, q)
+						}
+					}
+					// Forward direction: every dependency edge appears in
+					// the producer's dependent list.
+					for _, d := range g.Dependencies(s+1, p) {
+						found := false
+						for _, q := range g.Dependents(s, d) {
+							if q == p {
+								found = true
+							}
+						}
+						if !found {
+							t.Fatalf("%s w=%d: edge (%d,%d)->(%d,%d) missing from Dependents", pat, w, s, d, s+1, p)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestButterflyNonPowerOfTwo checks fft and tree stay well defined when
+// the width is not a power of two: offsets cycle over ceil(log2 w)
+// stages and partners beyond the width are dropped rather than wrapped
+// out of bounds.
+func TestButterflyNonPowerOfTwo(t *testing.T) {
+	for _, pat := range []Pattern{FFT, Tree} {
+		g := Graph{Width: 6, Steps: 10, Pattern: pat}.WithDefaults()
+		if got, want := g.stages(), 3; got != want {
+			t.Fatalf("%s: stages(6) = %d, want %d", pat, got, want)
+		}
+		crossEdges := 0
+		for s := 1; s < g.Steps; s++ {
+			for p := 0; p < g.Width; p++ {
+				deps := g.Dependencies(s, p)
+				if len(deps) == 0 {
+					t.Fatalf("%s w=6: (%d,%d) has no deps; self edge lost", pat, s, p)
+				}
+				if len(deps) > 2 {
+					t.Fatalf("%s w=6: (%d,%d) has %d deps, want <=2", pat, s, p, len(deps))
+				}
+				if len(deps) == 2 {
+					crossEdges++
+				}
+			}
+		}
+		if crossEdges == 0 {
+			t.Errorf("%s w=6: no cross edges at all; pattern degenerated to no_comm", pat)
+		}
+	}
+	// Width 1: both patterns must degenerate to a single self-chain.
+	for _, pat := range []Pattern{FFT, Tree} {
+		g := Graph{Width: 1, Steps: 4, Pattern: pat}.WithDefaults()
+		for s := 1; s < g.Steps; s++ {
+			if got := g.Dependencies(s, 0); len(got) != 1 || got[0] != 0 {
+				t.Errorf("%s w=1: deps(%d,0) = %v, want [0]", pat, s, got)
+			}
+		}
+	}
+}
+
+// TestPatternShapes spot-checks the catalog's characteristic edges.
+func TestPatternShapes(t *testing.T) {
+	w := 8
+	check := func(pat Pattern, s, p int, want []int) {
+		t.Helper()
+		g := Graph{Width: w, Steps: 8, Pattern: pat}.WithDefaults()
+		if got := g.Dependencies(s, p); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: deps(%d,%d) = %v, want %v", pat, s, p, got, want)
+		}
+	}
+	check(Trivial, 3, 4, nil)
+	check(NoComm, 3, 4, []int{4})
+	check(Stencil1D, 1, 0, []int{0, 1})
+	check(Stencil1D, 1, 3, []int{2, 3, 4})
+	check(Stencil1DPeriodic, 1, 0, []int{0, 1, 7})
+	check(FFT, 1, 0, []int{0, 1})    // offset 1
+	check(FFT, 2, 0, []int{0, 2})    // offset 2
+	check(FFT, 3, 1, []int{1, 5})    // offset 4
+	check(Tree, 1, 1, []int{0, 1})   // half 1: point 1 receives from 0
+	check(Tree, 2, 3, []int{1, 3})   // half 2: point 3 receives from 1
+	check(Tree, 3, 7, []int{3, 7})   // half 4: point 7 receives from 3
+	check(Tree, 1, 5, []int{5})      // outside the wave window: carry only
+	g := Graph{Width: w, Steps: 8, Pattern: Spread}.WithDefaults()
+	if got := len(g.Dependencies(1, 0)); got != g.SpreadDeps {
+		t.Errorf("spread: %d deps, want %d", got, g.SpreadDeps)
+	}
+}
+
+// TestValidate rejects unknown patterns and degenerate shapes.
+func TestValidate(t *testing.T) {
+	if err := (Graph{Width: 4, Steps: 4, Pattern: "warp"}).Validate(); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if err := (Graph{Width: 0, Steps: 4, Pattern: Trivial}).Validate(); err == nil {
+		t.Error("zero width accepted")
+	}
+	if err := (Graph{Width: 4, Steps: 4, Pattern: FFT}).Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package taskbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/network"
+)
+
+// quickModel keeps harness tests fast: microsecond-scale per-message
+// costs still reward coalescing without stretching the test.
+var quickModel = network.CostModel{
+	SendOverhead: 5 * time.Microsecond,
+	RecvOverhead: 3 * time.Microsecond,
+	Latency:      5 * time.Microsecond,
+}
+
+// TestRunSweepSmall runs a reduced sweep (two patterns, 2×2 grid) end to
+// end and checks the report shape: full grids, populated best/worst, and
+// a defined correlation for the communicating pattern.
+func TestRunSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	reports, err := RunSweep(SweepConfig{
+		Localities: 2,
+		Graph:      Graph{Width: 8, Steps: 5, Iterations: 16, OutputBytes: 16},
+		Patterns:   []Pattern{Trivial, Stencil1DPeriodic},
+		NParcels:   []int{1, 16},
+		Intervals:  []time.Duration{100 * time.Microsecond, time.Millisecond},
+		Repeat:     2,
+		CostModel:  quickModel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for _, rep := range reports {
+		if len(rep.Points) != 4 {
+			t.Errorf("%s: %d sweep points, want 4", rep.Pattern, len(rep.Points))
+		}
+		if rep.Best.WallMS <= 0 || rep.Worst.WallMS < rep.Best.WallMS {
+			t.Errorf("%s: inconsistent best/worst (%v / %v)", rep.Pattern, rep.Best.WallMS, rep.Worst.WallMS)
+		}
+		if rep.RValid && (rep.PearsonR < -1 || rep.PearsonR > 1) {
+			t.Errorf("%s: pearson r out of range: %v", rep.Pattern, rep.PearsonR)
+		}
+	}
+}
+
+// TestRunPhaseDemoSmall runs a reduced phase demo and checks the result
+// accounting (phase count, decision totals, distinct-parameter count).
+func TestRunPhaseDemoSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase demo skipped in -short mode")
+	}
+	res, err := RunPhaseDemo(PhaseDemoConfig{
+		Localities:   2,
+		Graph:        Graph{Width: 8, Steps: 5, Iterations: 16, OutputBytes: 16},
+		Phases:       []Pattern{Stencil1D, FFT},
+		RunsPerPhase: 2,
+		CostModel:    quickModel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(res.Phases))
+	}
+	sum := 0
+	for _, ph := range res.Phases {
+		if ph.FinalNParcels <= 0 {
+			t.Errorf("%s: non-positive final NParcels", ph.Pattern)
+		}
+		sum += ph.Decisions
+	}
+	if sum != res.TotalDecisions {
+		t.Errorf("per-phase decisions sum %d != total %d", sum, res.TotalDecisions)
+	}
+	if res.Reconverged != (res.DistinctNParcels >= 2) {
+		t.Error("Reconverged flag inconsistent with DistinctNParcels")
+	}
+}

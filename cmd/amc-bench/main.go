@@ -78,6 +78,7 @@ type speedup struct {
 
 // report is the BENCH_parcel.json schema.
 type report struct {
+	partialStatus
 	GoVersion         string    `json:"go_version"`
 	GOMAXPROCS        int       `json:"gomaxprocs"`
 	Benchtime         string    `json:"benchtime"`
@@ -111,6 +112,7 @@ type lossPoint struct {
 // injected frame-loss rate grows, plus the failure-detection latency of a
 // partitioned link.
 type reliableReport struct {
+	partialStatus
 	GoVersion  string      `json:"go_version"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	Benchtime  string      `json:"benchtime"`
@@ -124,6 +126,7 @@ type reliableReport struct {
 
 // schedReport is the BENCH_sched.json schema.
 type schedReport struct {
+	partialStatus
 	GoVersion            string         `json:"go_version"`
 	GOMAXPROCS           int            `json:"gomaxprocs"`
 	Benchtime            string         `json:"benchtime"`
@@ -179,12 +182,16 @@ type options struct {
 }
 
 // suiteDef registers one runnable suite: its default output file, a
-// one-line description for the usage listing, and the runner.
+// one-line description for the usage listing, and the runner. A runner
+// that fails mid-suite still writes whatever it measured — marked with
+// "partial": true and an "error" field — and returns the error so main
+// exits non-zero; a consumer of the JSON must check the marker before
+// trusting the numbers.
 type suiteDef struct {
 	name       string
 	defaultOut string
 	desc       string
-	run        func(out string, opts options)
+	run        func(out string, opts options) error
 }
 
 // suites is the registry the -suite flag is validated against; "all"
@@ -194,6 +201,20 @@ var suites = []suiteDef{
 	{"sched", "BENCH_sched.json", "work-stealing task scheduler vs single-channel baseline", runSched},
 	{"reliable", "BENCH_reliable.json", "goodput and Eq. 4 overhead under injected frame loss; link-down detection", runReliable},
 	{"taskbench", "BENCH_taskbench.json", "Task Bench-style pattern sweep: per-pattern overhead/time correlation + adaptive phase demo", runTaskbench},
+	{"health", "BENCH_health.json", "crash-stop chaos: phi-accrual detection latency, false-positive soak, survive-crash workload", runHealth},
+}
+
+// partialStatus is embedded in every report schema: when a suite errors
+// after measurement started, the report is still written with Partial
+// set and the error recorded, and amc-bench exits non-zero.
+type partialStatus struct {
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (p *partialStatus) markPartial(err error) {
+	p.Partial = true
+	p.Error = err.Error()
 }
 
 // lookupSuite resolves a -suite value against the registry.
@@ -237,8 +258,16 @@ func main() {
 		if *out != "" {
 			fatal(fmt.Errorf("-o cannot be combined with -suite all; each suite writes its default file"))
 		}
+		failed := 0
 		for _, s := range suites {
-			s.run(s.defaultOut, opts)
+			if err := s.run(s.defaultOut, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "amc-bench: suite %s failed: %v\n", s.name, err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "amc-bench: %d suite(s) failed; reports carry the partial marker\n", failed)
+			os.Exit(1)
 		}
 	case "help", "list":
 		listSuites(os.Stdout)
@@ -249,7 +278,9 @@ func main() {
 			listSuites(os.Stderr)
 			os.Exit(2)
 		}
-		s.run(orDefault(*out, s.defaultOut), opts)
+		if err := s.run(orDefault(*out, s.defaultOut), opts); err != nil {
+			fatal(fmt.Errorf("suite %s: %w", s.name, err))
+		}
 	}
 }
 
@@ -260,7 +291,7 @@ func orDefault(s, def string) string {
 	return s
 }
 
-func runParcel(out string, opts options) {
+func runParcel(out string, opts options) error {
 	rep := report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -294,12 +325,15 @@ func runParcel(out string, opts options) {
 	}
 	rep.ZeroAllocSendPath = encode.AllocsPerOp() == 0 && send.AllocsPerOp() == 0
 
-	writeJSON(out, rep)
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
 	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, zero-alloc=%v, 16-sender speedup ok=%v)\n",
 		out, len(rep.Results), rep.ZeroAllocSendPath, rep.Speedup16OK)
+	return nil
 }
 
-func runSched(out string, opts options) {
+func runSched(out string, opts options) error {
 	rep := schedReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -343,12 +377,15 @@ func runSched(out string, opts options) {
 		bench.SchedBackgroundStarvation(b, stealing, 4)
 	})
 
-	writeJSON(out, rep)
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
 	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, 16-worker spawn/execute speedup ok=%v)\n",
 		out, len(rep.Results), rep.Speedup16OK)
+	return nil
 }
 
-func runReliable(out string, opts options) {
+func runReliable(out string, opts options) error {
 	rep := reliableReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -379,15 +416,19 @@ func runReliable(out string, opts options) {
 	down := rn.run("ReliableLinkDownDetection", bench.ReliableLinkDownDetection)
 	rep.LinkDownNs = nsPerOp(down)
 
-	writeJSON(out, rep)
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
 	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, goodput retained at 5%% loss=%.2f)\n",
 		out, len(rep.Results), rep.GoodputRetainedAt5)
+	return nil
 }
 
 // taskbenchReport is the BENCH_taskbench.json schema: the Task Bench-
 // style pattern sweep (per-pattern {execution time, Eq. 4 overhead,
 // Pearson r} across the coalescing grid) plus the adaptive phase demo.
 type taskbenchReport struct {
+	partialStatus
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Quick      bool   `json:"quick"`
@@ -399,8 +440,8 @@ type taskbenchReport struct {
 		Iterations  int `json:"iterations"`
 		OutputBytes int `json:"output_bytes"`
 	} `json:"graph"`
-	Patterns  []taskbench.PatternReport  `json:"patterns"`
-	PhaseDemo taskbench.PhaseDemoResult  `json:"phase_demo"`
+	Patterns  []taskbench.PatternReport `json:"patterns"`
+	PhaseDemo taskbench.PhaseDemoResult `json:"phase_demo"`
 	// BestAbsR is the strongest per-pattern |r|; CorrelationOK is the
 	// acceptance headline (some pattern reaches |r| >= 0.8, reproducing
 	// the paper's overhead/time correlation claim), and
@@ -412,7 +453,7 @@ type taskbenchReport struct {
 	PhaseReconvergedOK bool    `json:"phase_demo_reconverged"`
 }
 
-func runTaskbench(out string, opts options) {
+func runTaskbench(out string, opts options) error {
 	sweepCfg := bench.TaskbenchSweepConfig(opts.quick)
 	phaseCfg := bench.TaskbenchPhaseConfig(opts.quick)
 
@@ -429,7 +470,7 @@ func runTaskbench(out string, opts options) {
 
 	reports, err := taskbench.RunSweep(sweepCfg)
 	if err != nil {
-		fatal(err)
+		return failPartial(out, &rep, &rep.partialStatus, err)
 	}
 	rep.Patterns = reports
 	for _, pr := range reports {
@@ -446,14 +487,97 @@ func runTaskbench(out string, opts options) {
 
 	demo, err := taskbench.RunPhaseDemo(phaseCfg)
 	if err != nil {
-		fatal(err)
+		return failPartial(out, &rep, &rep.partialStatus, err)
 	}
 	rep.PhaseDemo = demo
 	rep.PhaseReconvergedOK = demo.Reconverged
 
-	writeJSON(out, rep)
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
 	fmt.Fprintf(statusW(out), "wrote %s (%d patterns, best |r|=%.3f on %s, correlation ok=%v, phase reconverged=%v)\n",
 		out, len(rep.Patterns), rep.BestAbsR, rep.BestRPattern, rep.CorrelationOK, rep.PhaseReconvergedOK)
+	return nil
+}
+
+// healthReport is the BENCH_health.json schema: phi-accrual detection
+// latency, the no-crash false-positive soak, and the survive-crash
+// workload, with pass/fail acceptance fields for the robustness
+// headline claims.
+type healthReport struct {
+	partialStatus
+	GoVersion    string             `json:"go_version"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Quick        bool               `json:"quick"`
+	Detector     healthDetectorInfo `json:"detector"`
+	SoakDetector healthDetectorInfo `json:"soak_detector"`
+	Health       bench.HealthReport `json:"health"`
+	// ZeroFalsePositives: no suspicions over the soak. SurviveCrashOK:
+	// the recovery run completed every task on the survivors.
+	// FailFastOK: the non-recovery run failed cleanly (it reaching the
+	// report at all means it did not hang).
+	ZeroFalsePositives bool `json:"zero_false_positives"`
+	SurviveCrashOK     bool `json:"survive_crash_ok"`
+	FailFastOK         bool `json:"fail_fast_ok"`
+}
+
+// healthDetectorInfo echoes the phi-accrual parameters under test.
+type healthDetectorInfo struct {
+	HeartbeatIntervalUS float64 `json:"heartbeat_interval_us"`
+	PhiThreshold        float64 `json:"phi_threshold"`
+	WindowSize          int     `json:"window_size"`
+	GraceUS             float64 `json:"grace_us"`
+}
+
+func detectorInfo(c bench.HealthConfig, soak bool) healthDetectorInfo {
+	det := c.Detector.WithDefaults()
+	if soak {
+		det = c.SoakDetector.WithDefaults()
+	}
+	return healthDetectorInfo{
+		HeartbeatIntervalUS: float64(det.HeartbeatInterval.Microseconds()),
+		PhiThreshold:        det.PhiThreshold,
+		WindowSize:          det.Window,
+		GraceUS:             float64(det.Grace.Microseconds()),
+	}
+}
+
+func runHealth(out string, opts options) error {
+	cfg := bench.HealthSuiteConfig(opts.quick)
+	rep := healthReport{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Quick:        opts.quick,
+		Detector:     detectorInfo(cfg, false),
+		SoakDetector: detectorInfo(cfg, true),
+	}
+	hr, err := bench.RunHealth(cfg)
+	rep.Health = hr // partial progress is meaningful even on error
+	if err != nil {
+		return failPartial(out, &rep, &rep.partialStatus, err)
+	}
+	rep.ZeroFalsePositives = hr.SoakSuspicions == 0
+	rep.SurviveCrashOK = hr.SurviveTasks == int64(cfg.Graph.WithDefaults().TotalTasks())
+	rep.FailFastOK = hr.FailFastMS > 0
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(statusW(out), "wrote %s (detection mean=%.1fms over %d trials, soak %ds suspicions=%d, survive-crash ok=%v, fail-fast=%.1fms)\n",
+		out, rep.Health.DetectionMeanMS, rep.Health.DetectionTrials,
+		int(rep.Health.SoakSeconds), rep.Health.SoakSuspicions,
+		rep.SurviveCrashOK, rep.Health.FailFastMS)
+	return nil
+}
+
+// failPartial writes the partial report with its marker set and returns
+// the suite error (joined with any write error).
+func failPartial(out string, rep any, st *partialStatus, err error) error {
+	st.markPartial(err)
+	if werr := writeJSON(out, rep); werr != nil {
+		return fmt.Errorf("%w (and writing partial report failed: %v)", err, werr)
+	}
+	fmt.Fprintf(os.Stderr, "amc-bench: wrote PARTIAL report %s: %v\n", out, err)
+	return err
 }
 
 // statusW is where a suite's one-line human summary goes: stderr when
@@ -466,19 +590,17 @@ func statusW(out string) io.Writer {
 	return os.Stdout
 }
 
-func writeJSON(out string, rep any) {
+func writeJSON(out string, rep any) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	data = append(data, '\n')
 	if out == "-" {
-		os.Stdout.Write(data)
-		return
+		_, err := os.Stdout.Write(data)
+		return err
 	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		fatal(err)
-	}
+	return os.WriteFile(out, data, 0o644)
 }
 
 func fatal(err error) {

@@ -15,6 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/network"
 )
 
 // GID is a global identifier. The top 16 bits carry the locality that
@@ -71,6 +74,11 @@ type Service struct {
 	home       map[GID]int
 	names      map[string]GID
 	invalidate []func(GID) // per-locality cache invalidation hooks
+
+	// down marks crash-stopped localities: resolutions to them fail with
+	// network.ErrLocalityDown instead of routing parcels at a corpse.
+	// Atomic so the per-locality caches can check it lock-free on hits.
+	down []atomic.Bool
 }
 
 // NewService creates a directory for n localities.
@@ -84,16 +92,37 @@ func NewService(n int) *Service {
 		home:       make(map[GID]int),
 		names:      make(map[string]GID),
 		invalidate: make([]func(GID), n),
+		down:       make([]atomic.Bool, n),
 	}
 }
 
 // Localities returns the number of localities in the address space.
 func (s *Service) Localities() int { return s.localities }
 
+// MarkDown declares a locality crash-stopped: subsequent allocations at
+// it fail, and resolutions of GIDs it hosts return
+// network.ErrLocalityDown. Crash-stop is permanent (no ClearDown) —
+// recovery would require a rebirth protocol the failure model excludes.
+// GIDs homed at the dead locality are intentionally retained in the
+// directory so resolution distinguishes "host died" from "never existed".
+func (s *Service) MarkDown(locality int) {
+	if locality >= 0 && locality < s.localities {
+		s.down[locality].Store(true)
+	}
+}
+
+// Down reports whether the locality has been declared crash-stopped.
+func (s *Service) Down(locality int) bool {
+	return locality >= 0 && locality < s.localities && s.down[locality].Load()
+}
+
 // Allocate creates a fresh GID homed at the given locality.
 func (s *Service) Allocate(locality int) (GID, error) {
 	if locality < 0 || locality >= s.localities {
 		return Invalid, fmt.Errorf("%w: %d", ErrBadLocality, locality)
+	}
+	if s.down[locality].Load() {
+		return Invalid, fmt.Errorf("%w: locality %d", network.ErrLocalityDown, locality)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -120,6 +149,9 @@ func (s *Service) Resolve(g GID) (int, error) {
 	loc, ok := s.home[g]
 	if !ok {
 		return 0, fmt.Errorf("%w: %v", ErrUnknownGID, g)
+	}
+	if s.down[loc].Load() {
+		return 0, fmt.Errorf("%w: %v hosted at locality %d", network.ErrLocalityDown, g, loc)
 	}
 	return loc, nil
 }
@@ -229,11 +261,17 @@ func (c *Cache) invalidateEntry(g GID) {
 }
 
 // Resolve returns the hosting locality for g, consulting the cache first.
+// Hits on entries pointing at a crash-stopped locality fail with
+// network.ErrLocalityDown — the staleness check is lock-free, so the hit
+// path stays cheap.
 func (c *Cache) Resolve(g GID) (int, error) {
 	c.mu.RLock()
 	loc, ok := c.entries[g]
 	c.mu.RUnlock()
 	if ok {
+		if c.svc.Down(loc) {
+			return 0, fmt.Errorf("%w: %v hosted at locality %d", network.ErrLocalityDown, g, loc)
+		}
 		c.mu.Lock()
 		c.hits++
 		c.mu.Unlock()

@@ -98,6 +98,18 @@ func (c *Raw) Add(delta int64) { c.v.Add(delta) }
 // Set stores an absolute value.
 func (c *Raw) Set(v int64) { c.v.Store(v) }
 
+// SetMax raises the counter to v if v exceeds the current value — a
+// peak-tracking gauge (the health monitor uses it for the highest
+// suspicion level observed per peer).
+func (c *Raw) SetMax(v int64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Get returns the current integral value.
 func (c *Raw) Get() int64 { return c.v.Load() }
 

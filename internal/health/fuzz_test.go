@@ -1,0 +1,25 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecodeHeartbeat drives the heartbeat decoder with arbitrary bytes:
+// it must never panic, and every accepted payload must re-encode to the
+// identical wire bytes (the decoder accepts nothing it cannot produce).
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeHeartbeat(nil, Heartbeat{}))
+	f.Add(EncodeHeartbeat(nil, Heartbeat{Seq: ^uint64(0), Sent: time.Unix(0, -1)}))
+	f.Add([]byte{heartbeatMagic, heartbeatVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hb, err := DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeHeartbeat(nil, hb); string(got) != string(data) {
+			t.Fatalf("decode/encode not idempotent:\n in %x\nout %x", data, got)
+		}
+	})
+}

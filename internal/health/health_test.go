@@ -1,0 +1,242 @@
+package health
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fast returns a config with short horizons for tests.
+func fast() Config {
+	return Config{
+		HeartbeatInterval: 5 * time.Millisecond,
+		Tick:              time.Millisecond,
+		Window:            32,
+		PhiThreshold:      8,
+		Grace:             10 * time.Millisecond,
+	}
+}
+
+func TestDetectorSteadyHeartbeatsStayBelowThreshold(t *testing.T) {
+	cfg := fast()
+	d := NewDetector(cfg)
+	base := time.Now()
+	d.Watch(1, base)
+	// Feed a long steady stream with mild jitter, sampling phi right
+	// before each arrival (the worst moment): it must never cross the
+	// threshold.
+	now := base
+	for i := 0; i < 400; i++ {
+		dt := cfg.HeartbeatInterval
+		if i%3 == 0 {
+			dt += cfg.HeartbeatInterval / 4
+		}
+		now = now.Add(dt)
+		if phi := d.Phi(1, now); phi >= cfg.PhiThreshold {
+			t.Fatalf("phi=%.2f crossed threshold %.1f at beat %d under steady heartbeats", phi, cfg.PhiThreshold, i)
+		}
+		d.Heartbeat(1, now)
+	}
+	if phi := d.Phi(1, now); phi != 0 {
+		t.Fatalf("phi=%.2f immediately after a heartbeat, want 0", phi)
+	}
+}
+
+func TestDetectorSilenceAccruesSuspicion(t *testing.T) {
+	cfg := fast()
+	d := NewDetector(cfg)
+	base := time.Now()
+	d.Watch(1, base)
+	now := base
+	for i := 0; i < 50; i++ {
+		now = now.Add(cfg.HeartbeatInterval)
+		d.Heartbeat(1, now)
+	}
+	// Phi must rise monotonically with silence and cross the threshold
+	// within a handful of missed intervals.
+	prev := -1.0
+	crossed := time.Duration(0)
+	for k := 1; k <= 200; k++ {
+		at := now.Add(time.Duration(k) * cfg.HeartbeatInterval / 4)
+		phi := d.Phi(1, at)
+		if phi < prev {
+			t.Fatalf("phi decreased with silence: %.3f -> %.3f", prev, phi)
+		}
+		prev = phi
+		if crossed == 0 && phi >= cfg.PhiThreshold {
+			crossed = at.Sub(now)
+		}
+	}
+	if crossed == 0 {
+		t.Fatalf("phi never crossed threshold %.1f after 50 intervals of silence (final %.2f)", cfg.PhiThreshold, prev)
+	}
+	if crossed > 20*cfg.HeartbeatInterval {
+		t.Errorf("detection took %v (> 20 heartbeat intervals)", crossed)
+	}
+	if !d.Suspect(1, now.Add(crossed)) {
+		t.Error("Suspect=false at the crossing point")
+	}
+}
+
+func TestDetectorGracePeriodAndUnwatchedPeers(t *testing.T) {
+	cfg := fast()
+	d := NewDetector(cfg)
+	base := time.Now()
+	d.Watch(1, base)
+	if phi := d.Phi(1, base.Add(cfg.Grace/2)); phi != 0 {
+		t.Errorf("phi=%.2f inside the grace period, want 0", phi)
+	}
+	if phi := d.Phi(1, base.Add(time.Hour)); phi < cfg.PhiThreshold {
+		t.Errorf("phi=%.2f after an hour of total silence, want >= threshold: a peer that never spoke must still be detected", phi)
+	}
+	if phi := d.Phi(99, base.Add(time.Hour)); phi != 0 {
+		t.Errorf("unwatched peer reported phi=%.2f, want 0", phi)
+	}
+}
+
+func TestDetectorWindowSlides(t *testing.T) {
+	cfg := fast()
+	cfg.Window = 8
+	d := NewDetector(cfg)
+	now := time.Now()
+	d.Watch(1, now)
+	for i := 0; i < 100; i++ {
+		now = now.Add(cfg.HeartbeatInterval)
+		d.Heartbeat(1, now)
+	}
+	if got := d.Samples(1); got != cfg.Window {
+		t.Fatalf("window holds %d samples, want %d", got, cfg.Window)
+	}
+}
+
+func TestDetectorConcurrentUse(t *testing.T) {
+	d := NewDetector(fast())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				d.Heartbeat(peer%4, time.Now())
+				_ = d.Phi(peer%4, time.Now())
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	sent := time.Unix(0, 1_700_000_000_123_456_789)
+	enc := EncodeHeartbeat(nil, Heartbeat{Seq: 42, Sent: sent})
+	if len(enc) != HeartbeatSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), HeartbeatSize)
+	}
+	hb, err := DecodeHeartbeat(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Seq != 42 || !hb.Sent.Equal(sent) {
+		t.Fatalf("round trip mismatch: %+v", hb)
+	}
+}
+
+func TestDecodeHeartbeatHostileInputs(t *testing.T) {
+	valid := EncodeHeartbeat(nil, Heartbeat{Seq: 1, Sent: time.Now()})
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       valid[:HeartbeatSize-1],
+		"long":        append(append([]byte{}, valid...), 0),
+		"bad magic":   append([]byte{0x00}, valid[1:]...),
+		"bad version": append([]byte{heartbeatMagic, 0xFF}, valid[2:]...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeHeartbeat(data); !errors.Is(err, ErrBadHeartbeat) {
+			t.Errorf("%s: err=%v, want ErrBadHeartbeat", name, err)
+		}
+	}
+}
+
+func TestMonitorDetectsSilentPeerAndSparesLivePeers(t *testing.T) {
+	cfg := fast()
+	var downs sync.Map
+	var hbTo [3]atomic.Int64
+	m := NewMonitor(MonitorConfig{
+		Config:   cfg,
+		Locality: 0,
+		Peers:    3,
+		SendHeartbeat: func(peer int) error {
+			hbTo[peer].Add(1)
+			return nil
+		},
+		OnDown: func(peer int) { downs.Store(peer, time.Now()) },
+	})
+	m.Start()
+	defer m.Stop()
+
+	// Peer 1 stays alive (heartbeats fed in), peer 2 is silent.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tk := time.NewTicker(cfg.HeartbeatInterval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tk.C:
+				m.Heartbeat(1)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := downs.Load(2); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if _, ok := downs.Load(2); !ok {
+		t.Fatalf("silent peer 2 never declared down (phi=%.2f)", m.Phi(2))
+	}
+	if _, ok := downs.Load(1); ok {
+		t.Error("live peer 1 falsely declared down")
+	}
+	if !m.Suspected(2) || m.Suspected(1) {
+		t.Errorf("Suspected: peer2=%v peer1=%v, want true/false", m.Suspected(2), m.Suspected(1))
+	}
+	if m.Suspicions() != 1 {
+		t.Errorf("suspicions counter = %d, want 1", m.Suspicions())
+	}
+	if hbTo[2].Load() == 0 {
+		t.Error("no explicit heartbeats were sent to the idle link")
+	}
+}
+
+func TestMonitorOnDownFiresOnce(t *testing.T) {
+	cfg := fast()
+	var fired atomic.Int64
+	m := NewMonitor(MonitorConfig{
+		Config:   cfg,
+		Locality: 0,
+		Peers:    2,
+		OnDown:   func(peer int) { fired.Add(1) },
+	})
+	m.Start()
+	defer m.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Give the monitor several more ticks to (incorrectly) fire again.
+	time.Sleep(20 * cfg.Tick)
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("OnDown fired %d times, want exactly once", got)
+	}
+}

@@ -1,0 +1,200 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/trace"
+)
+
+// MonitorConfig wires one locality's Monitor into its runtime.
+type MonitorConfig struct {
+	// Config tunes the underlying detector and the monitor cadence.
+	Config
+	// Locality is the observing locality's id.
+	Locality int
+	// Peers is the total number of localities; every id except Locality
+	// is watched.
+	Peers int
+	// SendHeartbeat transmits one explicit heartbeat to peer. The
+	// monitor calls it only for links with no outbound traffic for a
+	// heartbeat interval; errors are ignored (a failed heartbeat is
+	// itself evidence the detector will accrue).
+	SendHeartbeat func(peer int) error
+	// LastSend reports when this locality last transmitted anything to
+	// peer (zero time for never): the piggyback signal that suppresses
+	// explicit heartbeats on busy links.
+	LastSend func(peer int) time.Time
+	// OnDown is invoked exactly once per peer, from the monitor
+	// goroutine, when the peer's phi crosses the threshold.
+	OnDown func(peer int)
+	// Registry optionally receives the health counters
+	// (/health{locality#i}/...); nil disables registration.
+	Registry *counters.Registry
+	// Trace optionally records suspicion events; nil disables.
+	Trace *trace.Buffer
+}
+
+// Monitor is one locality's failure-detection service: it feeds the
+// phi-accrual detector from received traffic, keeps idle links alive
+// with explicit heartbeats, and declares peers down when their suspicion
+// level crosses the threshold.
+type Monitor struct {
+	cfg      MonitorConfig
+	det      *Detector
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	suspected []atomic.Bool
+	hbSeq     []atomic.Uint64
+
+	// Counters: cumulative suspicions, heartbeats exchanged, and the
+	// per-peer suspicion level (live phi, in milli-phi, and its peak).
+	suspicions *counters.Raw
+	hbSent     *counters.Raw
+	hbRecv     *counters.Raw
+	phiPeak    []*counters.Raw
+}
+
+// NewMonitor creates (but does not start) a monitor.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	cfg.Config = cfg.Config.WithDefaults()
+	m := &Monitor{
+		cfg:       cfg,
+		det:       NewDetector(cfg.Config),
+		stop:      make(chan struct{}),
+		suspected: make([]atomic.Bool, cfg.Peers),
+		hbSeq:     make([]atomic.Uint64, cfg.Peers),
+		phiPeak:   make([]*counters.Raw, cfg.Peers),
+	}
+	inst := fmt.Sprintf("locality#%d", cfg.Locality)
+	mk := func(name string) *counters.Raw {
+		return counters.NewRaw(counters.Path{Object: "health", Instance: inst, Name: name})
+	}
+	m.suspicions = mk("count/suspicions")
+	m.hbSent = mk("count/heartbeats-sent")
+	m.hbRecv = mk("count/heartbeats-received")
+	for p := 0; p < cfg.Peers; p++ {
+		m.phiPeak[p] = mk(fmt.Sprintf("phi-peak/peer#%d", p))
+	}
+	if cfg.Registry != nil {
+		for _, c := range []*counters.Raw{m.suspicions, m.hbSent, m.hbRecv} {
+			cfg.Registry.MustRegister(c)
+		}
+		for p := 0; p < cfg.Peers; p++ {
+			if p == cfg.Locality {
+				continue
+			}
+			cfg.Registry.MustRegister(m.phiPeak[p])
+			p := p
+			cfg.Registry.MustRegister(counters.NewDerived(counters.Path{
+				Object: "health", Instance: inst, Name: fmt.Sprintf("phi/peer#%d", p),
+			}, func() float64 { return m.Phi(p) }))
+		}
+	}
+	return m
+}
+
+// Start begins watching every peer and launches the monitor goroutine.
+func (m *Monitor) Start() {
+	now := time.Now()
+	for p := 0; p < m.cfg.Peers; p++ {
+		if p != m.cfg.Locality {
+			m.det.Watch(p, now)
+		}
+	}
+	m.wg.Add(1)
+	go m.run()
+}
+
+// Stop terminates the monitor goroutine. It is idempotent and safe to
+// call concurrently (the runtime's death propagation and Shutdown can
+// race to silence the same monitor).
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Heartbeat records a liveness observation of peer: the parcel port
+// calls it for every received wire message (piggybacked heartbeats), and
+// the runtime's heartbeat action for explicit beacons.
+func (m *Monitor) Heartbeat(peer int) {
+	if peer < 0 || peer >= m.cfg.Peers || peer == m.cfg.Locality {
+		return
+	}
+	m.hbRecv.Inc()
+	m.det.Heartbeat(peer, time.Now())
+}
+
+// Phi returns peer's current suspicion level.
+func (m *Monitor) Phi(peer int) float64 { return m.det.Phi(peer, time.Now()) }
+
+// Suspected reports whether this monitor has declared peer down.
+func (m *Monitor) Suspected(peer int) bool {
+	return peer >= 0 && peer < m.cfg.Peers && m.suspected[peer].Load()
+}
+
+// Suspicions returns how many peers this monitor has declared down.
+func (m *Monitor) Suspicions() int64 { return m.suspicions.Get() }
+
+// NextSeq returns the next heartbeat sequence number for peer.
+func (m *Monitor) NextSeq(peer int) uint64 {
+	if peer < 0 || peer >= m.cfg.Peers {
+		return 0
+	}
+	return m.hbSeq[peer].Add(1)
+}
+
+func (m *Monitor) run() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-ticker.C:
+			m.sweep(now)
+		}
+	}
+}
+
+// sweep is one monitor tick: keep idle links warm, re-evaluate phi, and
+// fire OnDown for newly suspected peers.
+func (m *Monitor) sweep(now time.Time) {
+	for p := 0; p < m.cfg.Peers; p++ {
+		if p == m.cfg.Locality || m.suspected[p].Load() {
+			continue
+		}
+		// Idle-link heartbeat: only links that carried no outbound
+		// traffic for an interval pay for an explicit beacon — the
+		// peer's detector counts every frame we send as a heartbeat.
+		if m.cfg.SendHeartbeat != nil {
+			idleSince := time.Time{}
+			if m.cfg.LastSend != nil {
+				idleSince = m.cfg.LastSend(p)
+			}
+			if now.Sub(idleSince) >= m.cfg.HeartbeatInterval {
+				if m.cfg.SendHeartbeat(p) == nil {
+					m.hbSent.Inc()
+				}
+			}
+		}
+		phi := m.det.Phi(p, now)
+		m.phiPeak[p].SetMax(int64(phi * 1000))
+		if phi >= m.cfg.PhiThreshold && m.suspected[p].CompareAndSwap(false, true) {
+			m.suspicions.Inc()
+			m.cfg.Trace.Record(trace.Event{
+				Kind: trace.KindLinkDown, Name: "suspect",
+				Locality: m.cfg.Locality, Start: now, Arg: int64(p),
+			})
+			if m.cfg.OnDown != nil {
+				m.cfg.OnDown(p)
+			}
+		}
+	}
+}

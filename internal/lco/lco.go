@@ -133,6 +133,31 @@ func WaitAll[T any](fs []*Future[T]) error {
 	return firstErr
 }
 
+// WaitAllTimeout waits for every future in fs under one overall deadline.
+// It returns the first error encountered (in slice order) or ErrTimeout
+// if the deadline expires first. Fault-tolerant applications use it in
+// place of WaitAll so a future whose remote locality died without being
+// poisoned can never hang the caller.
+func WaitAllTimeout[T any](fs []*Future[T], d time.Duration) error {
+	deadline := time.Now().Add(d)
+	var firstErr error
+	for _, f := range fs {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return ErrTimeout
+		}
+		if _, err := f.GetWithTimeout(remaining); err != nil {
+			if errors.Is(err, ErrTimeout) {
+				return ErrTimeout
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
 // WhenAll returns a future that becomes ready with all values once every
 // input future is ready, or with the first error.
 func WhenAll[T any](fs []*Future[T]) *Future[[]T] {
@@ -185,6 +210,10 @@ func (l *Latch) CountDown(n int) {
 
 // Wait blocks until the latch opens.
 func (l *Latch) Wait() { <-l.done }
+
+// Done returns a channel closed when the latch opens, for use in select
+// statements alongside cancellation or failure signals.
+func (l *Latch) Done() <-chan struct{} { return l.done }
 
 // WaitTimeout waits at most d, returning ErrTimeout on expiry.
 func (l *Latch) WaitTimeout(d time.Duration) error {

@@ -57,6 +57,14 @@ type FaultPlan struct {
 	def   LinkFaults
 	links map[linkKey]*linkFaultState
 
+	// crashed marks localities that have crash-stopped: every message to
+	// or from them is silently dropped on the wire, modeling a process
+	// that died without closing its connections. crashAt arms a deferred
+	// crash triggered by the locality's own send count.
+	crashed map[int]bool
+	crashAt map[int]uint64
+	sends   map[int]uint64
+
 	injected uint64 // messages that received a non-deliver fault
 }
 
@@ -71,8 +79,11 @@ type linkFaultState struct {
 // deterministic PRNG seed.
 func NewFaultPlan(seed int64) *FaultPlan {
 	return &FaultPlan{
-		rng:   rand.New(rand.NewSource(seed)),
-		links: make(map[linkKey]*linkFaultState),
+		rng:     rand.New(rand.NewSource(seed)),
+		links:   make(map[linkKey]*linkFaultState),
+		crashed: make(map[int]bool),
+		crashAt: make(map[int]uint64),
+		sends:   make(map[int]uint64),
 	}
 }
 
@@ -99,6 +110,36 @@ func (p *FaultPlan) ClearLink(src, dst int) {
 	p.mu.Unlock()
 }
 
+// Crash marks a locality as crash-stopped, effective immediately: every
+// subsequent message to or from it is silently dropped at the wire, on
+// both directions of every link, modeling a process death. Crash-stop is
+// permanent — there is no ClearCrash, matching the crash-stop (no
+// recovery) failure model the health subsystem assumes.
+func (p *FaultPlan) Crash(locality int) {
+	p.mu.Lock()
+	p.crashed[locality] = true
+	delete(p.crashAt, locality)
+	p.mu.Unlock()
+}
+
+// CrashAt arms a deferred crash: the locality crash-stops immediately
+// after transmitting afterSends more messages (0 crashes on its next
+// send attempt, which is itself dropped). The trigger counts only sends
+// originated by the locality, so the crash lands at a deterministic point
+// in its own execution regardless of inbound traffic.
+func (p *FaultPlan) CrashAt(locality int, afterSends uint64) {
+	p.mu.Lock()
+	p.crashAt[locality] = p.sends[locality] + afterSends
+	p.mu.Unlock()
+}
+
+// Crashed reports whether the locality has crash-stopped.
+func (p *FaultPlan) Crashed(locality int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed[locality]
+}
+
 // Injected returns how many messages received a non-deliver fault.
 func (p *FaultPlan) Injected() uint64 {
 	p.mu.Lock()
@@ -114,6 +155,22 @@ func (p *FaultPlan) Hook() FaultHook {
 func (p *FaultPlan) decide(src, dst int, payload []byte) Fault {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+
+	// Crash-stop is evaluated before every other fault class: a dead
+	// locality neither sends nor receives, and the armed-crash trigger
+	// fires on the locality's own send count so chaos runs hit a
+	// deterministic point in its execution.
+	if at, ok := p.crashAt[src]; ok {
+		if p.sends[src] >= at {
+			p.crashed[src] = true
+			delete(p.crashAt, src)
+		}
+	}
+	p.sends[src]++
+	if p.crashed[src] || p.crashed[dst] {
+		p.injected++
+		return Fault{Action: FaultDrop}
+	}
 
 	f := p.def
 	var st *linkFaultState

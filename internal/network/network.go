@@ -214,6 +214,14 @@ var ErrBadLocality = errors.New("network: locality out of range")
 // reliability layer.
 var ErrLinkDown = errors.New("network: link down")
 
+// ErrLocalityDown reports that the destination locality has been declared
+// dead by the failure detector: AGAS resolutions, parcel sends and pending
+// continuations targeting it fail fast with this error instead of timing
+// out. Like ErrLinkDown it lives here so every layer (agas, parcel,
+// runtime, lco users) can classify the failure without importing the
+// health package.
+var ErrLocalityDown = errors.New("network: locality down")
+
 // SimFabric is the in-process simulated fabric.
 type SimFabric struct {
 	model    CostModel

@@ -115,6 +115,20 @@ type Port struct {
 	rxCh       chan rxMessage
 	closed     atomic.Bool
 
+	// onMessage, when set, observes the source of every wire message as
+	// it arrives (on the fabric delivery goroutine, before queueing). The
+	// health monitor uses it to treat all received traffic as piggybacked
+	// heartbeats; it must be cheap and must never block.
+	onMessage atomic.Pointer[func(src int)]
+	// lastSend records, per destination, when this port last handed the
+	// fabric a message (unix nanos; 0 = never). The health monitor reads
+	// it to send explicit heartbeats only on idle links.
+	lastSend []atomic.Int64
+	// downDst marks destinations declared dead: Put fails fast with
+	// network.ErrLocalityDown and already-queued messages are discarded
+	// at transmission instead of paying wire costs.
+	downDst []atomic.Bool
+
 	// Counters (always allocated; optionally registered).
 	parcelsSent  *counters.Raw
 	parcelsRecvd *counters.Raw
@@ -160,6 +174,8 @@ func NewPort(cfg Config) *Port {
 		handlers:     make(map[string]MessageHandler),
 		trc:          cfg.Trace,
 		rxCh:         make(chan rxMessage, depth),
+		lastSend:     make([]atomic.Int64, cfg.Fabric.Localities()),
+		downDst:      make([]atomic.Bool, cfg.Fabric.Localities()),
 		parcelsSent:  mk("parcels", "count/sent"),
 		parcelsRecvd: mk("parcels", "count/received"),
 		messagesSent: mk("messages", "count/sent"),
@@ -186,6 +202,50 @@ func NewPort(cfg Config) *Port {
 
 // Locality returns the port's locality id.
 func (p *Port) Locality() int { return p.locality }
+
+// SetOnMessage installs (or with nil removes) a per-wire-message receive
+// observer. It runs on the fabric delivery goroutine before the message
+// is queued, so it must be cheap and non-blocking; the health monitor
+// uses it to count every received message as a piggybacked heartbeat.
+func (p *Port) SetOnMessage(fn func(src int)) {
+	if fn == nil {
+		p.onMessage.Store(nil)
+		return
+	}
+	p.onMessage.Store(&fn)
+}
+
+// LastSend reports when this port last handed the fabric a message for
+// dst (zero time for never). The health monitor's idle-link heartbeat
+// timer keys off it.
+func (p *Port) LastSend(dst int) time.Time {
+	if dst < 0 || dst >= len(p.lastSend) {
+		return time.Time{}
+	}
+	ns := p.lastSend[dst].Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// FailDest marks a destination locality dead: subsequent Puts targeting
+// it fail fast with network.ErrLocalityDown, messages already queued for
+// it are discarded at transmission (counted as send errors under
+// parcels/count/link-down), and coalescing queues holding parcels for it
+// are flushed so nothing idles behind a flush timer waiting on a corpse.
+// Idempotent; there is no un-fail, matching crash-stop semantics.
+func (p *Port) FailDest(dst int) {
+	if dst < 0 || dst >= len(p.downDst) || p.downDst[dst].Swap(true) {
+		return
+	}
+	p.flushDest(dst)
+}
+
+// DestDown reports whether FailDest has been called for dst.
+func (p *Port) DestDown(dst int) bool {
+	return dst >= 0 && dst < len(p.downDst) && p.downDst[dst].Load()
+}
 
 // SetMessageHandler installs (or with nil removes) the outbound policy
 // for an action. Installing a handler for an action that already has one
@@ -218,6 +278,9 @@ func (p *Port) Put(pcl *Parcel) error {
 			return fmt.Errorf("parcel: resolving %v: %w", pcl.Dest, err)
 		}
 		pcl.DestLocality = loc
+	}
+	if pcl.DestLocality < len(p.downDst) && p.downDst[pcl.DestLocality].Load() {
+		return fmt.Errorf("parcel: %w: locality %d", network.ErrLocalityDown, pcl.DestLocality)
 	}
 	p.handlersMu.RLock()
 	h := p.handlers[pcl.Action]
@@ -275,6 +338,9 @@ func (p *Port) onWireMessage(src int, payload []byte) {
 	if p.closed.Load() {
 		network.PutPayload(payload)
 		return
+	}
+	if fn := p.onMessage.Load(); fn != nil {
+		(*fn)(src)
 	}
 	select {
 	case p.rxCh <- rxMessage{src: src, payload: payload}:
@@ -335,6 +401,18 @@ func (p *Port) sendOne() bool {
 // fabric (and ultimately the receiving port); on failure the buffer is
 // recycled here. Batch slices are recycled either way.
 func (p *Port) transmit(m outMessage) {
+	if m.dst < len(p.downDst) && p.downDst[m.dst].Load() {
+		// The destination died after this message was queued: discard it
+		// without paying serialization or wire costs. The parcels are
+		// dropped, not retried — crash-stop recovery is the job of the
+		// runtime's continuation poisoning and retry policy.
+		p.sendErrors.Inc()
+		p.linkDown.Inc()
+		if m.parcels != nil {
+			PutBatch(m.parcels)
+		}
+		return
+	}
 	start := time.Now()
 	count, size := 1, 0
 	if m.single != nil {
@@ -362,7 +440,7 @@ func (p *Port) transmit(m outMessage) {
 	if err != nil {
 		p.sendErrors.Inc()
 		network.PutPayload(payload)
-		if errors.Is(err, network.ErrLinkDown) {
+		if errors.Is(err, network.ErrLinkDown) || errors.Is(err, network.ErrLocalityDown) {
 			// The transport gave up on this destination: flush the
 			// coalescing queues targeting it so buffered parcels fail
 			// fast instead of waiting out flush timers behind a dead
@@ -371,6 +449,9 @@ func (p *Port) transmit(m outMessage) {
 			p.flushDest(m.dst)
 		}
 		return
+	}
+	if m.dst < len(p.lastSend) {
+		p.lastSend[m.dst].Store(time.Now().UnixNano())
 	}
 	p.parcelsSent.Add(int64(count))
 	p.messagesSent.Inc()

@@ -90,10 +90,12 @@ type Config struct {
 	Seed int64
 	// Registry optionally receives the reliability counters
 	// (/network/reliability/{retransmits,duplicates-suppressed,acks,
-	// link-down}); nil disables registration (counters still function).
+	// link-down,link-down-remote}); nil disables registration (counters
+	// still function).
 	Registry *counters.Registry
-	// Trace optionally records KindRetransmit events for
-	// retransmissions and link-down declarations; nil disables.
+	// Trace optionally records KindRetransmit events for retransmissions
+	// and KindLinkDown events for link-down declarations (at both the
+	// sending and the receiving locality); nil disables.
 	Trace *trace.Buffer
 }
 
@@ -176,11 +178,17 @@ type Fabric struct {
 
 	onLinkDown atomic.Pointer[func(src, dst int)]
 
-	// The four reliability counters of the introspection stack.
+	// downPeers marks localities declared dead by the failure detector
+	// (FailPeer): every Send touching one fails fast with
+	// network.ErrLocalityDown instead of burning a retry budget.
+	downPeers []atomic.Bool
+
+	// The reliability counters of the introspection stack.
 	retransmits   *counters.Raw // /network/reliability/retransmits
 	dupSuppressed *counters.Raw // /network/reliability/duplicates-suppressed
 	acks          *counters.Raw // /network/reliability/acks
 	linkDowns     *counters.Raw // /network/reliability/link-down
+	linkDownsRem  *counters.Raw // /network/reliability/link-down-remote
 }
 
 // New wraps inner in a reliability layer. The returned fabric owns inner:
@@ -197,14 +205,16 @@ func New(inner network.Fabric, cfg Config) *Fabric {
 		tx:            make(map[linkKey]*txState),
 		rx:            make(map[linkKey]*rxState),
 		handlers:      make([]atomic.Pointer[network.Handler], inner.Localities()),
+		downPeers:     make([]atomic.Bool, inner.Localities()),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		retransmits:   mk("retransmits"),
 		dupSuppressed: mk("duplicates-suppressed"),
 		acks:          mk("acks"),
 		linkDowns:     mk("link-down"),
+		linkDownsRem:  mk("link-down-remote"),
 	}
 	if cfg.Registry != nil {
-		for _, c := range []*counters.Raw{f.retransmits, f.dupSuppressed, f.acks, f.linkDowns} {
+		for _, c := range []*counters.Raw{f.retransmits, f.dupSuppressed, f.acks, f.linkDowns, f.linkDownsRem} {
 			cfg.Registry.MustRegister(c)
 		}
 	}
@@ -236,8 +246,12 @@ type ReliabilityStats struct {
 	// ACKs ride on data frames and are not counted separately).
 	AcksSent int64
 	// LinkDowns counts links declared down after an exhausted retry
-	// budget.
+	// budget, observed at the sender.
 	LinkDowns int64
+	// LinkDownsRemote counts the same declarations surfaced at the
+	// receiving locality, so an asymmetric partition (src hears dst, dst
+	// never hears src) is visible from both ends of the link.
+	LinkDownsRemote int64
 }
 
 // ReliabilityStats returns a snapshot of the protocol counters.
@@ -247,6 +261,7 @@ func (f *Fabric) ReliabilityStats() ReliabilityStats {
 		DuplicatesSuppressed: f.dupSuppressed.Get(),
 		AcksSent:             f.acks.Get(),
 		LinkDowns:            f.linkDowns.Get(),
+		LinkDownsRemote:      f.linkDownsRem.Get(),
 	}
 }
 
@@ -259,6 +274,64 @@ func (f *Fabric) SetLinkDownFunc(fn func(src, dst int)) {
 		return
 	}
 	f.onLinkDown.Store(&fn)
+}
+
+// FailPeer marks a locality as dead: every link touching it is declared
+// down immediately, pending retransmission windows and reorder buffers
+// to/from it are discarded (the coalescing layer above flushes its own
+// queues), and subsequent Sends fail fast with network.ErrLocalityDown.
+// The failure detector calls this on suspicion so in-flight traffic stops
+// burning retry budgets against a peer that will never ACK. FailPeer is
+// idempotent and does not fire the link-down callback — the caller
+// already knows.
+func (f *Fabric) FailPeer(peer int) {
+	if peer < 0 || peer >= len(f.downPeers) || f.downPeers[peer].Swap(true) {
+		return
+	}
+	f.mu.Lock()
+	var txs []*txState
+	for k, ts := range f.tx {
+		if k.src == peer || k.dst == peer {
+			txs = append(txs, ts)
+		}
+	}
+	var rxs []*rxState
+	for k, rs := range f.rx {
+		if k.src == peer || k.dst == peer {
+			rxs = append(rxs, rs)
+		}
+	}
+	f.mu.Unlock()
+	for _, ts := range txs {
+		ts.mu.Lock()
+		if !ts.down {
+			ts.down = true
+			for i := range ts.q {
+				network.PutPayload(ts.q[i].payload)
+				ts.q[i].payload = nil
+			}
+			ts.q = nil
+		}
+		ts.mu.Unlock()
+	}
+	for _, rs := range rxs {
+		rs.mu.Lock()
+		for seq, b := range rs.reorder {
+			network.PutPayload(b)
+			delete(rs.reorder, seq)
+		}
+		rs.ackPending = false
+		rs.mu.Unlock()
+	}
+	f.cfg.Trace.Record(trace.Event{
+		Kind: trace.KindLinkDown, Name: "peer-down",
+		Locality: peer, Start: time.Now(),
+	})
+}
+
+// PeerDown reports whether FailPeer has been called for the locality.
+func (f *Fabric) PeerDown(peer int) bool {
+	return peer >= 0 && peer < len(f.downPeers) && f.downPeers[peer].Load()
 }
 
 // LinkDown reports whether the src->dst link has been declared down.
@@ -378,7 +451,18 @@ func (f *Fabric) Send(src, dst int, payload []byte) error {
 	if src < 0 || src >= len(f.handlers) || dst < 0 || dst >= len(f.handlers) {
 		return fmt.Errorf("%w: src=%d dst=%d n=%d", network.ErrBadLocality, src, dst, len(f.handlers))
 	}
+	if f.downPeers[dst].Load() {
+		return fmt.Errorf("%w: locality %d", network.ErrLocalityDown, dst)
+	}
+	if f.downPeers[src].Load() {
+		return fmt.Errorf("%w: locality %d", network.ErrLocalityDown, src)
+	}
 	ts := f.txFor(src, dst)
+	// Read the piggyback ack before taking the link lock: cumAck locks
+	// the reverse-direction rx state, and nesting that under ts.mu would
+	// invert the lock order other paths use. A slightly stale cumulative
+	// ack is a no-op at the receiver.
+	ack := f.cumAck(src, dst)
 	ts.mu.Lock()
 	if ts.down {
 		ts.mu.Unlock()
@@ -394,9 +478,12 @@ func (f *Fabric) Send(src, dst int, payload []byte) error {
 		rto:       f.cfg.RTO,
 		nextRetry: time.Now().Add(rto),
 	})
+	// Encode while still holding the lock: the moment the entry is in
+	// the window, FailPeer or retry-budget exhaustion may recycle
+	// payload back to the pool.
+	frame := encodeFrame(kindData, seq, ack, payload)
 	ts.mu.Unlock()
 
-	frame := encodeFrame(kindData, seq, f.cumAck(src, dst), payload)
 	// An inner-fabric send error (e.g. a TCP connection reset) is a
 	// transient loss: the frame stays in the window and the scanner
 	// retransmits it after the RTO.
@@ -592,8 +679,18 @@ func (f *Fabric) sweep(now time.Time) {
 			ts.q = nil
 			f.linkDowns.Inc()
 			f.cfg.Trace.Record(trace.Event{
-				Kind: trace.KindRetransmit, Name: "link-down",
+				Kind: trace.KindLinkDown, Name: "link-down",
 				Locality: key.src, Start: now, Arg: int64(key.dst),
+			})
+			// Surface the declaration at the receiving locality too: in a
+			// real deployment dst's reliability layer reaches the same
+			// verdict from its own silence; in-process the shared fabric
+			// records both ends so asymmetric partitions are observable
+			// from either side.
+			f.linkDownsRem.Inc()
+			f.cfg.Trace.Record(trace.Event{
+				Kind: trace.KindLinkDown, Name: "link-down-remote",
+				Locality: key.dst, Start: now, Arg: int64(key.src),
 			})
 			downLinks = append(downLinks, key)
 		}

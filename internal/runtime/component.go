@@ -182,8 +182,17 @@ func (l *Locality) AsyncComponent(gid agas.GID, action string, args []byte) (*lc
 	}
 	prom := lco.NewPromise[[]byte]()
 	contGID := l.rt.agas.MustAllocate(l.id)
+	// Record where the object lives right now so a crash of that locality
+	// poisons this continuation. Migration can move the object afterwards
+	// — then the response simply arrives from elsewhere, and a poisoning
+	// pass that misses a moved continuation is caught by the object's new
+	// host staying alive.
+	dest := -1
+	if loc, rerr := l.cache.Resolve(gid); rerr == nil {
+		dest = loc
+	}
 	l.contMu.Lock()
-	l.conts[contGID] = prom
+	l.conts[contGID] = &pendingCont{prom: prom, dest: dest, action: componentActionPrefix + action, args: args}
 	l.contMu.Unlock()
 	p := &parcel.Parcel{
 		Dest:         gid,

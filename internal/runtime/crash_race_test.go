@@ -1,0 +1,104 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/reliable"
+)
+
+// TestCrashRaceWithDrainAndClose hammers the failure path with the race
+// detector: localities exchanging traffic on both fabric stacks (bare
+// SimFabric and the reliable layer) while one locality is crashed
+// concurrently with a port Drain and the runtime shutdown. The test has
+// no outcome assertion beyond termination: it exists to let `go test
+// -race` observe the FailPeer/FailDest/flush machinery racing active
+// senders, the detector's DeclareDown, and Close.
+func TestCrashRaceWithDrainAndClose(t *testing.T) {
+	for _, useReliable := range []bool{false, true} {
+		name := "sim"
+		if useReliable {
+			name = "reliable"
+		}
+		t.Run(name, func(t *testing.T) {
+			inner := network.NewSimFabric(3, fastModel())
+			plan := network.NewFaultPlan(1)
+			inner.SetFaultHook(plan.Hook())
+			var fab network.Fabric = inner
+			if useReliable {
+				fab = reliable.New(inner, reliable.Config{
+					RTO:        time.Millisecond,
+					RTOMax:     4 * time.Millisecond,
+					MaxRetries: 3,
+					Tick:       100 * time.Microsecond,
+				})
+			}
+			rt := New(Config{
+				Localities:         3,
+				WorkersPerLocality: 2,
+				Fabric:             fab,
+				Health:             fastHealth(),
+			})
+			rt.MustRegisterAction("race/echo", func(ctx *Context, args []byte) ([]byte, error) {
+				return args, nil
+			})
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			// Senders on every ordered locality pair, erroring freely once
+			// the victim dies or shutdown begins.
+			for src := 0; src < 3; src++ {
+				for dst := 0; dst < 3; dst++ {
+					if src == dst {
+						continue
+					}
+					src, dst := src, dst
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							_ = rt.Locality(src).Apply(dst, "race/echo", []byte(fmt.Sprintf("%d", i)))
+						}
+					}()
+				}
+			}
+
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				time.Sleep(2 * time.Millisecond)
+				plan.Crash(2)
+				rt.CrashLocality(2)
+			}()
+			go func() {
+				defer wg.Done()
+				// Drain overlaps the crash landing and the senders erroring.
+				rt.Locality(0).Port().Drain(20 * time.Millisecond)
+				rt.Locality(1).Port().Drain(20 * time.Millisecond)
+			}()
+
+			time.Sleep(30 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			// Shutdown (and for the reliable stack, its Close) races any
+			// still-queued failure callbacks and monitor sweeps.
+			rt.Shutdown()
+			if err := fab.Close(); err != nil {
+				t.Fatalf("fabric close: %v", err)
+			}
+			if useReliable {
+				if err := inner.Close(); err != nil {
+					t.Fatalf("inner close: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,255 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/health"
+	"repro/internal/network"
+	"repro/internal/parcel"
+	"repro/internal/trace"
+)
+
+// heartbeatAction is the internal action carrying explicit heartbeat
+// beacons on idle links. Liveness itself is piggybacked: the monitor's
+// receive hook counts every wire message as a heartbeat, so this action
+// only has to exist (and validate its payload) — busy links never send it.
+const heartbeatAction = "runtime/heartbeat"
+
+func handleHeartbeat(ctx *Context, args []byte) ([]byte, error) {
+	if _, err := health.DecodeHeartbeat(args); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// startHealth wires a per-locality failure-detection monitor into every
+// port: received traffic feeds the phi-accrual detector, idle links get
+// explicit heartbeats, and a suspicion crossing the threshold triggers
+// DeclareDown. Called from New when cfg.Health.Enabled.
+func (rt *Runtime) startHealth() {
+	rt.monitors = make([]*health.Monitor, len(rt.locs))
+	for i, l := range rt.locs {
+		i, l := i, l
+		m := health.NewMonitor(health.MonitorConfig{
+			Config:   rt.cfg.Health,
+			Locality: i,
+			Peers:    len(rt.locs),
+			SendHeartbeat: func(peer int) error {
+				return rt.sendHeartbeat(i, peer)
+			},
+			LastSend: l.port.LastSend,
+			OnDown: func(peer int) {
+				// A crashed locality's monitor sees every survivor go
+				// silent (its links are dead in both directions); its
+				// verdicts must not poison the living.
+				if rt.silenced[i].Load() {
+					return
+				}
+				rt.DeclareDown(peer)
+			},
+			Registry: l.registry,
+			Trace:    rt.cfg.Trace,
+		})
+		rt.monitors[i] = m
+		l.port.SetOnMessage(m.Heartbeat)
+	}
+	for _, m := range rt.monitors {
+		m.Start()
+	}
+}
+
+func (rt *Runtime) sendHeartbeat(from, to int) error {
+	hb := health.Heartbeat{Seq: rt.monitors[from].NextSeq(to), Sent: time.Now()}
+	return rt.locs[from].Apply(to, heartbeatAction, health.EncodeHeartbeat(nil, hb))
+}
+
+// Monitor returns locality i's failure-detection monitor, or nil when
+// health monitoring is disabled.
+func (rt *Runtime) Monitor(i int) *health.Monitor {
+	if rt.monitors == nil || i < 0 || i >= len(rt.monitors) {
+		return nil
+	}
+	return rt.monitors[i]
+}
+
+// SetRetryable marks an action as safe to re-issue on another locality
+// when its destination dies before the result returns. Opt-in: retry
+// implies at-least-once execution (the action may have run on the dead
+// locality with only the response lost), so only idempotent actions — or
+// actions whose duplicate execution the application tolerates — should be
+// marked.
+func (rt *Runtime) SetRetryable(action string, retryable bool) {
+	rt.retryMu.Lock()
+	if rt.retryable == nil {
+		rt.retryable = make(map[string]bool)
+	}
+	if retryable {
+		rt.retryable[action] = true
+	} else {
+		delete(rt.retryable, action)
+	}
+	rt.retryMu.Unlock()
+}
+
+func (rt *Runtime) isRetryable(action string) bool {
+	rt.retryMu.Lock()
+	defer rt.retryMu.Unlock()
+	return rt.retryable[action]
+}
+
+// SubscribeDeath registers fn to be invoked (synchronously, from the
+// goroutine that declares the death) whenever a locality is declared
+// down. Applications use it to re-plan work owned by the dead locality.
+func (rt *Runtime) SubscribeDeath(fn func(peer int)) {
+	if fn == nil {
+		return
+	}
+	rt.deathMu.Lock()
+	rt.deathSubs = append(rt.deathSubs, fn)
+	rt.deathMu.Unlock()
+}
+
+// LocalityDead reports whether the locality has been declared down.
+func (rt *Runtime) LocalityDead(i int) bool {
+	return i >= 0 && i < len(rt.silenced) && rt.dead[i].Load()
+}
+
+// CrashLocality is the crash injector's runtime-side hook: it silences
+// the locality's own failure detector the instant its wire dies, so a
+// corpse cannot declare the survivors down (in a real deployment the
+// dead process's detector dies with it; in-process it must be told).
+// It does NOT mark the locality dead for routing — survivors still have
+// to detect the crash through phi accrual, which is what the detection-
+// latency metric measures.
+func (rt *Runtime) CrashLocality(i int) {
+	if i < 0 || i >= len(rt.silenced) || rt.silenced[i].Swap(true) {
+		return
+	}
+	if m := rt.Monitor(i); m != nil {
+		go m.Stop()
+	}
+}
+
+// peerFailer is implemented by transports (the reliable fabric) that can
+// fail all links touching a peer at once.
+type peerFailer interface{ FailPeer(peer int) }
+
+// DeclareDown declares a locality crash-stopped and degrades gracefully:
+// AGAS resolutions to it fail with network.ErrLocalityDown, the reliable
+// transport (if present) fails its links fast, every port flushes and
+// fast-fails parcels targeting it, pending continuations on it are
+// poisoned (or, for retryable actions, re-routed to a survivor), and
+// death subscribers are notified. Idempotent; normally invoked by the
+// failure detector's OnDown, but applications and tests may call it
+// directly.
+func (rt *Runtime) DeclareDown(peer int) {
+	if peer < 0 || peer >= len(rt.locs) || rt.dead[peer].Swap(true) {
+		return
+	}
+	rt.cfg.Trace.Record(trace.Event{
+		Kind: trace.KindLinkDown, Name: "locality-down",
+		Start: time.Now(), Locality: peer,
+	})
+	// The dead locality's own detector is silenced first (see
+	// CrashLocality); asynchronously, because two monitors declaring each
+	// other down would otherwise deadlock stopping one another.
+	rt.CrashLocality(peer)
+	rt.agas.MarkDown(peer)
+	if pf, ok := rt.fabric.(peerFailer); ok {
+		pf.FailPeer(peer)
+	}
+	for i, l := range rt.locs {
+		if i == peer {
+			continue
+		}
+		l.port.FailDest(peer)
+		l.failConts(peer)
+	}
+	rt.deathMu.Lock()
+	subs := append([]func(int){}, rt.deathSubs...)
+	rt.deathMu.Unlock()
+	for _, fn := range subs {
+		fn(peer)
+	}
+}
+
+// failConts resolves every pending continuation whose destination is the
+// dead peer: retryable actions are re-issued to a surviving locality
+// under the same continuation GID; the rest are poisoned with
+// network.ErrLocalityDown so their futures fail instead of hanging.
+func (l *Locality) failConts(peer int) {
+	l.contMu.Lock()
+	var gids []agas.GID
+	var pcs []*pendingCont
+	for g, pc := range l.conts {
+		if pc.dest == peer {
+			gids = append(gids, g)
+			pcs = append(pcs, pc)
+		}
+	}
+	l.contMu.Unlock()
+
+	for i, g := range gids {
+		pc := pcs[i]
+		if l.rt.isRetryable(pc.action) {
+			if newDest, ok := l.rt.pickSurvivor(peer, l.id); ok && l.retryCont(g, pc, newDest) {
+				continue
+			}
+		}
+		l.contMu.Lock()
+		_, still := l.conts[g]
+		delete(l.conts, g)
+		l.contMu.Unlock()
+		if still {
+			l.rt.agas.Free(g)
+			l.contsPoisoned.Inc()
+			_ = pc.prom.SetError(fmt.Errorf("runtime: continuation %v: %w: locality %d",
+				g, network.ErrLocalityDown, peer))
+		}
+	}
+}
+
+// retryCont re-routes one pending continuation to newDest, reporting
+// success. The continuation GID is reused, so the (suppressed-duplicate)
+// response from the dead locality and the retry's response race benignly:
+// whichever arrives first fulfils the promise, the other finds the table
+// entry gone.
+func (l *Locality) retryCont(g agas.GID, pc *pendingCont, newDest int) bool {
+	l.contMu.Lock()
+	if _, still := l.conts[g]; !still {
+		l.contMu.Unlock()
+		return true // already completed; nothing to retry
+	}
+	pc.dest = newDest
+	l.contMu.Unlock()
+	p := &parcel.Parcel{
+		Dest:         l.rt.locs[newDest].rootGID,
+		DestLocality: newDest,
+		Action:       pc.action,
+		Args:         pc.args,
+		Continuation: g,
+		Source:       l.id,
+	}
+	if err := l.port.Put(p); err != nil {
+		return false
+	}
+	l.contsRetried.Inc()
+	return true
+}
+
+// pickSurvivor returns a locality that is neither dead nor the excluded
+// peer, preferring the caller's own locality (a local retry cannot be
+// interrupted by another remote death).
+func (rt *Runtime) pickSurvivor(dead, self int) (int, bool) {
+	if self != dead && !rt.LocalityDead(self) {
+		return self, true
+	}
+	for i := range rt.locs {
+		if i != dead && i != self && !rt.dead[i].Load() {
+			return i, true
+		}
+	}
+	return -1, false
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/agas"
 	"repro/internal/counters"
 	"repro/internal/lco"
+	"repro/internal/network"
 	"repro/internal/parcel"
 	"repro/internal/serialization"
 	"repro/internal/trace"
@@ -28,12 +29,24 @@ type Locality struct {
 	rootGID  agas.GID
 
 	contMu sync.Mutex
-	conts  map[agas.GID]*lco.Promise[[]byte]
+	conts  map[agas.GID]*pendingCont
 
 	components *componentTable
 
-	actionErrors *counters.Raw
-	forwarded    *counters.Raw
+	actionErrors  *counters.Raw
+	forwarded     *counters.Raw
+	contsPoisoned *counters.Raw
+	contsRetried  *counters.Raw
+}
+
+// pendingCont is one outstanding remote invocation: the promise its
+// future reads, plus enough of the original parcel (destination, action,
+// argument pack) to poison or re-issue it if the destination dies.
+type pendingCont struct {
+	prom   *lco.Promise[[]byte]
+	dest   int
+	action string
+	args   []byte
 }
 
 func newLocality(rt *Runtime, id int) *Locality {
@@ -41,7 +54,7 @@ func newLocality(rt *Runtime, id int) *Locality {
 		id:         id,
 		rt:         rt,
 		registry:   counters.NewRegistry(),
-		conts:      make(map[agas.GID]*lco.Promise[[]byte]),
+		conts:      make(map[agas.GID]*pendingCont),
 		components: newComponentTable(),
 	}
 	l.cache = agas.NewCache(rt.agas, id)
@@ -75,6 +88,14 @@ func newLocality(rt *Runtime, id int) *Locality {
 		Object: "parcels", Instance: fmt.Sprintf("locality#%d", id), Name: "count/forwarded",
 	})
 	l.registry.MustRegister(l.forwarded)
+	l.contsPoisoned = counters.NewRaw(counters.Path{
+		Object: "runtime", Instance: fmt.Sprintf("locality#%d", id), Name: "count/conts-poisoned",
+	})
+	l.registry.MustRegister(l.contsPoisoned)
+	l.contsRetried = counters.NewRaw(counters.Path{
+		Object: "runtime", Instance: fmt.Sprintf("locality#%d", id), Name: "count/conts-retried",
+	})
+	l.registry.MustRegister(l.contsRetried)
 	rt.root.Attach(l.registry)
 	return l
 }
@@ -131,6 +152,9 @@ func (l *Locality) Async(dest int, action string, args []byte) (*lco.Future[[]by
 	if dest < 0 || dest >= len(l.rt.locs) {
 		return nil, fmt.Errorf("runtime: destination locality %d out of range", dest)
 	}
+	if l.rt.LocalityDead(dest) {
+		return nil, fmt.Errorf("runtime: %w: locality %d", network.ErrLocalityDown, dest)
+	}
 	if dest == l.id {
 		fn := l.rt.lookupAction(action)
 		if fn == nil {
@@ -151,7 +175,7 @@ func (l *Locality) Async(dest int, action string, args []byte) (*lco.Future[[]by
 
 	contGID := l.rt.agas.MustAllocate(l.id)
 	l.contMu.Lock()
-	l.conts[contGID] = prom
+	l.conts[contGID] = &pendingCont{prom: prom, dest: dest, action: action, args: args}
 	l.contMu.Unlock()
 
 	p := &parcel.Parcel{
@@ -174,6 +198,9 @@ func (l *Locality) Async(dest int, action string, args []byte) (*lco.Future[[]by
 func (l *Locality) Apply(dest int, action string, args []byte) error {
 	if dest < 0 || dest >= len(l.rt.locs) {
 		return fmt.Errorf("runtime: destination locality %d out of range", dest)
+	}
+	if l.rt.LocalityDead(dest) {
+		return fmt.Errorf("runtime: %w: locality %d", network.ErrLocalityDown, dest)
 	}
 	if dest == l.id {
 		fn := l.rt.lookupAction(action)
@@ -256,7 +283,7 @@ func (l *Locality) executeAction(p *parcel.Parcel) {
 // completeContinuation fulfils the promise a result parcel addresses.
 func (l *Locality) completeContinuation(p *parcel.Parcel) {
 	l.contMu.Lock()
-	prom, ok := l.conts[p.Dest]
+	pc, ok := l.conts[p.Dest]
 	delete(l.conts, p.Dest)
 	l.contMu.Unlock()
 	if !ok {
@@ -266,10 +293,10 @@ func (l *Locality) completeContinuation(p *parcel.Parcel) {
 	l.rt.agas.Free(p.Dest)
 	res, err := decodeResult(p.Args)
 	if err != nil {
-		_ = prom.SetError(err)
+		_ = pc.prom.SetError(err)
 		return
 	}
-	_ = prom.SetValue(res)
+	_ = pc.prom.SetValue(res)
 }
 
 // Result parcels carry a status byte followed by either the result bytes

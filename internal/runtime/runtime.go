@@ -22,11 +22,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agas"
 	"repro/internal/coalescing"
 	"repro/internal/counters"
+	"repro/internal/health"
 	"repro/internal/network"
 	"repro/internal/timer"
 	"repro/internal/trace"
@@ -98,6 +100,12 @@ type Config struct {
 	// transmission, coalescing flushes) into a bounded ring buffer for
 	// Chrome-trace export; nil disables all probes.
 	Trace *trace.Buffer
+	// Health configures phi-accrual failure detection. Disabled by
+	// default (Health.Enabled false): no monitors run, no heartbeats are
+	// sent, and the runtime behaves exactly as before the health
+	// subsystem existed. When enabled, each locality watches every peer
+	// and a detected crash triggers DeclareDown.
+	Health health.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +146,21 @@ type Runtime struct {
 	coalMu     sync.Mutex
 	coalescers map[string][]*coalescing.Coalescer // action -> per-locality (incl. response)
 
+	// Crash-stop state. monitors is nil unless cfg.Health.Enabled. dead
+	// marks localities declared down (DeclareDown); silenced marks
+	// localities whose own monitor has been muted (a superset of dead:
+	// the crash injector silences a locality the instant its wire dies,
+	// before any survivor detects it).
+	monitors []*health.Monitor
+	dead     []atomic.Bool
+	silenced []atomic.Bool
+
+	deathMu   sync.Mutex
+	deathSubs []func(peer int)
+
+	retryMu   sync.Mutex
+	retryable map[string]bool
+
 	stopped bool
 	stopMu  sync.Mutex
 }
@@ -162,18 +185,24 @@ func New(cfg Config) *Runtime {
 		coalescers:       make(map[string][]*coalescing.Coalescer),
 	}
 	rt.actions[migrateAction] = handleMigrate
+	rt.actions[heartbeatAction] = handleHeartbeat
 	if cfg.Fabric != nil {
 		rt.fabric = cfg.Fabric
 	} else {
 		rt.fabric = network.NewSimFabric(cfg.Localities, cfg.CostModel)
 		rt.ownsFab = true
 	}
+	rt.dead = make([]atomic.Bool, cfg.Localities)
+	rt.silenced = make([]atomic.Bool, cfg.Localities)
 	rt.locs = make([]*Locality, cfg.Localities)
 	for i := 0; i < cfg.Localities; i++ {
 		rt.locs[i] = newLocality(rt, i)
 	}
 	for _, l := range rt.locs {
 		l.start()
+	}
+	if cfg.Health.Enabled {
+		rt.startHealth()
 	}
 	return rt
 }
@@ -325,7 +354,13 @@ func (rt *Runtime) Quiesce(timeout time.Duration) bool {
 	quietRounds := 0
 	for time.Now().Before(deadline) {
 		busy := false
-		for _, l := range rt.locs {
+		for i, l := range rt.locs {
+			// Dead localities are excluded: their pending state can never
+			// drain (their wire is gone), and waiting on it would turn
+			// every post-crash quiescence into a full timeout.
+			if rt.dead[i].Load() {
+				continue
+			}
 			if l.sched.pending() > 0 || l.port.PendingOutbound() > 0 || l.pendingContinuations() > 0 {
 				busy = true
 				break
@@ -356,6 +391,12 @@ func (rt *Runtime) Shutdown() {
 	}
 	rt.stopped = true
 	rt.stopMu.Unlock()
+
+	// Monitors stop first: heartbeat traffic would otherwise keep the
+	// quiescence loop from ever seeing an empty outbound queue.
+	for _, m := range rt.monitors {
+		m.Stop()
+	}
 
 	// Responses generated while draining re-enter coalescing queues, so
 	// alternate flushing and quiescing until the runtime settles.

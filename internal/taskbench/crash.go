@@ -1,0 +1,165 @@
+package taskbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/network"
+)
+
+// CrashSpec injects a crash-stop failure into one graph execution: when
+// the first task of step AtStep starts, locality Locality is crashed on
+// the wire (via Plan) and silenced in the runtime. What happens next
+// depends on Recover:
+//
+//   - Recover=false: as soon as the phi-accrual detector declares the
+//     locality dead, the run fails cleanly with ErrLocalityDown — it
+//     never hangs waiting for work that cannot complete.
+//   - Recover=true: the dead locality's points are re-homed onto
+//     survivors and a self-healing sweep re-spawns every task whose
+//     producers have run but which itself has not (covering both tasks
+//     lost with the node's scheduler and tasks whose inputs were dropped
+//     on the wire). The run then completes with every task executed
+//     exactly once.
+//
+// The runtime must have health monitoring enabled (Config.Health);
+// detection is driven by the failure detector, not by the injector.
+type CrashSpec struct {
+	// Locality is the locality to crash. Must not be the only one.
+	Locality int
+	// AtStep triggers the crash when this step first begins executing.
+	AtStep int
+	// Plan is the fault injector wired into the fabric; the crash is
+	// injected with Plan.Crash, dropping the locality's traffic in both
+	// directions.
+	Plan *network.FaultPlan
+	// Recover re-homes the dead locality's work onto survivors instead
+	// of failing the run.
+	Recover bool
+	// SweepInterval is the self-healing sweep period (default 1ms).
+	SweepInterval time.Duration
+}
+
+// RunWithCrash executes one graph under the crash spec. With
+// spec.Recover the result reflects a completed run on the survivors;
+// without it the error wraps network.ErrLocalityDown once the detector
+// fires. Either way the call returns within the bench timeout.
+func (b *Bench) RunWithCrash(g Graph, spec CrashSpec) (Result, error) {
+	return b.execute(g, &spec)
+}
+
+func (b *Bench) validateCrash(g Graph, c *CrashSpec) error {
+	L := b.rt.Localities()
+	if c.Locality < 0 || c.Locality >= L {
+		return fmt.Errorf("taskbench: crash locality %d out of range [0,%d)", c.Locality, L)
+	}
+	if L < 2 {
+		return fmt.Errorf("taskbench: cannot crash locality %d of a single-locality runtime", c.Locality)
+	}
+	if c.AtStep < 0 || c.AtStep >= g.Steps {
+		return fmt.Errorf("taskbench: crash step %d outside %s", c.AtStep, g)
+	}
+	if c.Plan == nil {
+		return fmt.Errorf("taskbench: CrashSpec.Plan is nil")
+	}
+	if b.rt.Monitor(0) == nil {
+		return fmt.Errorf("taskbench: crash runs require health monitoring (runtime.Config.Health.Enabled)")
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = time.Millisecond
+	}
+	return nil
+}
+
+// sweep is the crash-mode watchdog goroutine. It waits for the failure
+// detector to declare the target dead, then either fails the run cleanly
+// (no recovery policy) or re-homes the dead locality's points and keeps
+// re-spawning ready-but-unexecuted tasks until the run ends. The
+// re-spawns are idempotent: runTask's done CAS makes duplicate triggers
+// no-ops.
+func (b *Bench) sweep(ru *run) {
+	c := ru.crash
+	tick := time.NewTicker(c.SweepInterval)
+	defer tick.Stop()
+	rehomed := false
+	for {
+		select {
+		case <-ru.stopSweep:
+			return
+		case <-tick.C:
+		}
+		if !b.rt.LocalityDead(c.Locality) {
+			continue
+		}
+		if !c.Recover {
+			ru.fail()
+			return
+		}
+		if !rehomed {
+			b.rehome(ru, c.Locality)
+			rehomed = true
+		}
+		b.heal(ru)
+	}
+}
+
+// rehome redistributes the dead locality's points round-robin over the
+// survivors.
+func (b *Bench) rehome(ru *run, dead int) {
+	survivors := make([]int32, 0, b.rt.Localities()-1)
+	for i := 0; i < b.rt.Localities(); i++ {
+		if i != dead && !b.rt.LocalityDead(i) {
+			survivors = append(survivors, int32(i))
+		}
+	}
+	if len(survivors) == 0 {
+		ru.fail() // nobody left to run the work
+		return
+	}
+	k := 0
+	for p := range ru.owners {
+		if int(ru.owners[p].Load()) == dead {
+			ru.owners[p].Store(survivors[k%len(survivors)])
+			k++
+		}
+	}
+}
+
+// heal walks the task grid and spawns every task that is ready (all
+// producers done) but not yet done itself. This repairs the two loss
+// modes of a crash: tasks queued on the dead scheduler, and tasks whose
+// inputs were dropped on the wire after their producers ran.
+func (b *Bench) heal(ru *run) {
+	w := ru.g.Width
+	for s := 0; s < ru.g.Steps; s++ {
+		healthy := true
+		for p := 0; p < w; p++ {
+			idx := s*w + p
+			if ru.done[idx].Load() {
+				continue
+			}
+			ready := true
+			for _, q := range ru.deps[idx] {
+				if !ru.done[(s-1)*w+q].Load() {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				healthy = false
+				continue
+			}
+			s, p := s, p
+			loc := int(ru.owners[p].Load())
+			if !b.rt.Locality(loc).Spawn(func() { b.runTask(ru, s, p, loc) }) {
+				ru.fail() // runtime shutting down under us
+				return
+			}
+		}
+		// Nothing deeper can be ready while this step has unfinished,
+		// not-yet-ready tasks; stop scanning early on large graphs.
+		if !healthy {
+			return
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/lco"
 	"repro/internal/metrics"
+	"repro/internal/network"
 	"repro/internal/runtime"
 	"repro/internal/serialization"
 )
@@ -44,16 +45,33 @@ type Bench struct {
 
 // run is the state of one graph execution.
 type run struct {
-	g      Graph
-	owners []int // owner locality per point
+	g Graph
+	// owners maps each point to its executing locality. Atomic because
+	// crash recovery re-homes the dead locality's points mid-run.
+	owners []atomic.Int32
 	// deps and dependents are indexed step*Width+point.
 	deps       [][]int
 	dependents [][]int
 	remaining  []atomic.Int32
-	latches    []*lco.Latch // one per step, counting Width completions
-	executed   atomic.Int64
-	payload    []byte
+	// done marks task bodies that have executed; the CAS makes execution
+	// exactly-once even when the crash-recovery sweep re-spawns a task
+	// racing its regular dataflow trigger.
+	done     []atomic.Bool
+	latches  []*lco.Latch // one per step, counting Width completions
+	executed atomic.Int64
+	payload  []byte
+
+	// Crash-mode state (nil/zero without a CrashSpec).
+	crash      *CrashSpec
+	crashFired atomic.Bool
+	failed     chan struct{}
+	failOnce   sync.Once
+	stopSweep  chan struct{}
 }
+
+// fail marks the run cleanly failed (crash detected, no recovery policy);
+// the wait loop observes it and returns instead of hanging.
+func (ru *run) fail() { ru.failOnce.Do(func() { close(ru.failed) }) }
 
 // New registers the input action and returns a bench bound to the
 // runtime.
@@ -95,7 +113,9 @@ type Result struct {
 
 // Run executes one graph to completion and returns its measurements.
 // Runs are serialized; concurrent calls block.
-func (b *Bench) Run(g Graph) (Result, error) {
+func (b *Bench) Run(g Graph) (Result, error) { return b.execute(g, nil) }
+
+func (b *Bench) execute(g Graph, crash *CrashSpec) (Result, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
@@ -103,9 +123,20 @@ func (b *Bench) Run(g Graph) (Result, error) {
 	if err := g.Validate(); err != nil {
 		return Result{}, err
 	}
+	if crash != nil {
+		if err := b.validateCrash(g, crash); err != nil {
+			return Result{}, err
+		}
+	}
 	ru := b.prepare(g)
+	ru.crash = crash
 	b.cur.Store(ru)
 	defer b.cur.Store(nil)
+	if crash != nil {
+		ru.stopSweep = make(chan struct{})
+		go b.sweep(ru)
+		defer close(ru.stopSweep)
+	}
 
 	portBefore := b.portStats()
 	before := metrics.Snapshot(b.rt)
@@ -122,7 +153,8 @@ func (b *Bench) Run(g Graph) (Result, error) {
 				continue
 			}
 			s, p := s, p
-			if !b.rt.Locality(ru.owners[p]).Spawn(func() { b.runTask(ru, s, p) }) {
+			loc := int(ru.owners[p].Load())
+			if !b.rt.Locality(loc).Spawn(func() { b.runTask(ru, s, p, loc) }) {
 				return Result{}, runtime.ErrStopped
 			}
 		}
@@ -131,7 +163,19 @@ func (b *Bench) Run(g Graph) (Result, error) {
 	deadline := time.Now().Add(b.timeout)
 	for s, latch := range ru.latches {
 		left := time.Until(deadline)
-		if left <= 0 || latch.WaitTimeout(left) != nil {
+		if left <= 0 {
+			return Result{}, fmt.Errorf("taskbench: %s stalled at step %d with %d/%d tasks executed",
+				g, s, ru.executed.Load(), g.TotalTasks())
+		}
+		tmr := time.NewTimer(left)
+		select {
+		case <-latch.Done():
+			tmr.Stop()
+		case <-ru.failed:
+			tmr.Stop()
+			return Result{}, fmt.Errorf("taskbench: %s: %w: locality %d crashed and no retry policy is active (failed cleanly at step %d, %d/%d tasks executed)",
+				g, network.ErrLocalityDown, crash.Locality, s, ru.executed.Load(), g.TotalTasks())
+		case <-tmr.C:
 			return Result{}, fmt.Errorf("taskbench: %s stalled at step %d with %d/%d tasks executed",
 				g, s, ru.executed.Load(), g.TotalTasks())
 		}
@@ -163,15 +207,17 @@ func (b *Bench) prepare(g Graph) *run {
 	w, L := g.Width, b.rt.Localities()
 	ru := &run{
 		g:          g,
-		owners:     make([]int, w),
+		owners:     make([]atomic.Int32, w),
 		deps:       make([][]int, w*g.Steps),
 		dependents: make([][]int, w*g.Steps),
 		remaining:  make([]atomic.Int32, w*g.Steps),
+		done:       make([]atomic.Bool, w*g.Steps),
 		latches:    make([]*lco.Latch, g.Steps),
 		payload:    make([]byte, g.OutputBytes),
+		failed:     make(chan struct{}),
 	}
 	for p := 0; p < w; p++ {
-		ru.owners[p] = p * L / w
+		ru.owners[p].Store(int32(p * L / w))
 	}
 	for i := range ru.payload {
 		ru.payload[i] = byte(i)
@@ -225,31 +271,54 @@ func (b *Bench) inputAction(ctx *runtime.Context, args []byte) ([]byte, error) {
 	}
 	switch n := ru.remaining[step*w+point].Add(-1); {
 	case n == 0:
-		b.runTask(ru, step, point)
+		b.runTask(ru, step, point, ctx.Locality)
 	case n < 0:
-		return nil, fmt.Errorf("taskbench: surplus input for task (%d,%d)", step, point)
+		// Under a crash the recovery sweep re-spawns tasks directly, so a
+		// late dataflow trigger for an already-run task is expected
+		// at-least-once noise, not a protocol violation.
+		if ru.crash == nil {
+			return nil, fmt.Errorf("taskbench: surplus input for task (%d,%d)", step, point)
+		}
 	}
 	return nil, nil
 }
 
-// runTask executes the task body at (step, point): spin the configured
-// grain, emit one message per dependent in the next step, and count down
-// the step's completion latch.
-func (b *Bench) runTask(ru *run, step, point int) {
+// runTask executes the task body at (step, point) on locality loc: spin
+// the configured grain, emit one message per dependent in the next step,
+// and count down the step's completion latch.
+func (b *Bench) runTask(ru *run, step, point, loc int) {
+	if c := ru.crash; c != nil {
+		// Inject the crash the first time any task of the target step
+		// starts: deterministic in graph progress, not wall time.
+		if step >= c.AtStep && ru.crashFired.CompareAndSwap(false, true) {
+			c.Plan.Crash(c.Locality)
+			b.rt.CrashLocality(c.Locality)
+		}
+		// A crashed locality executes nothing more. Its queued tasks stay
+		// not-done so the recovery sweep can re-run them on a survivor —
+		// this models the scheduler state lost with the node.
+		if ru.crashFired.Load() && loc == c.Locality {
+			return
+		}
+	}
+	if !ru.done[step*ru.g.Width+point].CompareAndSwap(false, true) {
+		return // already executed (sweep re-spawn raced the dataflow path)
+	}
 	if grind(ru.g.Iterations) < 0 {
 		panic("taskbench: grind underflow") // unreachable; pins the spin loop
 	}
 	w := ru.g.Width
 	if step+1 < ru.g.Steps {
-		loc := b.rt.Locality(ru.owners[point])
+		src := b.rt.Locality(loc)
 		for _, q := range ru.dependents[step*w+point] {
 			wr := serialization.NewWriter(16 + len(ru.payload))
 			wr.Uvarint(uint64(step + 1))
 			wr.Uvarint(uint64(q))
 			wr.BytesField(ru.payload)
-			if err := loc.Apply(ru.owners[q], b.action, wr.Bytes()); err != nil {
-				// The latch still counts down: a send failure surfaces as
-				// a stalled downstream step with this task recorded done.
+			if err := src.Apply(int(ru.owners[q].Load()), b.action, wr.Bytes()); err != nil {
+				// The latch still counts down: a send failure surfaces as a
+				// stalled downstream step (or a sweep re-spawn under crash
+				// recovery) with this task recorded done.
 				break
 			}
 		}

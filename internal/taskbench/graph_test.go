@@ -166,13 +166,13 @@ func TestPatternShapes(t *testing.T) {
 	check(Stencil1D, 1, 0, []int{0, 1})
 	check(Stencil1D, 1, 3, []int{2, 3, 4})
 	check(Stencil1DPeriodic, 1, 0, []int{0, 1, 7})
-	check(FFT, 1, 0, []int{0, 1})    // offset 1
-	check(FFT, 2, 0, []int{0, 2})    // offset 2
-	check(FFT, 3, 1, []int{1, 5})    // offset 4
-	check(Tree, 1, 1, []int{0, 1})   // half 1: point 1 receives from 0
-	check(Tree, 2, 3, []int{1, 3})   // half 2: point 3 receives from 1
-	check(Tree, 3, 7, []int{3, 7})   // half 4: point 7 receives from 3
-	check(Tree, 1, 5, []int{5})      // outside the wave window: carry only
+	check(FFT, 1, 0, []int{0, 1})  // offset 1
+	check(FFT, 2, 0, []int{0, 2})  // offset 2
+	check(FFT, 3, 1, []int{1, 5})  // offset 4
+	check(Tree, 1, 1, []int{0, 1}) // half 1: point 1 receives from 0
+	check(Tree, 2, 3, []int{1, 3}) // half 2: point 3 receives from 1
+	check(Tree, 3, 7, []int{3, 7}) // half 4: point 7 receives from 3
+	check(Tree, 1, 5, []int{5})    // outside the wave window: carry only
 	g := Graph{Width: w, Steps: 8, Pattern: Spread}.WithDefaults()
 	if got := len(g.Dependencies(1, 0)); got != g.SpreadDeps {
 		t.Errorf("spread: %d deps, want %d", got, g.SpreadDeps)

@@ -30,9 +30,14 @@ const (
 	KindFlush
 	// KindPhase marks application phase boundaries.
 	KindPhase
-	// KindRetransmit marks reliability-layer events: frame
-	// retransmissions and link-down declarations.
+	// KindRetransmit marks reliability-layer frame retransmissions.
 	KindRetransmit
+	// KindLinkDown marks failure events: a link declared down after an
+	// exhausted retry budget (recorded at both the sending and the
+	// receiving locality, so asymmetric partitions are observable from
+	// both ends), a health-monitor suspicion crossing its threshold,
+	// and a locality declared dead.
+	KindLinkDown
 	numKinds
 )
 
@@ -49,6 +54,8 @@ func (k Kind) String() string {
 		return "phase"
 	case KindRetransmit:
 		return "retransmit"
+	case KindLinkDown:
+		return "link-down"
 	default:
 		return "unknown"
 	}

@@ -92,19 +92,48 @@ func EncodeBundle(b *testing.B) {
 	b.SetBytes(int64(len(buf)))
 }
 
-// DecodeBundle measures decoding a 16-parcel bundle. Decoding
-// intentionally copies (received parcels outlive the wire buffer), so
-// this tracks the per-message receive cost rather than a zero-alloc
-// target.
+// DecodeBundle measures the port's actual receive decoding: a pooled
+// wire buffer is borrow-decoded into pooled parcels whose fields alias
+// it, then released back (parcels, batch slice and payload all recycle).
+// The per-iteration GetPayload+copy stands in for the fabric filling a
+// pooled receive buffer. Steady state must be 0 allocs/op — the receive
+// mirror of EncodeBundle/PortSend.
 func DecodeBundle(b *testing.B) {
 	wire := parcel.EncodeBundle(makeParcels(16, 1, 64))
 	b.ReportAllocs()
 	b.SetBytes(int64(len(wire)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := parcel.DecodeBundle(wire); err != nil {
+		buf := network.GetPayload(len(wire))
+		copy(buf, wire)
+		ps, err := parcel.DecodeBundleBorrowed(buf)
+		if err != nil {
 			b.Fatal(err)
 		}
+		parcel.ReleaseBundle(ps)
+	}
+}
+
+// DecodeBundleCopy measures the copying decoder — the pre-borrowing
+// receive path and the CopyDecode baseline of the e2e suite — staged
+// exactly like the port's CopyDecode branch (pooled payload in, decode
+// with copies out, payload recycled) so the DecodeBundle/DecodeBundleCopy
+// gap isolates the decoder itself. Every iteration allocates the parcels,
+// their Action strings and Args copies.
+func DecodeBundleCopy(b *testing.B) {
+	wire := parcel.EncodeBundle(makeParcels(16, 1, 64))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := network.GetPayload(len(wire))
+		copy(buf, wire)
+		ps, err := parcel.DecodeBundle(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		network.PutPayload(buf)
+		_ = ps
 	}
 }
 

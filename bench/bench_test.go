@@ -9,10 +9,11 @@ import (
 // Thin wrappers so the suite runs under `go test -bench`; the bodies in
 // bench.go are shared with cmd/amc-bench.
 
-func BenchmarkEncodeBundle(b *testing.B) { EncodeBundle(b) }
-func BenchmarkDecodeBundle(b *testing.B) { DecodeBundle(b) }
-func BenchmarkPortEnqueue(b *testing.B)  { PortEnqueue(b) }
-func BenchmarkPortSend(b *testing.B)     { PortSend(b) }
+func BenchmarkEncodeBundle(b *testing.B)     { EncodeBundle(b) }
+func BenchmarkDecodeBundle(b *testing.B)     { DecodeBundle(b) }
+func BenchmarkDecodeBundleCopy(b *testing.B) { DecodeBundleCopy(b) }
+func BenchmarkPortEnqueue(b *testing.B)      { PortEnqueue(b) }
+func BenchmarkPortSend(b *testing.B)         { PortSend(b) }
 
 func BenchmarkCoalescerPut(b *testing.B) {
 	for _, workers := range []int{1, 4, 16} {
@@ -26,8 +27,8 @@ func BenchmarkCoalescerPut(b *testing.B) {
 }
 
 // TestZeroAllocSendPath asserts the acceptance criterion directly:
-// steady-state bundle encoding and the port send pipeline perform zero
-// allocations per operation.
+// steady-state bundle encoding, the borrowing decode, and the port send
+// pipeline all perform zero allocations per operation.
 func TestZeroAllocSendPath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement skipped in -short mode")
@@ -37,12 +38,39 @@ func TestZeroAllocSendPath(t *testing.T) {
 		fn   func(*testing.B)
 	}{
 		{"EncodeBundle", EncodeBundle},
+		{"DecodeBundle", DecodeBundle},
 		{"PortSend", PortSend},
 	} {
 		r := testing.Benchmark(tc.fn)
 		if a := r.AllocsPerOp(); a != 0 {
 			t.Errorf("%s: %d allocs/op, want 0", tc.name, a)
 		}
+	}
+}
+
+// TestE2EQuick smoke-runs the end-to-end suite at CI size so the full
+// stack sweep (both fabrics, both decoders) stays exercised by go test.
+func TestE2EQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e sweep skipped in -short mode")
+	}
+	res, err := RunE2E(E2EConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("e2e: no points measured")
+	}
+	for _, p := range res.Points {
+		if p.ParcelsPerSec <= 0 {
+			t.Errorf("e2e %s/%dB/coalesce=%d/%s: nonpositive throughput", p.Fabric, p.ArgsBytes, p.CoalesceN, p.Decode)
+		}
+		if p.WireMsgs == 0 {
+			t.Errorf("e2e %s/%dB/coalesce=%d/%s: rx stats counted no wire messages", p.Fabric, p.ArgsBytes, p.CoalesceN, p.Decode)
+		}
+	}
+	if res.GeomeanImprovement <= 0 {
+		t.Errorf("e2e: geomean improvement %v, want > 0", res.GeomeanImprovement)
 	}
 }
 

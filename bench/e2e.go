@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coalescing"
+	"repro/internal/network"
+	"repro/internal/runtime"
+)
+
+// End-to-end throughput suite.
+//
+// The micro-benchmarks above isolate single pipeline stages; this suite
+// measures what the receive-path work actually buys: delivered active
+// messages per second per core through the full stack — Apply → port →
+// (coalescing) → fabric → batched rx → decode → scheduler task — on both
+// fabrics, at several parcel sizes and coalescing settings, with the
+// zero-allocation borrowing decode A/B'd against the copying baseline
+// (runtime.Config.CopyDecode). The simulated fabric runs a light cost
+// model (wire latency only, no synthetic per-message CPU) so the
+// software path under measurement is the runtime's own, not the model's.
+
+// E2EConfig sizes the end-to-end sweep.
+type E2EConfig struct {
+	// Quick shrinks the sweep to CI-smoke size: one parcel size, one
+	// coalescing setting, fewer parcels per point.
+	Quick bool
+	// Verbose echoes each point to the given printf-style function.
+	Logf func(format string, args ...any)
+}
+
+// E2EPoint is one measured configuration.
+type E2EPoint struct {
+	Fabric    string  `json:"fabric"`            // "sim" | "tcp"
+	ArgsBytes int     `json:"args_bytes"`        // argument-pack size per parcel
+	CoalesceN int     `json:"coalesce_nparcels"` // coalescing NParcels; 1 = disabled
+	Decode    string  `json:"decode"`            // "borrowed" | "copy"
+	Parcels   int64   `json:"parcels"`           // active messages delivered
+	WireMsgs  uint64  `json:"wire_messages"`     // frames the fabric delivered
+	WallMS    float64 `json:"wall_ms"`
+	// ParcelsPerSec is end-to-end delivered active messages per second;
+	// PerCore divides by the scheduler workers doing the delivery work
+	// (localities × workers), the suite's headline unit.
+	ParcelsPerSec        float64 `json:"parcels_per_sec"`
+	ParcelsPerSecPerCore float64 `json:"parcels_per_sec_per_core"`
+}
+
+// E2EImprovement is the borrowed-vs-copy ratio for one (fabric, size,
+// coalescing) cell of the sweep.
+type E2EImprovement struct {
+	Fabric          string  `json:"fabric"`
+	ArgsBytes       int     `json:"args_bytes"`
+	CoalesceN       int     `json:"coalesce_nparcels"`
+	BorrowedPerCore float64 `json:"borrowed_parcels_per_sec_per_core"`
+	CopyPerCore     float64 `json:"copy_parcels_per_sec_per_core"`
+	// Improvement is borrowed/copy throughput; >1 means the borrowing
+	// decode delivered more messages per second per core.
+	Improvement float64 `json:"improvement"`
+}
+
+// E2EResult is the full sweep outcome.
+type E2EResult struct {
+	Localities   int              `json:"localities"`
+	Workers      int              `json:"workers_per_locality"`
+	Points       []E2EPoint       `json:"points"`
+	Improvements []E2EImprovement `json:"improvements"`
+	// GeomeanImprovement aggregates the per-cell borrowed/copy ratios.
+	GeomeanImprovement float64 `json:"geomean_improvement"`
+}
+
+const (
+	e2eLocalities = 2
+	e2eWorkers    = 2
+	e2eAction     = "bench/e2e-sink"
+)
+
+// RunE2E executes the end-to-end sweep.
+func RunE2E(cfg E2EConfig) (E2EResult, error) {
+	fabrics := []string{"sim", "tcp"}
+	sizes := []int{16, 256, 4096}
+	coalesce := []int{1, 16}
+	perPoint := 20000
+	timeout := 120 * time.Second
+	if cfg.Quick {
+		sizes = []int{64}
+		coalesce = []int{16}
+		perPoint = 2000
+		timeout = 30 * time.Second
+	}
+
+	res := E2EResult{Localities: e2eLocalities, Workers: e2eWorkers}
+	ratios := make([]float64, 0, len(fabrics)*len(sizes)*len(coalesce))
+	for _, fab := range fabrics {
+		for _, size := range sizes {
+			for _, cn := range coalesce {
+				cell := E2EImprovement{Fabric: fab, ArgsBytes: size, CoalesceN: cn}
+				for _, copyDecode := range []bool{false, true} {
+					p, err := runE2EPoint(fab, size, cn, copyDecode, perPoint, timeout)
+					if err != nil {
+						return res, err
+					}
+					res.Points = append(res.Points, p)
+					if copyDecode {
+						cell.CopyPerCore = p.ParcelsPerSecPerCore
+					} else {
+						cell.BorrowedPerCore = p.ParcelsPerSecPerCore
+					}
+					if cfg.Logf != nil {
+						cfg.Logf("e2e %-3s args=%-4d coalesce=%-2d decode=%-8s %10.0f parcels/s (%8.0f /core)",
+							p.Fabric, p.ArgsBytes, p.CoalesceN, p.Decode, p.ParcelsPerSec, p.ParcelsPerSecPerCore)
+					}
+				}
+				if cell.CopyPerCore > 0 {
+					cell.Improvement = cell.BorrowedPerCore / cell.CopyPerCore
+					ratios = append(ratios, cell.Improvement)
+				}
+				res.Improvements = append(res.Improvements, cell)
+			}
+		}
+	}
+	if len(ratios) > 0 {
+		sum := 0.0
+		for _, r := range ratios {
+			sum += math.Log(r)
+		}
+		res.GeomeanImprovement = math.Exp(sum / float64(len(ratios)))
+	}
+	return res, nil
+}
+
+// runE2EPoint measures one configuration: total parcels sent from
+// locality 0 to a counting sink action on locality 1, wall-clocked from
+// first Apply to last delivery.
+func runE2EPoint(fabricKind string, argsBytes, coalesceN int, copyDecode bool, total int, timeout time.Duration) (E2EPoint, error) {
+	decode := "borrowed"
+	if copyDecode {
+		decode = "copy"
+	}
+	pt := E2EPoint{Fabric: fabricKind, ArgsBytes: argsBytes, CoalesceN: coalesceN, Decode: decode}
+
+	var fab network.Fabric
+	switch fabricKind {
+	case "sim":
+		fab = network.NewSimFabric(e2eLocalities, network.CostModel{Latency: 5 * time.Microsecond})
+	case "tcp":
+		tf, err := network.NewTCPFabric(e2eLocalities)
+		if err != nil {
+			return pt, fmt.Errorf("e2e: tcp fabric: %w", err)
+		}
+		fab = tf
+	default:
+		return pt, fmt.Errorf("e2e: unknown fabric %q", fabricKind)
+	}
+	rt := runtime.New(runtime.Config{
+		Localities:         e2eLocalities,
+		WorkersPerLocality: e2eWorkers,
+		Fabric:             fab,
+		CopyDecode:         copyDecode,
+	})
+	defer func() {
+		rt.Shutdown()
+		_ = fab.Close()
+	}()
+
+	var delivered atomic.Int64
+	rt.MustRegisterAction(e2eAction, func(ctx *runtime.Context, args []byte) ([]byte, error) {
+		delivered.Add(1)
+		return nil, nil
+	})
+	if coalesceN > 1 {
+		if err := rt.EnableCoalescing(e2eAction, coalescing.Params{
+			NParcels: coalesceN,
+			Interval: 200 * time.Microsecond,
+		}); err != nil {
+			return pt, err
+		}
+	}
+
+	args := make([]byte, argsBytes)
+	for i := range args {
+		args[i] = byte(i)
+	}
+	loc0 := rt.Locality(0)
+	before := fab.Stats()
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if err := loc0.Apply(1, e2eAction, args); err != nil {
+			return pt, fmt.Errorf("e2e: apply %d: %w", i, err)
+		}
+	}
+	rt.FlushAllCoalescers()
+	deadline := start.Add(timeout)
+	for delivered.Load() < int64(total) {
+		if time.Now().After(deadline) {
+			return pt, fmt.Errorf("e2e: %s/%dB/coalesce=%d/%s stalled at %d/%d parcels",
+				fabricKind, argsBytes, coalesceN, decode, delivered.Load(), total)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	wall := time.Since(start)
+	after := fab.Stats()
+
+	pt.Parcels = delivered.Load()
+	pt.WireMsgs = after.MessagesReceived - before.MessagesReceived
+	pt.WallMS = float64(wall) / float64(time.Millisecond)
+	secs := wall.Seconds()
+	if secs > 0 {
+		pt.ParcelsPerSec = float64(pt.Parcels) / secs
+		pt.ParcelsPerSecPerCore = pt.ParcelsPerSec / float64(e2eLocalities*e2eWorkers)
+	}
+	return pt, nil
+}

@@ -3,12 +3,19 @@
 // committed BENCH_parcel.json and BENCH_sched.json snapshots.
 //
 // The parcel suite measures the three layers of the zero-allocation
-// send pipeline — bundle encode/decode, port enqueue/send, and
-// coalescer Put under 1/4/16 concurrent senders against a single-mutex
-// baseline — and its report includes the striped-vs-baseline speedup at
-// each concurrency level plus pass/fail fields for the pipeline's two
-// headline claims (0 allocs/op on encode and send; >=2x coalescer
+// pipeline — bundle encode plus borrowed decode (with the copying
+// decoder as baseline), port enqueue/send, and coalescer Put under
+// 1/4/16 concurrent senders against a single-mutex baseline — and its
+// report includes the striped-vs-baseline speedup at each concurrency
+// level plus pass/fail fields for the pipeline's headline claims
+// (0 allocs/op on encode, borrowed decode and send; >=2x coalescer
 // speedup at 16 senders).
+//
+// The e2e suite measures end-to-end delivered messages/sec/core through
+// the full stack (Apply → coalescing → fabric → batched rx → decode →
+// task) on both the simulated and the TCP fabric, across parcel sizes
+// and coalescing settings, A/B-ing the borrowing decode against the
+// copying baseline; -quick shrinks it to a CI-smoke size.
 //
 // The sched suite measures the work-stealing task scheduler against the
 // seed's single-channel design: spawn/execute throughput at 1/4/16
@@ -85,7 +92,11 @@ type report struct {
 	Results           []result  `json:"results"`
 	CoalescerSpeedups []speedup `json:"coalescer_speedups"`
 	ZeroAllocSendPath bool      `json:"zero_alloc_send_path"`
-	Speedup16OK       bool      `json:"coalescer_16x_speedup_ge_2"`
+	// ZeroAllocRecvPath: the borrowed DecodeBundle reached 0 allocs/op.
+	// DecodeSpeedup is copying-decode ns/op over borrowed-decode ns/op.
+	ZeroAllocRecvPath bool    `json:"zero_alloc_recv_path"`
+	DecodeSpeedup     float64 `json:"decode_speedup_vs_copy"`
+	Speedup16OK       bool    `json:"coalescer_16x_speedup_ge_2"`
 }
 
 // schedSpeedup compares the work-stealing scheduler against the
@@ -197,11 +208,12 @@ type suiteDef struct {
 // suites is the registry the -suite flag is validated against; "all"
 // runs every entry with its default output file.
 var suites = []suiteDef{
-	{"parcel", "BENCH_parcel.json", "zero-allocation send pipeline and striped coalescer vs single-mutex baseline", runParcel},
+	{"parcel", "BENCH_parcel.json", "zero-allocation send+receive pipeline and striped coalescer vs single-mutex baseline", runParcel},
 	{"sched", "BENCH_sched.json", "work-stealing task scheduler vs single-channel baseline", runSched},
 	{"reliable", "BENCH_reliable.json", "goodput and Eq. 4 overhead under injected frame loss; link-down detection", runReliable},
 	{"taskbench", "BENCH_taskbench.json", "Task Bench-style pattern sweep: per-pattern overhead/time correlation + adaptive phase demo", runTaskbench},
 	{"health", "BENCH_health.json", "crash-stop chaos: phi-accrual detection latency, false-positive soak, survive-crash workload", runHealth},
+	{"e2e", "BENCH_e2e.json", "end-to-end messages/sec/core on both fabrics: borrowed vs copying decode across sizes and coalescing", runE2E},
 }
 
 // partialStatus is embedded in every report schema: when a suite errors
@@ -300,9 +312,14 @@ func runParcel(out string, opts options) error {
 	rn := runner{verbose: opts.verbose, results: &rep.Results}
 
 	encode := rn.run("EncodeBundle", bench.EncodeBundle)
-	rn.run("DecodeBundle", bench.DecodeBundle)
+	decode := rn.run("DecodeBundle", bench.DecodeBundle)
+	decodeCopy := rn.run("DecodeBundleCopy", bench.DecodeBundleCopy)
 	rn.run("PortEnqueue", bench.PortEnqueue)
 	send := rn.run("PortSend", bench.PortSend)
+	rep.ZeroAllocRecvPath = decode.AllocsPerOp() == 0
+	if ns := nsPerOp(decode); ns > 0 {
+		rep.DecodeSpeedup = nsPerOp(decodeCopy) / ns
+	}
 
 	for _, workers := range []int{1, 4, 16} {
 		w := workers
@@ -328,8 +345,49 @@ func runParcel(out string, opts options) error {
 	if err := writeJSON(out, rep); err != nil {
 		return err
 	}
-	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, zero-alloc=%v, 16-sender speedup ok=%v)\n",
-		out, len(rep.Results), rep.ZeroAllocSendPath, rep.Speedup16OK)
+	fmt.Fprintf(statusW(out), "wrote %s (%d benchmarks, zero-alloc send=%v recv=%v, decode speedup=%.2fx, 16-sender speedup ok=%v)\n",
+		out, len(rep.Results), rep.ZeroAllocSendPath, rep.ZeroAllocRecvPath, rep.DecodeSpeedup, rep.Speedup16OK)
+	return nil
+}
+
+// e2eReport is the BENCH_e2e.json schema: end-to-end delivered active
+// messages per second per core through the full runtime stack on both
+// fabrics, with the borrowing decode measured against the copying
+// baseline in every cell (the improvement the receive-path work claims).
+type e2eReport struct {
+	partialStatus
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Quick      bool            `json:"quick"`
+	E2E        bench.E2EResult `json:"e2e"`
+	// BorrowedFasterOK: the geomean borrowed/copy throughput ratio is
+	// >= 1, i.e. the zero-allocation receive path did not lose end-to-end.
+	BorrowedFasterOK bool `json:"borrowed_geomean_improvement_ge_1"`
+}
+
+func runE2E(out string, opts options) error {
+	rep := e2eReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      opts.quick,
+	}
+	cfg := bench.E2EConfig{Quick: opts.quick}
+	if opts.verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := bench.RunE2E(cfg)
+	rep.E2E = res // partial sweep progress is meaningful even on error
+	if err != nil {
+		return failPartial(out, &rep, &rep.partialStatus, err)
+	}
+	rep.BorrowedFasterOK = res.GeomeanImprovement >= 1
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(statusW(out), "wrote %s (%d points, geomean borrowed/copy improvement=%.3fx, ok=%v)\n",
+		out, len(rep.E2E.Points), rep.E2E.GeomeanImprovement, rep.BorrowedFasterOK)
 	return nil
 }
 

@@ -155,14 +155,19 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Stats reports cumulative fabric activity.
+// Stats reports cumulative fabric activity. Receive-side counts are
+// incremented when a message is handed to the destination handler (for
+// TCPFabric, after its frame has been fully read off the socket), so
+// sent and received totals converge only once deliveries drain.
 type Stats struct {
-	MessagesSent uint64
-	BytesSent    uint64
-	Dropped      uint64
-	Duplicated   uint64
-	Delayed      uint64
-	Reordered    uint64
+	MessagesSent     uint64
+	BytesSent        uint64
+	MessagesReceived uint64
+	BytesReceived    uint64
+	Dropped          uint64
+	Duplicated       uint64
+	Delayed          uint64
+	Reordered        uint64
 }
 
 // FaultAction tells the fabric what to do with a message under fault
@@ -233,6 +238,8 @@ type SimFabric struct {
 
 	msgs    atomic.Uint64
 	bytes   atomic.Uint64
+	msgsIn  atomic.Uint64
+	bytesIn atomic.Uint64
 	drops   atomic.Uint64
 	dupes   atomic.Uint64
 	delays  atomic.Uint64
@@ -369,12 +376,14 @@ func (f *SimFabric) SetFaultHook(h FaultHook) {
 // Stats implements Fabric.
 func (f *SimFabric) Stats() Stats {
 	return Stats{
-		MessagesSent: f.msgs.Load(),
-		BytesSent:    f.bytes.Load(),
-		Dropped:      f.drops.Load(),
-		Duplicated:   f.dupes.Load(),
-		Delayed:      f.delays.Load(),
-		Reordered:    f.reorder.Load(),
+		MessagesSent:     f.msgs.Load(),
+		BytesSent:        f.bytes.Load(),
+		MessagesReceived: f.msgsIn.Load(),
+		BytesReceived:    f.bytesIn.Load(),
+		Dropped:          f.drops.Load(),
+		Duplicated:       f.dupes.Load(),
+		Delayed:          f.delays.Load(),
+		Reordered:        f.reorder.Load(),
 	}
 }
 
@@ -492,9 +501,16 @@ func (f *SimFabric) runDelivery(lk *link) {
 			PutPayload(m.payload)
 			continue
 		}
-		if hp := f.handlers[m.dst].Load(); hp != nil {
-			(*hp)(m.src, m.payload)
+		hp := f.handlers[m.dst].Load()
+		if hp == nil {
+			// No handler installed (torn down mid-flight): recycle instead
+			// of leaking the buffer out of the pool.
+			PutPayload(m.payload)
+			continue
 		}
+		f.msgsIn.Add(1)
+		f.bytesIn.Add(uint64(len(m.payload)))
+		(*hp)(m.src, m.payload)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/agas"
+	"repro/internal/network"
 )
 
 // TestDecodeBundleHostile feeds DecodeBundle deliberately malformed wire
@@ -83,6 +84,12 @@ func FuzzDecodeBundle(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ps, err := DecodeBundle(data)
 		if err != nil {
+			// The borrowing decoder must reject exactly what the copying
+			// one rejects, and must not panic on it either.
+			if bps, berr := DecodeBundleBorrowed(append([]byte(nil), data...)); berr == nil {
+				ReleaseBundle(bps)
+				t.Fatalf("DecodeBundleBorrowed accepted input DecodeBundle rejected (%v)", err)
+			}
 			return
 		}
 		// Accepted input must survive a semantic round-trip: re-encoding
@@ -103,5 +110,77 @@ func FuzzDecodeBundle(f *testing.F) {
 				t.Fatalf("parcel %d round-trip mismatch: %+v vs %+v", i, a, b)
 			}
 		}
+	})
+}
+
+// FuzzDecodeBundleBorrowed round-trips arbitrary accepted input through
+// the borrowing decoder and checks it against the copying decoder field
+// by field, then releases the bundle and verifies detached parcels are
+// immune to the payload's recycling — the aliasing-corruption property
+// the borrowed receive path depends on.
+func FuzzDecodeBundleBorrowed(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{bundleMagic, 0x00})
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Add(EncodeBundle([]*Parcel{{
+		Dest:         agas.GID(42),
+		Continuation: agas.GID(7),
+		Source:       3,
+		Action:       "fuzz/seed",
+		Args:         []byte("payload"),
+	}}))
+	f.Add(EncodeBundle([]*Parcel{
+		{Action: "a", Source: 1},
+		{Action: "b", Source: 2, Args: make([]byte, 100)},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, werr := DecodeBundle(data)
+
+		// Stage the input exactly like the port does: in a pooled payload
+		// the decoder takes ownership of on success.
+		buf := network.GetPayload(len(data))
+		copy(buf, data)
+		got, gerr := DecodeBundleBorrowed(buf)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("decoder disagreement: copy err=%v, borrowed err=%v", werr, gerr)
+		}
+		if gerr != nil {
+			network.PutPayload(buf) // on error the caller keeps ownership
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("borrowed decoded %d parcels, copy decoded %d", len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.Dest != w.Dest || g.Continuation != w.Continuation ||
+				g.Source != w.Source || g.Action != w.Action ||
+				!bytes.Equal(g.Args, w.Args) {
+				t.Fatalf("parcel %d: borrowed %+v != copied %+v", i, g, w)
+			}
+		}
+
+		// Detach every other parcel, release the bundle (recycling the
+		// payload), then scribble over a fresh buffer of the same class —
+		// very likely the recycled one. Detached parcels must not change.
+		for i := 0; i < len(got); i += 2 {
+			got[i].Detach()
+		}
+		detached := make([]*Parcel, 0, (len(got)+1)/2)
+		for i := 0; i < len(got); i += 2 {
+			detached = append(detached, got[i])
+		}
+		ReleaseBundle(got)
+		scratch := network.GetPayload(len(data))
+		for i := range scratch {
+			scratch[i] = 0xFF
+		}
+		for i, d := range detached {
+			w := want[2*i]
+			if d.Action != w.Action || !bytes.Equal(d.Args, w.Args) {
+				t.Fatalf("detached parcel %d corrupted after payload recycle: %+v != %+v", 2*i, d, w)
+			}
+		}
+		network.PutPayload(scratch)
 	})
 }

@@ -45,6 +45,14 @@ type Parcel struct {
 	// mid-migration; it is bookkeeping at the current hop and is not
 	// serialized.
 	Retries int
+
+	// owner and borrow implement the borrowed receive path (borrow.go):
+	// a parcel decoded by DecodeBundleBorrowed aliases the pooled wire
+	// payload tracked by owner until Release. Both fields are zero on
+	// owned (tx-side or copy-decoded) parcels; borrow is a plain int32
+	// accessed atomically so owned parcels remain copyable by value.
+	owner  *payloadOwner
+	borrow int32
 }
 
 // WireSize returns the approximate encoded size of p in bytes, used by
@@ -70,6 +78,22 @@ var ErrBadBundle = errors.New("parcel: malformed bundle")
 
 // MaxBundleParcels bounds the parcel count field of a decoded bundle.
 const MaxBundleParcels = 1 << 20
+
+// Bundle decode error constructors, shared by the copying and borrowing
+// decoders so both report identical failures.
+func errBundle(err error) error { return fmt.Errorf("%w: %v", ErrBadBundle, err) }
+func errBundleMagic(m byte) error {
+	return fmt.Errorf("%w: bad magic %#x", ErrBadBundle, m)
+}
+func errBundleCount(n uint64) error {
+	return fmt.Errorf("%w: parcel count %d exceeds limit", ErrBadBundle, n)
+}
+func errBundleParcel(i uint64, err error) error {
+	return fmt.Errorf("%w: parcel %d: %v", ErrBadBundle, i, err)
+}
+func errBundleTrailing(n int) error {
+	return fmt.Errorf("%w: %d trailing bytes", ErrBadBundle, n)
+}
 
 // uvarintLen returns the encoded size of v as an unsigned varint.
 func uvarintLen(v uint64) int {
@@ -137,22 +161,26 @@ func EncodeBundle(parcels []*Parcel) []byte {
 	return AppendBundle(make([]byte, 0, bundleSize(len(parcels), size)), parcels)
 }
 
-// DecodeBundle reconstructs the parcels of a wire message. Decoded
-// parcels have DestLocality unresolved (-1).
+// DecodeBundle reconstructs the parcels of a wire message, copying every
+// field out of data — the returned parcels are owned and data may be
+// recycled immediately. Decoded parcels have DestLocality unresolved
+// (-1). The allocation-free variant is DecodeBundleBorrowed (borrow.go);
+// this copying decoder remains as the misuse-proof baseline and the
+// reference the borrowing fuzzer checks against.
 func DecodeBundle(data []byte) ([]*Parcel, error) {
 	r := serialization.NewReader(data)
 	if magic := r.U8(); magic != bundleMagic {
 		if r.Err() != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadBundle, r.Err())
+			return nil, errBundle(r.Err())
 		}
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadBundle, magic)
+		return nil, errBundleMagic(magic)
 	}
 	n := r.Uvarint()
 	if r.Err() != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadBundle, r.Err())
+		return nil, errBundle(r.Err())
 	}
 	if n > MaxBundleParcels {
-		return nil, fmt.Errorf("%w: parcel count %d exceeds limit", ErrBadBundle, n)
+		return nil, errBundleCount(n)
 	}
 	out := make([]*Parcel, 0, n)
 	for i := uint64(0); i < n; i++ {
@@ -165,12 +193,12 @@ func DecodeBundle(data []byte) ([]*Parcel, error) {
 		p.Action = r.String()
 		p.Args = r.BytesField()
 		if r.Err() != nil {
-			return nil, fmt.Errorf("%w: parcel %d: %v", ErrBadBundle, i, r.Err())
+			return nil, errBundleParcel(i, r.Err())
 		}
 		out = append(out, p)
 	}
 	if r.Remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBundle, r.Remaining())
+		return nil, errBundleTrailing(r.Remaining())
 	}
 	return out, nil
 }

@@ -70,6 +70,13 @@ type Config struct {
 	RxQueueDepth int
 	// Trace optionally records message-level events; nil disables.
 	Trace *trace.Buffer
+	// CopyDecode selects the copying decoder (DecodeBundle) for received
+	// messages instead of the default zero-allocation borrowing decode.
+	// Delivered parcels then own their memory and Release is a no-op.
+	// It exists as the A/B baseline for the e2e benchmark suite and as
+	// an escape hatch for delivery sinks that cannot follow the
+	// borrow-and-release discipline.
+	CopyDecode bool
 }
 
 // outShardCount shards the outbound queue by destination so senders
@@ -100,10 +107,11 @@ type outShard struct {
 // encoded into pooled buffers (internal/network) that the receiving port
 // releases after decoding.
 type Port struct {
-	locality int
-	fabric   network.Fabric
-	resolve  Resolver
-	deliver  Deliver
+	locality   int
+	fabric     network.Fabric
+	resolve    Resolver
+	deliver    Deliver
+	copyDecode bool
 
 	handlersMu sync.RWMutex
 	handlers   map[string]MessageHandler
@@ -171,6 +179,7 @@ func NewPort(cfg Config) *Port {
 		fabric:       cfg.Fabric,
 		resolve:      cfg.Resolve,
 		deliver:      cfg.Deliver,
+		copyDecode:   cfg.CopyDecode,
 		handlers:     make(map[string]MessageHandler),
 		trc:          cfg.Trace,
 		rxCh:         make(chan rxMessage, depth),
@@ -460,6 +469,13 @@ func (p *Port) transmit(m outMessage) {
 }
 
 // receiveOne decodes one queued incoming message, if any.
+//
+// The default path is the zero-allocation borrowing decode: on success
+// payload ownership transfers to the decoded bundle, each delivered
+// parcel aliases the wire buffer until its consumer Releases it, and the
+// batch slice goes back to the pool as soon as dispatch is done (the
+// parcels outlive it). With CopyDecode the port is itself the explicit
+// release point, recycling the payload right after the copying decode.
 func (p *Port) receiveOne() bool {
 	select {
 	case m := <-p.rxCh:
@@ -467,10 +483,19 @@ func (p *Port) receiveOne() bool {
 		// worker doing background work.
 		timer.Spin(p.fabric.Model().RecvCPU(len(m.payload)))
 		nbytes := len(m.payload)
-		parcels, err := DecodeBundle(m.payload)
-		// Explicit release point: DecodeBundle copied everything it
-		// needs, so the wire buffer can go back to the pool.
-		network.PutPayload(m.payload)
+		var parcels []*Parcel
+		var err error
+		if p.copyDecode {
+			parcels, err = DecodeBundle(m.payload)
+			network.PutPayload(m.payload)
+		} else {
+			parcels, err = DecodeBundleBorrowed(m.payload)
+			if err != nil {
+				// On error the decoder leaves payload ownership with the
+				// caller; recycle it here.
+				network.PutPayload(m.payload)
+			}
+		}
 		if err != nil {
 			p.decodeErrors.Inc()
 			return true
@@ -485,6 +510,7 @@ func (p *Port) receiveOne() bool {
 		for _, pcl := range parcels {
 			p.deliver(pcl)
 		}
+		PutBatch(parcels)
 		return true
 	default:
 		return false

@@ -551,7 +551,11 @@ func (f *Fabric) deliverLocked(rs *rxState, src, dst int, payload []byte) {
 		}
 	}
 	// The handler assumes ownership, so it gets its own pooled copy —
-	// the frame buffer is recycled by the caller.
+	// the frame buffer is recycled by the caller. This copy is also what
+	// makes the layer transparent to the port's borrowed decode: parcels
+	// decoded downstream borrow from cp, whose lifetime ends only at the
+	// bundle's last Release, never from the reliability frame, which may
+	// be recycled (or retransmitted into) while those borrows are live.
 	cp := network.GetPayload(len(payload))
 	copy(cp, payload)
 	emit(cp)

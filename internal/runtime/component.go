@@ -257,6 +257,12 @@ const maxMigrationRetries = 200
 // that were freed (or that never re-appear) fail the continuation so
 // callers don't hang.
 func (l *Locality) forwardParcel(p *parcel.Parcel) {
+	// Forwarding retains the parcel beyond the delivering task's return —
+	// a copy re-enters the outbound port, and the migration-retry path
+	// parks p itself in an AfterFunc. Detach first: borrowed fields are
+	// copied to owned memory, the wire buffer's reference is dropped, and
+	// the delivery wrapper's Release becomes a no-op.
+	p.Detach()
 	loc, err := l.rt.agas.Resolve(p.Dest) // authoritative, not the cache
 	if err == nil && loc != l.id {
 		l.forwarded.Inc()

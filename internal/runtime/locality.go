@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,12 +64,13 @@ func newLocality(rt *Runtime, id int) *Locality {
 		panic(err)
 	}
 	l.port = parcel.NewPort(parcel.Config{
-		Locality: id,
-		Fabric:   rt.fabric,
-		Resolve:  l.cache.Resolve,
-		Deliver:  l.deliverParcel,
-		Registry: l.registry,
-		Trace:    rt.cfg.Trace,
+		Locality:   id,
+		Fabric:     rt.fabric,
+		Resolve:    l.cache.Resolve,
+		Deliver:    l.deliverParcel,
+		Registry:   l.registry,
+		Trace:      rt.cfg.Trace,
+		CopyDecode: rt.cfg.CopyDecode,
 	})
 	l.sched = newScheduler(schedConfig{
 		locality:     id,
@@ -236,16 +238,25 @@ func (l *Locality) dropContinuation(g agas.GID) {
 // deliverParcel converts a received parcel into a task (the parcel
 // subsystem's receive side: "the parcel is then converted into a HPX
 // thread and placed in the scheduler queue for execution").
+//
+// Received parcels are borrowed: their Action/Args alias the pooled wire
+// payload (see parcel/borrow.go), so each task Releases its parcel when
+// the body returns — action bodies must not retain args past their own
+// return, and the paths that do retain the parcel (forwardParcel's
+// migration machinery) Detach it first, turning the later Release into a
+// no-op. A parcel whose task cannot be spawned is released on the spot.
 func (l *Locality) deliverParcel(p *parcel.Parcel) {
+	var task func()
 	if len(p.Action) > len(setValuePrefix) && p.Action[:len(setValuePrefix)] == setValuePrefix {
-		l.sched.spawn(func() { l.completeContinuation(p) })
-		return
+		task = func() { l.completeContinuation(p); p.Release() }
+	} else if len(p.Action) > len(componentActionPrefix) && p.Action[:len(componentActionPrefix)] == componentActionPrefix {
+		task = func() { l.executeComponentAction(p); p.Release() }
+	} else {
+		task = func() { l.executeAction(p); p.Release() }
 	}
-	if len(p.Action) > len(componentActionPrefix) && p.Action[:len(componentActionPrefix)] == componentActionPrefix {
-		l.sched.spawn(func() { l.executeComponentAction(p) })
-		return
+	if !l.sched.spawn(task) {
+		p.Release()
 	}
-	l.sched.spawn(func() { l.executeAction(p) })
 }
 
 // executeAction runs a request parcel's action and, if a continuation is
@@ -261,7 +272,16 @@ func (l *Locality) executeAction(p *parcel.Parcel) {
 	} else {
 		res, err = fn(&Context{Runtime: l.rt, Locality: l.id, Source: p.Source}, p.Args)
 	}
-	l.rt.cfg.Trace.RecordSpan(trace.KindTask, p.Action, l.id, start, int64(len(p.Args)))
+	if l.rt.cfg.Trace != nil {
+		// The trace ring buffer retains the span name past the parcel's
+		// Release, so a borrowed Action must be cloned out of the wire
+		// buffer first. Owned parcels skip the copy.
+		name := p.Action
+		if p.Borrowed() {
+			name = strings.Clone(p.Action)
+		}
+		l.rt.cfg.Trace.RecordSpan(trace.KindTask, name, l.id, start, int64(len(p.Args)))
+	}
 	if err != nil {
 		l.actionErrors.Inc()
 	}

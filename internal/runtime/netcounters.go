@@ -1,0 +1,27 @@
+package runtime
+
+import (
+	"repro/internal/counters"
+	"repro/internal/network"
+)
+
+// registerFabricCounters exposes the transport's cumulative Stats through
+// the runtime's root registry under the /network{*} tree, next to the
+// reliability layer's /network/reliability counters. They are derived
+// counters reading the fabric on demand, so the fabric's own atomics stay
+// the single source of truth; both directions of the wire are visible
+// (sent at the fabric's Send, received when a frame is handed to the
+// destination handler).
+func (rt *Runtime) registerFabricCounters() {
+	f := rt.fabric
+	mk := func(name string, read func(network.Stats) uint64) {
+		rt.root.MustRegister(counters.NewDerived(
+			counters.Path{Object: "network", Name: "count/" + name},
+			func() float64 { return float64(read(f.Stats())) },
+		))
+	}
+	mk("messages-sent", func(s network.Stats) uint64 { return s.MessagesSent })
+	mk("bytes-sent", func(s network.Stats) uint64 { return s.BytesSent })
+	mk("messages-received", func(s network.Stats) uint64 { return s.MessagesReceived })
+	mk("bytes-received", func(s network.Stats) uint64 { return s.BytesReceived })
+}

@@ -100,6 +100,11 @@ type Config struct {
 	// transmission, coalescing flushes) into a bounded ring buffer for
 	// Chrome-trace export; nil disables all probes.
 	Trace *trace.Buffer
+	// CopyDecode makes every port decode received bundles with the
+	// copying decoder instead of the zero-allocation borrowing decode —
+	// the A/B baseline the e2e benchmark suite measures against. See
+	// parcel.Config.CopyDecode.
+	CopyDecode bool
 	// Health configures phi-accrual failure detection. Disabled by
 	// default (Health.Enabled false): no monitors run, no heartbeats are
 	// sent, and the runtime behaves exactly as before the health
@@ -192,6 +197,7 @@ func New(cfg Config) *Runtime {
 		rt.fabric = network.NewSimFabric(cfg.Localities, cfg.CostModel)
 		rt.ownsFab = true
 	}
+	rt.registerFabricCounters()
 	rt.dead = make([]atomic.Bool, cfg.Localities)
 	rt.silenced = make([]atomic.Bool, cfg.Localities)
 	rt.locs = make([]*Locality, cfg.Localities)

@@ -299,6 +299,23 @@ func (r *Reader) BytesField() []byte {
 	return out
 }
 
+// BorrowBytesField reads a length-prefixed byte slice like BytesField but
+// returns a sub-slice of the reader's buffer instead of a copy. The result
+// aliases the underlying buffer and is valid only as long as the buffer
+// is; the parcel subsystem's borrowing decode uses it to build parcels
+// whose fields point into the pooled wire payload.
+func (r *Reader) BorrowBytesField() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxStringLen {
+		r.fail(ErrTooLarge, "bytes")
+		return nil
+	}
+	return r.take(int(n), "bytes body")
+}
+
 // RawBytes reads exactly n bytes without a length prefix, returning a
 // sub-slice of the reader's buffer (no copy).
 func (r *Reader) RawBytes(n int) []byte { return r.take(n, "raw bytes") }

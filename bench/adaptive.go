@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/taskbench"
+)
+
+// TaskbenchABConfig returns the controller A/B configuration behind
+// BENCH_adaptive.json: the global OverheadTuner against the
+// per-destination MultiTuner on a mixed uniform workload and on the
+// deliberately skewed fan-in pattern, both arms starting uncoalesced.
+// quick shrinks the workload to a CI-smoke size.
+func TaskbenchABConfig(quick bool) taskbench.ABConfig {
+	cfg := taskbench.ABConfig{
+		Localities:         4,
+		WorkersPerLocality: 2,
+		Graph: taskbench.Graph{
+			Width:       32,
+			Steps:       16,
+			Iterations:  64,
+			OutputBytes: 32,
+		},
+		Runs:           20,
+		SampleInterval: 10 * time.Millisecond,
+	}
+	if quick {
+		cfg.Graph.Width = 8
+		cfg.Graph.Steps = 4
+		cfg.Graph.Iterations = 8
+		cfg.Runs = 4
+		cfg.SampleInterval = 5 * time.Millisecond
+		cfg.MinWindowTasks = 10
+	}
+	return cfg
+}

@@ -33,6 +33,13 @@
 // phase demo (stencil → fft → random under a live OverheadTuner).
 // -quick shrinks it to a CI-smoke size.
 //
+// The adaptive suite A/Bs the two online controllers — the global
+// OverheadTuner against the per-destination multi-knob MultiTuner — on a
+// mixed uniform workload and on the deliberately skewed fan-in pattern,
+// from identical uncoalesced starting parameters, reporting wall time,
+// Eq. 4 overhead, convergence time, decision counts and steady-state
+// stability per arm. -quick shrinks it to a CI-smoke size.
+//
 // An unknown -suite value prints the registry of available suites and
 // exits nonzero; `-suite help` prints the same listing.
 //
@@ -214,6 +221,7 @@ var suites = []suiteDef{
 	{"taskbench", "BENCH_taskbench.json", "Task Bench-style pattern sweep: per-pattern overhead/time correlation + adaptive phase demo", runTaskbench},
 	{"health", "BENCH_health.json", "crash-stop chaos: phi-accrual detection latency, false-positive soak, survive-crash workload", runHealth},
 	{"e2e", "BENCH_e2e.json", "end-to-end messages/sec/core on both fabrics: borrowed vs copying decode across sizes and coalescing", runE2E},
+	{"adaptive", "BENCH_adaptive.json", "controller A/B: global OverheadTuner vs per-destination MultiTuner on uniform and skewed workloads", runAdaptive},
 }
 
 // partialStatus is embedded in every report schema: when a suite errors
@@ -624,6 +632,64 @@ func runHealth(out string, opts options) error {
 		out, rep.Health.DetectionMeanMS, rep.Health.DetectionTrials,
 		int(rep.Health.SoakSeconds), rep.Health.SoakSuspicions,
 		rep.SurviveCrashOK, rep.Health.FailFastMS)
+	return nil
+}
+
+// adaptiveReport is the BENCH_adaptive.json schema: the controller A/B
+// harness (internal/taskbench.RunAB) comparing the global OverheadTuner
+// against the per-destination MultiTuner on a mixed uniform workload and
+// on the skewed fan-in pattern, from identical uncoalesced starting
+// parameters. Each arm records wall time, mean Eq. 4 overhead,
+// convergence time, decision counts and steady-state stability.
+type adaptiveReport struct {
+	partialStatus
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Quick      bool               `json:"quick"`
+	Localities int                `json:"localities"`
+	Runs       int                `json:"runs_per_arm"`
+	AB         taskbench.ABResult `json:"ab"`
+	// MultiWinsSkewedOK: on the skewed workload the MultiTuner arm beat
+	// the global arm on wall time or Eq. 4 overhead at equal work.
+	// MultiNoWorseUniformOK: on the uniform workload the MultiTuner arm
+	// stayed within 5% of the global arm's wall time.
+	MultiWinsSkewedOK     bool `json:"multi_wins_skewed"`
+	MultiNoWorseUniformOK bool `json:"multi_no_worse_uniform"`
+}
+
+func runAdaptive(out string, opts options) error {
+	cfg := bench.TaskbenchABConfig(opts.quick)
+	cfg = cfg.WithDefaults()
+	rep := adaptiveReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      opts.quick,
+		Localities: cfg.Localities,
+		Runs:       cfg.Runs,
+	}
+	res, err := taskbench.RunAB(cfg)
+	rep.AB = res // partial arm progress is meaningful even on error
+	if err != nil {
+		return failPartial(out, &rep, &rep.partialStatus, err)
+	}
+	for _, wl := range res.Workloads {
+		if opts.verbose {
+			fmt.Fprintf(os.Stderr, "%-10s global: wall=%.2fms oh=%.4f dec=%d conv=%.0fms | multi: wall=%.2fms oh=%.4f dec=%d conv=%.0fms dests=%d\n",
+				wl.Workload, wl.Global.MeanWallMS, wl.Global.MeanOverhead, wl.Global.Decisions, wl.Global.ConvergenceMS,
+				wl.Multi.MeanWallMS, wl.Multi.MeanOverhead, wl.Multi.Decisions, wl.Multi.ConvergenceMS, wl.Multi.TrackedDests)
+		}
+		switch wl.Workload {
+		case "skewed":
+			rep.MultiWinsSkewedOK = wl.WallRatio > 1 || wl.OverheadRatio > 1
+		case "uniform":
+			rep.MultiNoWorseUniformOK = wl.WallRatio >= 0.95
+		}
+	}
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(statusW(out), "wrote %s (%d workloads, multi wins skewed=%v, no worse uniform=%v)\n",
+		out, len(rep.AB.Workloads), rep.MultiWinsSkewedOK, rep.MultiNoWorseUniformOK)
 	return nil
 }
 

@@ -2,7 +2,7 @@
 // toward: runtime tuning of parcel-coalescing parameters from
 // introspective performance counters.
 //
-// Two controllers are provided:
+// Three controllers are provided:
 //
 //   - OverheadTuner monitors the network-overhead metric (Eq. 4, the
 //     /threads/background-overhead counter) in sliding windows while the
@@ -12,6 +12,13 @@
 //     well defined iterative step or a predictable pattern of
 //     communication" — the capability the paper argues its metrics
 //     enable.
+//
+//   - MultiTuner generalizes the same signal per destination: it weights
+//     each window's overhead by a destination's share of sent parcels,
+//     hill-climbs NParcels and Interval via coordinate descent
+//     independently for each hot destination (installed as per-dest
+//     Params overrides), and leaves cold destinations on the global
+//     policy. See multituner.go.
 //
 //   - PICSTuner reproduces the prior state of the art the paper compares
 //     against (Charm++'s PICS, which "converged to a decision on
@@ -31,12 +38,20 @@ import (
 	"repro/internal/runtime"
 )
 
-// Decision records one tuning step of either controller.
+// GlobalDest marks a Decision that changed the action-wide parameters
+// rather than a single destination's override.
+const GlobalDest = -1
+
+// Decision records one tuning step of any controller.
 type Decision struct {
 	// When is the decision time.
 	When time.Time
+	// Dest is the destination locality the decision applies to, or
+	// GlobalDest for an action-wide change.
+	Dest int
 	// Overhead is the observed metric that triggered the decision (Eq. 4
-	// ratio for OverheadTuner, iteration seconds for PICSTuner).
+	// ratio for OverheadTuner/MultiTuner, iteration seconds for
+	// PICSTuner).
 	Overhead float64
 	// From and To are the parameter values before and after.
 	From, To coalescing.Params
@@ -46,7 +61,10 @@ type Decision struct {
 
 // String renders the decision for logs and the adaptive experiment table.
 func (d Decision) String() string {
-	return fmt.Sprintf("%.4f: %s -> %s (%s)", d.Overhead, d.From, d.To, d.Reason)
+	if d.Dest == GlobalDest {
+		return fmt.Sprintf("%.4f: %s -> %s (%s)", d.Overhead, d.From, d.To, d.Reason)
+	}
+	return fmt.Sprintf("%.4f: dest %d %s -> %s (%s)", d.Overhead, d.Dest, d.From, d.To, d.Reason)
 }
 
 // TunerConfig configures an OverheadTuner.
@@ -62,6 +80,9 @@ type TunerConfig struct {
 	// MinWindowTasks skips windows with fewer executed tasks, when the
 	// application is between communication phases (default 50).
 	MinWindowTasks int64
+	// MaxDecisions caps the retained decision log; older entries are
+	// overwritten and counted as dropped (default DefaultMaxDecisions).
+	MaxDecisions int
 }
 
 func (c TunerConfig) withDefaults() TunerConfig {
@@ -90,8 +111,9 @@ type OverheadTuner struct {
 	action string
 	cfg    TunerConfig
 
-	mu        sync.Mutex
-	decisions []Decision
+	mu  sync.Mutex
+	err error
+	log *decisionLog
 
 	stop chan struct{}
 	done chan struct{}
@@ -100,10 +122,12 @@ type OverheadTuner struct {
 // NewOverheadTuner creates (but does not start) a tuner for one coalesced
 // action. Coalescing must already be enabled for the action.
 func NewOverheadTuner(rt *runtime.Runtime, action string, cfg TunerConfig) *OverheadTuner {
+	cfg = cfg.withDefaults()
 	return &OverheadTuner{
 		rt:     rt,
 		action: action,
-		cfg:    cfg.withDefaults(),
+		cfg:    cfg,
+		log:    newDecisionLog(cfg.MaxDecisions),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -122,13 +146,42 @@ func (t *OverheadTuner) Stop() {
 	<-t.done
 }
 
-// Decisions returns the decision log.
+// Decisions returns the retained decision log (oldest first). When more
+// than MaxDecisions decisions have been made, the oldest are dropped —
+// use DecisionCount for the cumulative total.
 func (t *OverheadTuner) Decisions() []Decision {
+	return t.log.all()
+}
+
+// DecisionCount returns the total number of decisions ever made,
+// including ones the bounded log has since dropped.
+func (t *OverheadTuner) DecisionCount() int64 { return t.log.count() }
+
+// DroppedDecisions returns how many decisions the bounded log discarded.
+func (t *OverheadTuner) DroppedDecisions() int64 { return t.log.droppedCount() }
+
+// Err reports the error that terminated the sampling loop, if any. A nil
+// result after Stop means the loop exited cleanly.
+func (t *OverheadTuner) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Decision, len(t.decisions))
-	copy(out, t.decisions)
-	return out
+	return t.err
+}
+
+// fail records a terminal decision carrying the error reason and stops
+// the loop; the error is surfaced via Err.
+func (t *OverheadTuner) fail(overhead float64, params coalescing.Params, err error) {
+	t.mu.Lock()
+	t.err = err
+	t.mu.Unlock()
+	t.log.add(Decision{
+		When:     time.Now(),
+		Dest:     GlobalDest,
+		Overhead: overhead,
+		From:     params,
+		To:       params,
+		Reason:   "terminated: " + err.Error(),
+	})
 }
 
 func (t *OverheadTuner) run() {
@@ -161,6 +214,7 @@ func (t *OverheadTuner) run() {
 		overhead := window.NetworkOverhead()
 		params, err := t.rt.CoalescingParams(t.action)
 		if err != nil {
+			t.fail(overhead, coalescing.Params{}, err)
 			return
 		}
 		if prevOverhead >= 0 {
@@ -197,17 +251,17 @@ func (t *OverheadTuner) run() {
 			continue
 		}
 		if err := t.rt.SetCoalescingParams(t.action, next); err != nil {
+			t.fail(overhead, params, err)
 			return
 		}
-		t.mu.Lock()
-		t.decisions = append(t.decisions, Decision{
+		t.log.add(Decision{
 			When:     time.Now(),
+			Dest:     GlobalDest,
 			Overhead: overhead,
 			From:     params,
 			To:       next,
 			Reason:   fmt.Sprintf("n_oh=%.4f dir=%+d", overhead, direction),
 		})
-		t.mu.Unlock()
 	}
 }
 
@@ -225,7 +279,7 @@ type PICSTuner struct {
 	bestTime  time.Duration
 	times     map[int]time.Duration
 	converged bool
-	decisions []Decision
+	log       *decisionLog
 	pendingUp bool
 }
 
@@ -242,6 +296,7 @@ func NewPICSTuner(rt *runtime.Runtime, action string, candidates []coalescing.Pa
 		candidates: candidates,
 		bestIdx:    -1,
 		times:      make(map[int]time.Duration),
+		log:        newDecisionLog(0),
 		pendingUp:  true,
 	}
 	if err := rt.SetCoalescingParams(action, candidates[0]); err != nil {
@@ -269,19 +324,15 @@ func (t *PICSTuner) Best() coalescing.Params {
 
 // Decisions returns the number of parameter changes made, the metric the
 // paper quotes for PICS ("converged to a decision ... in 5 decisions").
+// The count is cumulative and unaffected by the bounded log dropping old
+// entries.
 func (t *PICSTuner) Decisions() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.decisions)
+	return int(t.log.count())
 }
 
-// DecisionLog returns the full decision history.
+// DecisionLog returns the retained decision history (oldest first).
 func (t *PICSTuner) DecisionLog() []Decision {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]Decision, len(t.decisions))
-	copy(out, t.decisions)
-	return out
+	return t.log.all()
 }
 
 // OnIteration records the elapsed time of the iteration that ran under
@@ -323,8 +374,9 @@ func (t *PICSTuner) OnIteration(elapsed time.Duration) coalescing.Params {
 	from := t.candidates[t.idx]
 	t.idx = next
 	to := t.candidates[t.idx]
-	t.decisions = append(t.decisions, Decision{
+	t.log.add(Decision{
 		When:     time.Now(),
+		Dest:     GlobalDest,
 		Overhead: elapsed.Seconds(),
 		From:     from,
 		To:       to,
@@ -341,8 +393,9 @@ func (t *PICSTuner) settle() {
 		from := t.candidates[t.idx]
 		to := t.candidates[t.bestIdx]
 		t.idx = t.bestIdx
-		t.decisions = append(t.decisions, Decision{
+		t.log.add(Decision{
 			When:     time.Now(),
+			Dest:     GlobalDest,
 			Overhead: t.bestTime.Seconds(),
 			From:     from,
 			To:       to,

@@ -86,7 +86,9 @@ func TestOverheadTunerImprovesToyRun(t *testing.T) {
 		t.Error("no decisions recorded")
 	}
 	for _, d := range tuner.Decisions() {
-		if d.Overhead <= 0 || d.Overhead > 1 {
+		// Zero is legitimate: a busy window can see no background work
+		// (e.g. every flush was full-driven before the sampler fired).
+		if d.Overhead < 0 || d.Overhead > 1 {
 			t.Errorf("decision overhead = %v", d.Overhead)
 		}
 		if d.String() == "" {

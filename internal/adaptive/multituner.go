@@ -1,0 +1,638 @@
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/coalescing"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+)
+
+// MultiTunerConfig configures a MultiTuner.
+type MultiTunerConfig struct {
+	// SampleInterval is the window length between decisions
+	// (default 50ms).
+	SampleInterval time.Duration
+	// MinNParcels and MaxNParcels bound the NParcels search
+	// (defaults 1 and 1024).
+	MinNParcels, MaxNParcels int
+	// MinInterval and MaxInterval bound the Interval search
+	// (defaults 1µs and 5ms).
+	MinInterval, MaxInterval time.Duration
+	// Tolerance is the relative overhead change treated as noise
+	// (default 0.02 = 2%).
+	Tolerance float64
+	// MinWindowTasks skips windows with fewer executed tasks
+	// (default 50).
+	MinWindowTasks int64
+	// MaxTrackedDests caps how many destinations get their own climb;
+	// beyond the cap the least-recently-hot destination is evicted back
+	// to the global policy (default 8).
+	MaxTrackedDests int
+	// HotShare is the minimum fraction of the window's parcels a
+	// destination must receive to be tuned independently (default 0.10).
+	HotShare float64
+	// SkewFactor is how many multiples of the fair share (1/active
+	// destinations) a destination must carry to count as hot — under
+	// uniform traffic no destination qualifies and the tuner falls back
+	// to a global NParcels climb, matching OverheadTuner (default 2).
+	SkewFactor float64
+	// MinDestParcels is the minimum absolute parcels per window for a
+	// destination to be tuned — guards the share test in quiet windows
+	// (default 16).
+	MinDestParcels int64
+	// IdleWindows evicts a tracked destination after this many
+	// consecutive windows below the hot threshold (default 10).
+	IdleWindows int
+	// KnobPeriod is how many moves a destination makes on one knob
+	// before coordinate descent rotates to the other (default 3).
+	KnobPeriod int
+	// MaxDecisions caps the retained decision log (default
+	// DefaultMaxDecisions).
+	MaxDecisions int
+	// TuneBackground additionally hill-climbs the scheduler's
+	// background-batch size against the same overhead signal.
+	TuneBackground bool
+	// MinBackgroundBatch and MaxBackgroundBatch bound that search
+	// (defaults 1 and 64).
+	MinBackgroundBatch, MaxBackgroundBatch int
+}
+
+func (c MultiTunerConfig) withDefaults() MultiTunerConfig {
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 50 * time.Millisecond
+	}
+	if c.MinNParcels <= 0 {
+		c.MinNParcels = 1
+	}
+	if c.MaxNParcels <= 0 {
+		c.MaxNParcels = 1024
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = time.Microsecond
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = 5 * time.Millisecond
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.02
+	}
+	if c.MinWindowTasks <= 0 {
+		c.MinWindowTasks = 50
+	}
+	if c.MaxTrackedDests <= 0 {
+		c.MaxTrackedDests = 8
+	}
+	if c.HotShare <= 0 {
+		c.HotShare = 0.10
+	}
+	if c.SkewFactor <= 0 {
+		c.SkewFactor = 2
+	}
+	if c.MinDestParcels <= 0 {
+		c.MinDestParcels = 16
+	}
+	if c.IdleWindows <= 0 {
+		c.IdleWindows = 10
+	}
+	if c.KnobPeriod <= 0 {
+		c.KnobPeriod = 3
+	}
+	if c.MinBackgroundBatch <= 0 {
+		c.MinBackgroundBatch = 1
+	}
+	if c.MaxBackgroundBatch <= 0 {
+		c.MaxBackgroundBatch = 64
+	}
+	return c
+}
+
+// Knob indices for the coordinate descent.
+const (
+	knobNParcels = iota
+	knobInterval
+	knobCount
+)
+
+// destClimb is the per-destination hill-climb state.
+type destClimb struct {
+	params coalescing.Params // override currently installed
+	// ivCap bounds the Interval knob at the global Interval the climb
+	// started from: a hot destination's flushes should be full-driven,
+	// and the Eq. 4 signal cannot see the latency cost of a longer
+	// timer, so the climb only ever shortens it.
+	ivCap   time.Duration
+	prevOH  float64 // destination overhead last window (-1: none)
+	dir     int     // +1 raise the knob, -1 lower it
+	knob    int     // knobNParcels or knobInterval
+	moves   int     // moves on the current knob since rotation
+	holds   int     // consecutive within-noise windows
+	lastHot int64   // window sequence when last above threshold
+	coldFor int     // consecutive windows below threshold
+}
+
+// MultiTuner generalizes OverheadTuner to a per-destination, multi-knob
+// controller. It partitions the Eq. 4 overhead signal by destination
+// (weighting the window's overhead by each destination's share of sent
+// parcels), runs an independent bounded hill-climb per hot destination —
+// coordinate descent alternating between NParcels and Interval — and
+// leaves cold destinations on the action's global policy. Tracked
+// destinations are capped; the least-recently-hot is evicted (its
+// override cleared) when the cap is exceeded or after IdleWindows quiet
+// windows. With TuneBackground it co-tunes the scheduler's
+// background-batch size against the same signal.
+type MultiTuner struct {
+	rt     *runtime.Runtime
+	action string
+	cfg    MultiTunerConfig
+
+	mu      sync.Mutex
+	err     error
+	tracked map[int]*destClimb
+	log     *decisionLog
+
+	// global NParcels climb state (uniform-traffic fallback).
+	gPrevOH float64
+	gDir    int
+
+	// background-batch climb state (TuneBackground).
+	bgPrevOH float64
+	bgDir    int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMultiTuner creates (but does not start) a per-destination tuner for
+// one coalesced action. Coalescing must already be enabled for the
+// action.
+func NewMultiTuner(rt *runtime.Runtime, action string, cfg MultiTunerConfig) *MultiTuner {
+	cfg = cfg.withDefaults()
+	return &MultiTuner{
+		rt:       rt,
+		action:   action,
+		cfg:      cfg,
+		tracked:  make(map[int]*destClimb),
+		log:      newDecisionLog(cfg.MaxDecisions),
+		gPrevOH:  -1,
+		gDir:     +1,
+		bgPrevOH: -1,
+		bgDir:    +1,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling loop.
+func (t *MultiTuner) Start() { go t.run() }
+
+// Stop terminates the loop and waits for it to exit. Stop is idempotent.
+func (t *MultiTuner) Stop() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	<-t.done
+}
+
+// Decisions returns the retained decision log (oldest first); use
+// DecisionCount for the cumulative total.
+func (t *MultiTuner) Decisions() []Decision { return t.log.all() }
+
+// DecisionCount returns the total number of decisions ever made,
+// including ones the bounded log has since dropped.
+func (t *MultiTuner) DecisionCount() int64 { return t.log.count() }
+
+// DroppedDecisions returns how many decisions the bounded log discarded.
+func (t *MultiTuner) DroppedDecisions() int64 { return t.log.droppedCount() }
+
+// Err reports the error that terminated the sampling loop, if any.
+func (t *MultiTuner) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// TrackedDests returns the destinations currently under independent
+// control, sorted ascending.
+func (t *MultiTuner) TrackedDests() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(t.tracked))
+	for d := range t.tracked {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fail records a terminal decision carrying the error reason and stops
+// the loop; the error is surfaced via Err.
+func (t *MultiTuner) fail(overhead float64, err error) {
+	t.mu.Lock()
+	t.err = err
+	t.mu.Unlock()
+	t.log.add(Decision{
+		When:     time.Now(),
+		Dest:     GlobalDest,
+		Overhead: overhead,
+		Reason:   "terminated: " + err.Error(),
+	})
+}
+
+// destParcels aggregates cumulative sent-parcel counts per destination
+// across every coalescer (requests and responses on every locality)
+// attached to the action.
+func (t *MultiTuner) destParcels() map[int]int64 {
+	out := make(map[int]int64)
+	for _, c := range t.rt.Coalescers(t.action) {
+		for d, s := range c.AllDestStats() {
+			out[d] += s.Parcels
+		}
+	}
+	return out
+}
+
+func (t *MultiTuner) run() {
+	defer close(t.done)
+	last := metrics.Snapshot(t.rt)
+	prevParcels := t.destParcels()
+	var seq int64
+	ticker := time.NewTicker(t.cfg.SampleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		now := metrics.Snapshot(t.rt)
+		window := metrics.Phase{
+			Tasks:          now.Tasks - last.Tasks,
+			TaskDuration:   now.TaskDuration - last.TaskDuration,
+			ExecDuration:   now.ExecDuration - last.ExecDuration,
+			BackgroundWork: now.BackgroundWork - last.BackgroundWork,
+		}
+		last = now
+
+		curParcels := t.destParcels()
+		deltas := make(map[int]int64, len(curParcels))
+		var total int64
+		for d, n := range curParcels {
+			delta := n - prevParcels[d]
+			if delta > 0 {
+				deltas[d] = delta
+				total += delta
+			}
+		}
+		prevParcels = curParcels
+
+		if window.Tasks < t.cfg.MinWindowTasks || total == 0 {
+			// Quiet window: no information; reset baselines so a new
+			// phase is judged fresh.
+			t.mu.Lock()
+			for _, cl := range t.tracked {
+				cl.prevOH = -1
+			}
+			t.gPrevOH = -1
+			t.bgPrevOH = -1
+			t.mu.Unlock()
+			continue
+		}
+		overhead := window.NetworkOverhead()
+		global, err := t.rt.CoalescingParams(t.action)
+		if err != nil {
+			t.fail(overhead, err)
+			return
+		}
+
+		hot, stop := t.tickDests(seq, overhead, total, deltas, global)
+		if stop {
+			return
+		}
+		if hot == 0 {
+			if stop := t.tickGlobal(overhead, global); stop {
+				return
+			}
+		} else {
+			t.mu.Lock()
+			t.gPrevOH = -1
+			t.mu.Unlock()
+		}
+		if t.cfg.TuneBackground {
+			t.tickBackground(overhead, global)
+		}
+	}
+}
+
+// tickDests runs one window of per-destination coordinate descent. It
+// returns the number of hot destinations this window and whether the
+// loop must terminate (a runtime call failed).
+func (t *MultiTuner) tickDests(seq int64, overhead float64, total int64, deltas map[int]int64, global coalescing.Params) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// A destination is hot when it clears both the absolute share floor
+	// and a multiple of the fair share among this window's active
+	// destinations — under uniform traffic nothing qualifies and the
+	// global fallback climb runs instead.
+	hotBar := t.cfg.HotShare
+	if fair := t.cfg.SkewFactor / float64(len(deltas)); fair > hotBar {
+		hotBar = fair
+	}
+	if hotBar > 0.9 {
+		// With few active destinations the fair-share multiple can exceed
+		// 1; cap it so a single dominant destination still qualifies.
+		hotBar = 0.9
+	}
+	hot := 0
+	for d, delta := range deltas {
+		share := float64(delta) / float64(total)
+		cl, ok := t.tracked[d]
+		if share < hotBar || delta < t.cfg.MinDestParcels {
+			continue
+		}
+		hot++
+		if !ok {
+			ivCap := global.Interval
+			if ivCap < t.cfg.MinInterval {
+				ivCap = t.cfg.MinInterval
+			}
+			if ivCap > t.cfg.MaxInterval {
+				ivCap = t.cfg.MaxInterval
+			}
+			cl = &destClimb{params: global, ivCap: ivCap, prevOH: -1, dir: +1, knob: knobNParcels}
+			t.tracked[d] = cl
+		}
+		cl.lastHot = seq
+		cl.coldFor = 0
+
+		destOH := overhead * share
+		next, reason, moved := cl.step(destOH, t.cfg)
+		if !moved {
+			continue
+		}
+		if err := t.rt.SetCoalescingParamsDest(t.action, d, next); err != nil {
+			t.err = err
+			t.log.add(Decision{
+				When:     time.Now(),
+				Dest:     d,
+				Overhead: destOH,
+				From:     cl.params,
+				To:       cl.params,
+				Reason:   "terminated: " + err.Error(),
+			})
+			return hot, true
+		}
+		t.log.add(Decision{
+			When:     time.Now(),
+			Dest:     d,
+			Overhead: destOH,
+			From:     cl.params,
+			To:       next,
+			Reason:   reason,
+		})
+		cl.params = next
+	}
+
+	// Age destinations that were not hot this window (whether below the
+	// bar or silent entirely) and evict the ones cold too long or beyond
+	// the tracking cap.
+	for d, cl := range t.tracked {
+		if cl.lastHot != seq {
+			cl.prevOH = -1 // signal composition changed; judge fresh
+			cl.coldFor++
+			if cl.coldFor >= t.cfg.IdleWindows {
+				t.evict(d, "cold")
+			}
+		}
+	}
+	for len(t.tracked) > t.cfg.MaxTrackedDests {
+		lru, lruSeq := -1, int64(1<<62)
+		for d, cl := range t.tracked {
+			if cl.lastHot < lruSeq {
+				lru, lruSeq = d, cl.lastHot
+			}
+		}
+		t.evict(lru, "lru")
+	}
+	return hot, false
+}
+
+// evict clears a destination's override and drops its climb state; the
+// caller holds t.mu.
+func (t *MultiTuner) evict(d int, why string) {
+	cl := t.tracked[d]
+	delete(t.tracked, d)
+	_ = t.rt.ClearCoalescingParamsDest(t.action, d)
+	global, err := t.rt.CoalescingParams(t.action)
+	if err != nil {
+		global = coalescing.Params{}
+	}
+	t.log.add(Decision{
+		When:     time.Now(),
+		Dest:     d,
+		Overhead: cl.prevOH,
+		From:     cl.params,
+		To:       global,
+		Reason:   "evicted: " + why,
+	})
+}
+
+// step advances one destination's coordinate descent and returns the
+// next parameters, a reason string, and whether a move was made.
+func (cl *destClimb) step(destOH float64, cfg MultiTunerConfig) (coalescing.Params, string, bool) {
+	if cl.prevOH >= 0 {
+		change := destOH - cl.prevOH
+		switch {
+		case change > cfg.Tolerance*cl.prevOH:
+			// The last move made things worse: reverse.
+			cl.dir = -cl.dir
+			cl.holds = 0
+		case change < -cfg.Tolerance*cl.prevOH:
+			// Improving: keep direction.
+			cl.holds = 0
+		default:
+			// Within noise: hold, and after two quiet windows rotate to
+			// the other knob — this knob has plateaued.
+			cl.prevOH = destOH
+			cl.holds++
+			if cl.holds >= 2 {
+				cl.rotate()
+			}
+			return coalescing.Params{}, "", false
+		}
+	}
+	cl.prevOH = destOH
+
+	next := cl.params
+	switch cl.knob {
+	case knobNParcels:
+		if cl.dir > 0 {
+			next.NParcels = cl.params.NParcels * 2
+		} else {
+			next.NParcels = cl.params.NParcels / 2
+		}
+		if next.NParcels < cfg.MinNParcels {
+			next.NParcels = cfg.MinNParcels
+			cl.dir = +1
+		}
+		if next.NParcels > cfg.MaxNParcels {
+			next.NParcels = cfg.MaxNParcels
+			cl.dir = -1
+		}
+	case knobInterval:
+		if cl.dir > 0 {
+			next.Interval = cl.params.Interval * 2
+		} else {
+			next.Interval = cl.params.Interval / 2
+		}
+		if next.Interval < cfg.MinInterval {
+			next.Interval = cfg.MinInterval
+			cl.dir = +1
+		}
+		if next.Interval > cl.ivCap {
+			next.Interval = cl.ivCap
+			cl.dir = -1
+		}
+	}
+	if next == cl.params {
+		// Pinned at a bound: rotate to the other knob rather than stall.
+		cl.rotate()
+		return coalescing.Params{}, "", false
+	}
+	cl.moves++
+	if cl.moves >= cfg.KnobPeriod {
+		cl.rotate()
+	}
+	knobName := "n"
+	if cl.knob == knobInterval {
+		knobName = "interval"
+	}
+	return next, fmt.Sprintf("d_oh=%.4f knob=%s dir=%+d", destOH, knobName, cl.dir), true
+}
+
+// rotate moves the coordinate descent to the next knob. The Interval
+// knob starts downward (shorten the timer; its cap forbids going above
+// the inherited global value), NParcels upward.
+func (cl *destClimb) rotate() {
+	cl.knob = (cl.knob + 1) % knobCount
+	cl.moves = 0
+	cl.holds = 0
+	if cl.knob == knobInterval {
+		cl.dir = -1
+	} else {
+		cl.dir = +1
+	}
+}
+
+// tickGlobal is the uniform-traffic fallback: with no hot destination to
+// single out, hill-climb the action-wide NParcels exactly as
+// OverheadTuner would. It returns true if the loop must terminate.
+func (t *MultiTuner) tickGlobal(overhead float64, global coalescing.Params) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gPrevOH >= 0 {
+		change := overhead - t.gPrevOH
+		switch {
+		case change > t.cfg.Tolerance*t.gPrevOH:
+			t.gDir = -t.gDir
+		case change < -t.cfg.Tolerance*t.gPrevOH:
+		default:
+			t.gPrevOH = overhead
+			return false
+		}
+	}
+	t.gPrevOH = overhead
+
+	next := global
+	if t.gDir > 0 {
+		next.NParcels = global.NParcels * 2
+	} else {
+		next.NParcels = global.NParcels / 2
+	}
+	if next.NParcels < t.cfg.MinNParcels {
+		next.NParcels = t.cfg.MinNParcels
+		t.gDir = +1
+	}
+	if next.NParcels > t.cfg.MaxNParcels {
+		next.NParcels = t.cfg.MaxNParcels
+		t.gDir = -1
+	}
+	if next.NParcels == global.NParcels {
+		return false
+	}
+	if err := t.rt.SetCoalescingParams(t.action, next); err != nil {
+		t.err = err
+		t.log.add(Decision{
+			When:     time.Now(),
+			Dest:     GlobalDest,
+			Overhead: overhead,
+			From:     global,
+			To:       global,
+			Reason:   "terminated: " + err.Error(),
+		})
+		return true
+	}
+	t.log.add(Decision{
+		When:     time.Now(),
+		Dest:     GlobalDest,
+		Overhead: overhead,
+		From:     global,
+		To:       next,
+		Reason:   fmt.Sprintf("n_oh=%.4f dir=%+d (uniform fallback)", overhead, t.gDir),
+	})
+	return false
+}
+
+// tickBackground hill-climbs the scheduler's background-batch size
+// against the global overhead signal.
+func (t *MultiTuner) tickBackground(overhead float64, global coalescing.Params) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bgPrevOH >= 0 {
+		change := overhead - t.bgPrevOH
+		switch {
+		case change > t.cfg.Tolerance*t.bgPrevOH:
+			t.bgDir = -t.bgDir
+		case change < -t.cfg.Tolerance*t.bgPrevOH:
+		default:
+			t.bgPrevOH = overhead
+			return
+		}
+	}
+	t.bgPrevOH = overhead
+
+	cur := t.rt.BackgroundBatch()
+	next := cur
+	if t.bgDir > 0 {
+		next = cur * 2
+	} else {
+		next = cur / 2
+	}
+	if next < t.cfg.MinBackgroundBatch {
+		next = t.cfg.MinBackgroundBatch
+		t.bgDir = +1
+	}
+	if next > t.cfg.MaxBackgroundBatch {
+		next = t.cfg.MaxBackgroundBatch
+		t.bgDir = -1
+	}
+	if next == cur {
+		return
+	}
+	t.rt.SetBackgroundBatch(next)
+	t.log.add(Decision{
+		When:     time.Now(),
+		Dest:     GlobalDest,
+		Overhead: overhead,
+		From:     global,
+		To:       global,
+		Reason:   fmt.Sprintf("bgbatch %d -> %d", cur, next),
+	})
+}

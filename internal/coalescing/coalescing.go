@@ -30,6 +30,19 @@
 // destinations therefore coalesce without contending; the counters lag
 // by at most arrivalBatch samples between reads (every accessor on
 // Coalescer flushes the buffers first).
+//
+// Per-destination parameters. The two tunables can additionally be
+// overridden per destination (SetDestParams), layered over the global
+// Params: heterogeneous traffic — one hot peer and many cold ones —
+// wants a large queue toward the hot destination and effectively no
+// coalescing toward the cold ones, a split no single global value can
+// express. Overrides live in a copy-on-write map read lock-free on the
+// Put path; the per-destination introspection the adaptive controller
+// feeds on (arrival gaps, flush causes, bypass counts) is kept inside
+// each destination's queue under the shard lock Put already holds. The
+// sparse-traffic bypass is judged on the destination's own arrival gap,
+// not the action-global one, so a cold destination's parcels still go
+// out immediately while a hot destination keeps the action busy.
 package coalescing
 
 import (
@@ -162,6 +175,12 @@ type Coalescer struct {
 	closed    atomic.Bool
 	lastArrNS atomic.Int64 // ns since epoch of the previous Put; 0 = none
 
+	// destParams holds per-destination Params overrides layered over the
+	// global params: a copy-on-write map so paramsFor is one atomic load
+	// on the Put path. Writes (rare: tuner decisions) copy under setMu.
+	destParams atomic.Pointer[map[int]Params]
+	setMu      sync.Mutex
+
 	shards [shardCount]shard
 
 	// The five counters the paper added to HPX.
@@ -172,14 +191,53 @@ type Coalescer struct {
 	arrivalHist *counters.HistogramCounter // /coalescing/time/parcel-arrival-histogram@action (µs)
 }
 
+// DestStats is the cumulative per-destination introspection record: the
+// adaptive controller's per-destination inputs. All fields are guarded
+// by the owning shard's lock, which Put already holds — per-destination
+// accounting adds no synchronization to the hot path.
+type DestStats struct {
+	// Parcels counts every Put toward this destination.
+	Parcels int64
+	// Queued counts parcels that entered the destination queue (the
+	// remainder were bypassed or passed through uncoalesced).
+	Queued int64
+	// FlushedFull, FlushedTimer and FlushedBytes count emitted batches
+	// by cause: queue reached NParcels, wait timer expired, or the
+	// MaxBufferBytes guard tripped. Explicit flushes (Flush, Close,
+	// link-down FlushDest) are not attributed to a cause.
+	FlushedFull  int64
+	FlushedTimer int64
+	FlushedBytes int64
+	// Bypass counts parcels sent immediately by the sparse-traffic rule.
+	Bypass int64
+	// ArrivalCount and ArrivalSumUS accumulate this destination's
+	// arrival gaps (µs), the per-destination analog of the
+	// average-parcel-arrival counter.
+	ArrivalCount int64
+	ArrivalSumUS float64
+}
+
+// AvgArrivalUS returns the destination's mean arrival gap in
+// microseconds, or -1 when no gap has been observed.
+func (s DestStats) AvgArrivalUS() float64 {
+	if s.ArrivalCount == 0 {
+		return -1
+	}
+	return s.ArrivalSumUS / float64(s.ArrivalCount)
+}
+
 // destQueue buffers parcels for one destination. Invariant (the fix for
 // the SetParams re-arm race): whenever the queue is non-empty, its flush
-// timer is armed; every mutation below maintains it.
+// timer is armed; every mutation below maintains it. The queue also
+// carries the destination's arrival clock and cumulative stats, created
+// on the first Put toward the destination even when nothing is queued.
 type destQueue struct {
-	dst      int
-	parcels  []*parcel.Parcel
-	bytes    int
-	flushTmr *timer.Timer
+	dst       int
+	parcels   []*parcel.Parcel
+	bytes     int
+	flushTmr  *timer.Timer
+	lastArrNS int64 // ns since epoch of the previous Put to this dest
+	stats     DestStats
 }
 
 // New creates a coalescer for one action with the given initial
@@ -216,6 +274,7 @@ func New(enq Enqueuer, params Params, opts Options) *Coalescer {
 	c.enqOne, _ = enq.(ParcelEnqueuer)
 	norm := params.normalized()
 	c.params.Store(&norm)
+	c.destParams.Store(new(map[int]Params))
 	for i := range c.shards {
 		c.shards[i].queues = make(map[int]*destQueue)
 	}
@@ -234,16 +293,117 @@ func (c *Coalescer) shardFor(dst int) *shard {
 	return &c.shards[uint(dst)&(shardCount-1)]
 }
 
-// Params returns the current parameters.
+// Params returns the current global parameters.
 func (c *Coalescer) Params() Params {
 	return *c.params.Load()
 }
 
-// SetParams installs new parameters at runtime. Queues longer than the
-// new NParcels (or over the new byte cap) are flushed immediately; every
-// other non-empty queue has its flush timer re-armed with the new
-// interval, so no queue is ever left non-empty without a pending flush —
-// even if its previous timer fired concurrently with this call.
+// paramsFor returns the parameters in force for one destination: the
+// override when one is installed, the global params otherwise. One
+// atomic load in the common no-override case.
+func (c *Coalescer) paramsFor(dst int) Params {
+	if m := *c.destParams.Load(); len(m) != 0 {
+		if p, ok := m[dst]; ok {
+			return p
+		}
+	}
+	return *c.params.Load()
+}
+
+// DestParams returns the parameters in force for a destination and
+// whether they come from a per-destination override.
+func (c *Coalescer) DestParams(dst int) (Params, bool) {
+	if m := *c.destParams.Load(); len(m) != 0 {
+		if p, ok := m[dst]; ok {
+			return p, true
+		}
+	}
+	return *c.params.Load(), false
+}
+
+// DestOverrides returns a copy of the installed per-destination
+// overrides.
+func (c *Coalescer) DestOverrides() map[int]Params {
+	m := *c.destParams.Load()
+	out := make(map[int]Params, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// SetDestParams installs a per-destination parameter override layered
+// over the global params — the per-destination knob the multi-knob
+// adaptive controller turns. The destination's queue is flushed or
+// re-armed under the new parameters exactly as SetParams would.
+func (c *Coalescer) SetDestParams(dst int, p Params) {
+	p = p.normalized()
+	c.setMu.Lock()
+	old := *c.destParams.Load()
+	m := make(map[int]Params, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[dst] = p
+	c.destParams.Store(&m)
+	c.setMu.Unlock()
+	c.applyDest(dst, p)
+}
+
+// ClearDestParams removes a destination's override, returning it to the
+// global params (re-applied to its queue immediately).
+func (c *Coalescer) ClearDestParams(dst int) {
+	c.setMu.Lock()
+	old := *c.destParams.Load()
+	if _, ok := old[dst]; !ok {
+		c.setMu.Unlock()
+		return
+	}
+	m := make(map[int]Params, len(old))
+	for k, v := range old {
+		if k != dst {
+			m[k] = v
+		}
+	}
+	c.destParams.Store(&m)
+	c.setMu.Unlock()
+	c.applyDest(dst, *c.params.Load())
+}
+
+// applyDest enforces newly-effective parameters on one destination's
+// queue: oversize queues flush now (attributed to the tripped bound),
+// non-empty ones re-arm their timer with the new interval.
+func (c *Coalescer) applyDest(dst int, p Params) {
+	sh := c.shardFor(dst)
+	var ready outBatch
+	sh.mu.Lock()
+	if q := sh.queues[dst]; q != nil {
+		switch {
+		case len(q.parcels) >= p.NParcels || q.bytes >= p.MaxBufferBytes:
+			if len(q.parcels) > 0 {
+				q.flushTmr.Stop()
+				if q.bytes >= p.MaxBufferBytes && len(q.parcels) < p.NParcels {
+					q.stats.FlushedBytes++
+				} else {
+					q.stats.FlushedFull++
+				}
+				ready = q.take()
+			}
+		case len(q.parcels) > 0:
+			_ = q.flushTmr.Reset(p.Interval)
+		}
+	}
+	sh.mu.Unlock()
+	c.emitOne(ready)
+}
+
+// SetParams installs new global parameters at runtime. Queues longer
+// than their newly-effective NParcels (or over the byte cap) are flushed
+// immediately; every other non-empty queue has its flush timer re-armed
+// with the new interval, so no queue is ever left non-empty without a
+// pending flush — even if its previous timer fired concurrently with
+// this call. Destinations with an override keep it: their queues are
+// judged against the override, not the new global values.
 func (c *Coalescer) SetParams(p Params) {
 	p = p.normalized()
 	c.params.Store(&p)
@@ -252,12 +412,20 @@ func (c *Coalescer) SetParams(p Params) {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		for _, q := range sh.queues {
+			eff := c.paramsFor(q.dst)
 			switch {
-			case len(q.parcels) >= p.NParcels || q.bytes >= p.MaxBufferBytes:
-				q.flushTmr.Stop()
-				ready = append(ready, q.take())
+			case len(q.parcels) >= eff.NParcels || q.bytes >= eff.MaxBufferBytes:
+				if len(q.parcels) > 0 {
+					q.flushTmr.Stop()
+					if q.bytes >= eff.MaxBufferBytes && len(q.parcels) < eff.NParcels {
+						q.stats.FlushedBytes++
+					} else {
+						q.stats.FlushedFull++
+					}
+					ready = append(ready, q.take())
+				}
 			case len(q.parcels) > 0:
-				_ = q.flushTmr.Reset(p.Interval)
+				_ = q.flushTmr.Reset(eff.Interval)
 			}
 		}
 		sh.mu.Unlock()
@@ -280,11 +448,13 @@ func (c *Coalescer) Put(p *parcel.Parcel) {
 		c.emitParcel(p.DestLocality, p)
 		return
 	}
-	params := *c.params.Load()
+	params := c.paramsFor(p.DestLocality)
 	c.parcels.Inc()
 
 	// Arrival-interval instrumentation (time since last parcel, tslp):
-	// one atomic swap on a monotonic clock, no lock.
+	// one atomic swap on a monotonic clock, no lock. This is the
+	// action-global clock behind the paper's average-parcel-arrival
+	// counter and histogram.
 	nowNS := int64(time.Since(c.epoch))
 	prevNS := c.lastArrNS.Swap(nowNS)
 	tslp := time.Duration(-1)
@@ -303,34 +473,55 @@ func (c *Coalescer) Put(p *parcel.Parcel) {
 		}
 	}
 	q := sh.queues[p.DestLocality]
-
-	// Sparse-traffic bypass: if the gap since the previous parcel
-	// exceeds the wait interval and nothing is queued for this
-	// destination, waiting for the queue to fill would only delay the
-	// message — send immediately.
-	bypass := !c.noBypass && tslp >= 0 && tslp > params.Interval && (q == nil || len(q.parcels) == 0)
-	if params.NParcels <= 1 || bypass {
-		sh.mu.Unlock()
-		c.emitParcel(p.DestLocality, p)
-		return
-	}
-
 	if q == nil {
 		dst := p.DestLocality
 		q = &destQueue{dst: dst}
 		q.flushTmr = c.svc.NewTimer(func() { c.flushDest(dst) })
 		sh.queues[dst] = q
 	}
+	q.stats.Parcels++
+
+	// Per-destination arrival gap: the signal the bypass rule and the
+	// per-destination controller judge this destination's traffic by.
+	dgap := time.Duration(-1)
+	if q.lastArrNS != 0 && nowNS > q.lastArrNS {
+		dgap = time.Duration(nowNS - q.lastArrNS)
+		q.stats.ArrivalCount++
+		q.stats.ArrivalSumUS += float64(dgap) / float64(time.Microsecond)
+	}
+	q.lastArrNS = nowNS
+
+	// Sparse-traffic bypass: if this destination's gap since its
+	// previous parcel exceeds the wait interval and nothing is queued
+	// for it, waiting for the queue to fill would only delay the
+	// message — send immediately.
+	bypass := !c.noBypass && dgap >= 0 && dgap > params.Interval && len(q.parcels) == 0
+	if params.NParcels <= 1 || bypass {
+		if bypass {
+			q.stats.Bypass++
+		}
+		sh.mu.Unlock()
+		c.emitParcel(p.DestLocality, p)
+		return
+	}
+
 	if q.parcels == nil {
 		q.parcels = parcel.GetBatch()
 	}
 	q.parcels = append(q.parcels, p)
 	q.bytes += p.WireSize()
+	q.stats.Queued++
 
 	switch {
-	case len(q.parcels) >= params.NParcels || q.bytes >= params.MaxBufferBytes:
-		// Queue full (or buffer guard tripped): stop the timer and flush.
+	case len(q.parcels) >= params.NParcels:
+		// Queue full: stop the timer and flush.
 		q.flushTmr.Stop()
+		q.stats.FlushedFull++
+		ready = q.take()
+	case q.bytes >= params.MaxBufferBytes:
+		// Buffer guard tripped before the queue filled.
+		q.flushTmr.Stop()
+		q.stats.FlushedBytes++
 		ready = q.take()
 	case len(q.parcels) == 1:
 		// First parcel: start the flush timer.
@@ -433,6 +624,7 @@ func (c *Coalescer) flushDest(dst int) {
 	q := sh.queues[dst]
 	var ready outBatch
 	if q != nil && len(q.parcels) > 0 {
+		q.stats.FlushedTimer++
 		ready = q.take()
 	}
 	sh.mu.Unlock()
@@ -511,6 +703,46 @@ func (c *Coalescer) Stats() Stats {
 		AvgParcelsPerMessage: c.avgPerMsg.Value(),
 		AvgArrivalUS:         c.avgArrival.Value(),
 	}
+}
+
+// DestStats returns the cumulative per-destination record for one
+// destination (zero value if the destination has never been sent to).
+func (c *Coalescer) DestStats(dst int) DestStats {
+	sh := c.shardFor(dst)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if q := sh.queues[dst]; q != nil {
+		return q.stats
+	}
+	return DestStats{}
+}
+
+// QueuedParcelsDest returns the number of parcels currently buffered
+// for one destination.
+func (c *Coalescer) QueuedParcelsDest(dst int) int {
+	sh := c.shardFor(dst)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if q := sh.queues[dst]; q != nil {
+		return len(q.parcels)
+	}
+	return 0
+}
+
+// AllDestStats snapshots every destination's cumulative record — the
+// bulk read the per-destination controller performs once per sampling
+// window.
+func (c *Coalescer) AllDestStats() map[int]DestStats {
+	out := make(map[int]DestStats)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for dst, q := range sh.queues {
+			out[dst] = q.stats
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // ArrivalHistogram exposes the arrival-gap histogram counter, first

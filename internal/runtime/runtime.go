@@ -301,11 +301,43 @@ func (rt *Runtime) EnableCoalescing(action string, params coalescing.Params) err
 				Trace:        rt.cfg.Trace,
 			})
 			l.port.SetMessageHandler(name, c)
+			rt.registerDestCounters(l, name, c)
 			cs = append(cs, c)
 		}
 	}
 	rt.coalescers[action] = cs
 	return nil
+}
+
+// registerDestCounters exposes one coalescer's per-destination records
+// in the counter tree as /coalescing{locality#L}/dest/<d>/count/*@action
+// — the adaptive controller's inputs, observable like everything else.
+// Destinations are locality ids, so the set is known up front; the
+// counters are derived, reading the coalescer's shard-guarded records on
+// demand.
+func (rt *Runtime) registerDestCounters(l *Locality, action string, c *coalescing.Coalescer) {
+	inst := fmt.Sprintf("locality#%d", l.id)
+	for d := 0; d < len(rt.locs); d++ {
+		d := d
+		for _, f := range []struct {
+			name string
+			read func(coalescing.DestStats) float64
+		}{
+			{"queued", func(s coalescing.DestStats) float64 { return float64(s.Queued) }},
+			{"flushed-full", func(s coalescing.DestStats) float64 { return float64(s.FlushedFull) }},
+			{"flushed-timer", func(s coalescing.DestStats) float64 { return float64(s.FlushedTimer) }},
+			{"flushed-bytes", func(s coalescing.DestStats) float64 { return float64(s.FlushedBytes) }},
+			{"bypass", func(s coalescing.DestStats) float64 { return float64(s.Bypass) }},
+		} {
+			read := f.read
+			l.registry.MustRegister(counters.NewDerived(counters.Path{
+				Object:     "coalescing",
+				Instance:   inst,
+				Name:       fmt.Sprintf("dest/%d/count/%s", d, f.name),
+				Parameters: action,
+			}, func() float64 { return read(c.DestStats(d)) }))
+		}
+	}
 }
 
 // SetCoalescingParams retunes a coalesced action at runtime on every
@@ -334,12 +366,74 @@ func (rt *Runtime) CoalescingParams(action string) (coalescing.Params, error) {
 	return cs[0].Params(), nil
 }
 
+// SetCoalescingParamsDest installs a per-destination parameter override
+// for a coalesced action on every locality (requests and responses) —
+// the per-destination knob the multi-knob adaptive controller turns.
+func (rt *Runtime) SetCoalescingParamsDest(action string, dst int, params coalescing.Params) error {
+	rt.coalMu.Lock()
+	defer rt.coalMu.Unlock()
+	cs, ok := rt.coalescers[action]
+	if !ok {
+		return fmt.Errorf("runtime: coalescing not enabled for %q", action)
+	}
+	if dst < 0 || dst >= len(rt.locs) {
+		return fmt.Errorf("runtime: destination %d outside [0, %d)", dst, len(rt.locs))
+	}
+	for _, c := range cs {
+		c.SetDestParams(dst, params)
+	}
+	return nil
+}
+
+// ClearCoalescingParamsDest removes a destination's override, returning
+// it to the action's global parameters.
+func (rt *Runtime) ClearCoalescingParamsDest(action string, dst int) error {
+	rt.coalMu.Lock()
+	defer rt.coalMu.Unlock()
+	cs, ok := rt.coalescers[action]
+	if !ok {
+		return fmt.Errorf("runtime: coalescing not enabled for %q", action)
+	}
+	for _, c := range cs {
+		c.ClearDestParams(dst)
+	}
+	return nil
+}
+
+// CoalescingParamsDest returns the parameters in force toward one
+// destination and whether they come from a per-destination override.
+func (rt *Runtime) CoalescingParamsDest(action string, dst int) (coalescing.Params, bool, error) {
+	rt.coalMu.Lock()
+	defer rt.coalMu.Unlock()
+	cs, ok := rt.coalescers[action]
+	if !ok || len(cs) == 0 {
+		return coalescing.Params{}, false, fmt.Errorf("runtime: coalescing not enabled for %q", action)
+	}
+	p, overridden := cs[0].DestParams(dst)
+	return p, overridden, nil
+}
+
 // Coalescers returns the action's per-locality coalescers (requests and
 // responses interleaved), for introspection by tuners and tests.
 func (rt *Runtime) Coalescers(action string) []*coalescing.Coalescer {
 	rt.coalMu.Lock()
 	defer rt.coalMu.Unlock()
 	return append([]*coalescing.Coalescer{}, rt.coalescers[action]...)
+}
+
+// SetBackgroundBatch adjusts every locality scheduler's live
+// background-batch size (how many background network-work units a
+// worker performs per idle visit) — a scheduler knob the adaptive
+// controller can co-tune against the Eq. 4 overhead signal.
+func (rt *Runtime) SetBackgroundBatch(n int) {
+	for _, l := range rt.locs {
+		l.sched.setBackgroundBatch(n)
+	}
+}
+
+// BackgroundBatch returns the live background-batch size.
+func (rt *Runtime) BackgroundBatch() int {
+	return rt.locs[0].sched.backgroundBatch()
 }
 
 // FlushAllCoalescers forces every coalescing queue on every locality to

@@ -1,0 +1,272 @@
+package taskbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/coalescing"
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/stats"
+)
+
+// ABConfig parameterizes the controller A/B harness behind the adaptive
+// bench suite: each workload is executed twice on fresh runtimes — once
+// under the global OverheadTuner and once under the per-destination
+// MultiTuner — from identical starting parameters, and the arms'
+// wall time, Eq. 4 overhead, convergence time, decision counts and
+// steady-state stability are compared.
+type ABConfig struct {
+	// Localities and WorkersPerLocality shape the runtime
+	// (defaults 4 and 2).
+	Localities         int
+	WorkersPerLocality int
+	// Graph is the base workload; its Pattern field is overridden by
+	// each workload's phase sequence.
+	Graph Graph
+	// Workloads lists the traffic shapes to A/B (default a mixed
+	// uniform sequence and the skewed fan-in pattern).
+	Workloads []ABWorkload
+	// Runs is how many graph executions each arm measures (default 20).
+	// Phases cycle per run.
+	Runs int
+	// InitialParams seeds both arms identically (default NParcels 1,
+	// Interval 200µs — uncoalesced, so each controller must climb).
+	InitialParams coalescing.Params
+	// SampleInterval is both controllers' decision window (default 10ms).
+	SampleInterval time.Duration
+	// MinWindowTasks gates both controllers' quiet-window skip
+	// (default 50).
+	MinWindowTasks int64
+	// MaxNParcels bounds both controllers' search (default 256).
+	MaxNParcels int
+	// CostModel shapes the simulated fabric; zero selects
+	// network.DefaultCostModel.
+	CostModel network.CostModel
+	// Timeout bounds each individual run (default 60s).
+	Timeout time.Duration
+}
+
+// ABWorkload names one traffic shape: the phase sequence cycled across
+// the arm's runs.
+type ABWorkload struct {
+	Name   string    `json:"name"`
+	Phases []Pattern `json:"phases"`
+}
+
+// WithDefaults resolves unset fields.
+func (c ABConfig) WithDefaults() ABConfig {
+	if c.Localities <= 0 {
+		c.Localities = 4
+	}
+	if c.WorkersPerLocality <= 0 {
+		c.WorkersPerLocality = 2
+	}
+	c.Graph = c.Graph.WithDefaults()
+	if len(c.Workloads) == 0 {
+		c.Workloads = []ABWorkload{
+			{Name: "uniform", Phases: []Pattern{Stencil1DPeriodic, FFT, Spread}},
+			{Name: "skewed", Phases: []Pattern{Skewed}},
+		}
+	}
+	if c.Runs <= 0 {
+		c.Runs = 20
+	}
+	if c.InitialParams == (coalescing.Params{}) {
+		c.InitialParams = coalescing.Params{NParcels: 1, Interval: 200 * time.Microsecond}
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 10 * time.Millisecond
+	}
+	if c.MinWindowTasks <= 0 {
+		c.MinWindowTasks = 50
+	}
+	if c.MaxNParcels <= 0 {
+		c.MaxNParcels = 256
+	}
+	if (c.CostModel == network.CostModel{}) {
+		c.CostModel = network.DefaultCostModel()
+	}
+	return c
+}
+
+// ABArm is one controller's measurements over one workload.
+type ABArm struct {
+	Controller string `json:"controller"`
+	Runs       int    `json:"runs"`
+	Tasks      int64  `json:"tasks"`
+	// TotalWallMS and MeanWallMS summarize execution time; MeanOverhead
+	// is the mean per-run Eq. 4 ratio.
+	TotalWallMS  float64 `json:"total_wall_ms"`
+	MeanWallMS   float64 `json:"mean_wall_ms"`
+	MeanOverhead float64 `json:"mean_overhead"`
+	MessagesSent int64   `json:"messages_sent"`
+	ParcelsSent  int64   `json:"parcels_sent"`
+	// Decisions is the cumulative decision count; ConvergenceMS is the
+	// time from arm start to the last decision (0 when none were made).
+	Decisions        int64   `json:"decisions"`
+	DroppedDecisions int64   `json:"dropped_decisions"`
+	ConvergenceMS    float64 `json:"convergence_ms"`
+	// StabilityCV is the coefficient of variation of per-run wall time
+	// over the second half of the runs: steady-state stability.
+	StabilityCV float64 `json:"stability_cv"`
+	// FinalNParcels/FinalIntervalUS echo the settled global parameters.
+	FinalNParcels   int     `json:"final_n_parcels"`
+	FinalIntervalUS float64 `json:"final_interval_us"`
+	// TrackedDests and HotDestNParcels/HotDestIntervalUS describe the
+	// MultiTuner's per-destination overrides (zero for the global arm).
+	TrackedDests      int     `json:"tracked_dests,omitempty"`
+	HotDestNParcels   int     `json:"hot_dest_n_parcels,omitempty"`
+	HotDestIntervalUS float64 `json:"hot_dest_interval_us,omitempty"`
+}
+
+// ABWorkloadResult pairs the two arms over one workload.
+type ABWorkloadResult struct {
+	Workload string    `json:"workload"`
+	Phases   []Pattern `json:"phases"`
+	Global   ABArm     `json:"global"`
+	Multi    ABArm     `json:"multi"`
+	// WallRatio is global mean wall over multi mean wall (> 1 means the
+	// MultiTuner arm ran faster); OverheadRatio likewise for the mean
+	// Eq. 4 overhead.
+	WallRatio     float64 `json:"wall_ratio_global_over_multi"`
+	OverheadRatio float64 `json:"overhead_ratio_global_over_multi"`
+}
+
+// ABResult is the harness output across all workloads.
+type ABResult struct {
+	Workloads []ABWorkloadResult `json:"workloads"`
+}
+
+// RunAB executes the A/B harness.
+func RunAB(cfg ABConfig) (ABResult, error) {
+	cfg = cfg.WithDefaults()
+	var out ABResult
+	for _, wl := range cfg.Workloads {
+		if len(wl.Phases) == 0 {
+			return out, fmt.Errorf("taskbench: workload %q has no phases", wl.Name)
+		}
+		global, err := runABArm(cfg, wl, false)
+		if err != nil {
+			return out, fmt.Errorf("taskbench: workload %s global arm: %w", wl.Name, err)
+		}
+		multi, err := runABArm(cfg, wl, true)
+		if err != nil {
+			return out, fmt.Errorf("taskbench: workload %s multi arm: %w", wl.Name, err)
+		}
+		res := ABWorkloadResult{Workload: wl.Name, Phases: wl.Phases, Global: global, Multi: multi}
+		if multi.MeanWallMS > 0 {
+			res.WallRatio = global.MeanWallMS / multi.MeanWallMS
+		}
+		if multi.MeanOverhead > 0 {
+			res.OverheadRatio = global.MeanOverhead / multi.MeanOverhead
+		}
+		out.Workloads = append(out.Workloads, res)
+	}
+	return out, nil
+}
+
+// abController abstracts the two tuners for the shared arm driver.
+type abController interface {
+	Start()
+	Stop()
+	Decisions() []adaptive.Decision
+	DecisionCount() int64
+	DroppedDecisions() int64
+	Err() error
+}
+
+func runABArm(cfg ABConfig, wl ABWorkload, multi bool) (ABArm, error) {
+	rt := runtime.New(runtime.Config{
+		Localities:         cfg.Localities,
+		WorkersPerLocality: cfg.WorkersPerLocality,
+		CostModel:          cfg.CostModel,
+	})
+	defer rt.Shutdown()
+
+	bench, err := New(rt, Options{Timeout: cfg.Timeout})
+	if err != nil {
+		return ABArm{}, err
+	}
+	if err := rt.EnableCoalescing(bench.ActionName(), cfg.InitialParams); err != nil {
+		return ABArm{}, err
+	}
+	// One unrecorded warmup run absorbs scheduler and pool cold starts.
+	warm := cfg.Graph
+	warm.Pattern = wl.Phases[0]
+	if _, err := bench.Run(warm); err != nil {
+		return ABArm{}, err
+	}
+
+	var ctl abController
+	arm := ABArm{Controller: "global", Runs: cfg.Runs}
+	if multi {
+		arm.Controller = "multi"
+		ctl = adaptive.NewMultiTuner(rt, bench.ActionName(), adaptive.MultiTunerConfig{
+			SampleInterval: cfg.SampleInterval,
+			MaxNParcels:    cfg.MaxNParcels,
+			MinWindowTasks: cfg.MinWindowTasks,
+		})
+	} else {
+		ctl = adaptive.NewOverheadTuner(rt, bench.ActionName(), adaptive.TunerConfig{
+			SampleInterval: cfg.SampleInterval,
+			MaxNParcels:    cfg.MaxNParcels,
+			MinWindowTasks: cfg.MinWindowTasks,
+		})
+	}
+	start := time.Now()
+	ctl.Start()
+
+	walls := make([]float64, 0, cfg.Runs)
+	var overheads []float64
+	for i := 0; i < cfg.Runs; i++ {
+		g := cfg.Graph
+		g.Pattern = wl.Phases[i%len(wl.Phases)]
+		res, err := bench.Run(g)
+		if err != nil {
+			ctl.Stop()
+			return arm, err
+		}
+		arm.Tasks += res.Tasks
+		arm.MessagesSent += res.MessagesSent
+		arm.ParcelsSent += res.ParcelsSent
+		walls = append(walls, res.Wall.Seconds()*1e3)
+		overheads = append(overheads, res.NetworkOverhead)
+	}
+	ctl.Stop()
+	if err := ctl.Err(); err != nil {
+		return arm, fmt.Errorf("controller terminated: %w", err)
+	}
+
+	arm.TotalWallMS = stats.Sum(walls)
+	arm.MeanWallMS = stats.Mean(walls)
+	arm.MeanOverhead = stats.Mean(overheads)
+	arm.Decisions = ctl.DecisionCount()
+	arm.DroppedDecisions = ctl.DroppedDecisions()
+	if ds := ctl.Decisions(); len(ds) > 0 {
+		arm.ConvergenceMS = float64(ds[len(ds)-1].When.Sub(start)) / float64(time.Millisecond)
+	}
+	if half := walls[len(walls)/2:]; len(half) >= 2 && stats.Mean(half) > 0 {
+		arm.StabilityCV = stats.StdDev(half) / stats.Mean(half)
+	}
+	if p, err := rt.CoalescingParams(bench.ActionName()); err == nil {
+		arm.FinalNParcels = p.NParcels
+		arm.FinalIntervalUS = float64(p.Interval) / float64(time.Microsecond)
+	}
+	if mt, ok := ctl.(*adaptive.MultiTuner); ok {
+		dests := mt.TrackedDests()
+		arm.TrackedDests = len(dests)
+		for _, d := range dests {
+			p, overridden, err := rt.CoalescingParamsDest(bench.ActionName(), d)
+			if err != nil || !overridden {
+				continue
+			}
+			if p.NParcels > arm.HotDestNParcels {
+				arm.HotDestNParcels = p.NParcels
+				arm.HotDestIntervalUS = float64(p.Interval) / float64(time.Microsecond)
+			}
+		}
+	}
+	return arm, nil
+}

@@ -1,0 +1,72 @@
+package taskbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coalescing"
+)
+
+// TestRunABSmall runs a reduced controller A/B (one uniform and one
+// skewed workload, a handful of runs) end to end and checks the report
+// accounting: both arms present, equal work, populated ratios.
+func TestRunABSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B harness skipped in -short mode")
+	}
+	res, err := RunAB(ABConfig{
+		Localities:         2,
+		WorkersPerLocality: 1,
+		Graph:              Graph{Width: 8, Steps: 4, Iterations: 8, OutputBytes: 16},
+		Workloads: []ABWorkload{
+			{Name: "uniform", Phases: []Pattern{Stencil1DPeriodic}},
+			{Name: "skewed", Phases: []Pattern{Skewed}},
+		},
+		Runs:           3,
+		InitialParams:  coalescing.Params{NParcels: 1, Interval: 200 * time.Microsecond},
+		SampleInterval: 5 * time.Millisecond,
+		MinWindowTasks: 10,
+		MaxNParcels:    64,
+		CostModel:      quickModel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 2 {
+		t.Fatalf("got %d workloads, want 2", len(res.Workloads))
+	}
+	for _, wl := range res.Workloads {
+		for _, arm := range []ABArm{wl.Global, wl.Multi} {
+			if arm.Runs != 3 || arm.Tasks <= 0 || arm.TotalWallMS <= 0 {
+				t.Errorf("%s/%s: incomplete arm %+v", wl.Workload, arm.Controller, arm)
+			}
+			if arm.FinalNParcels <= 0 {
+				t.Errorf("%s/%s: final NParcels = %d", wl.Workload, arm.Controller, arm.FinalNParcels)
+			}
+		}
+		// Both arms execute the identical graph sequence.
+		if wl.Global.Tasks != wl.Multi.Tasks {
+			t.Errorf("%s: task mismatch global=%d multi=%d", wl.Workload, wl.Global.Tasks, wl.Multi.Tasks)
+		}
+		if wl.WallRatio <= 0 || wl.OverheadRatio <= 0 {
+			t.Errorf("%s: ratios not populated: wall=%v overhead=%v", wl.Workload, wl.WallRatio, wl.OverheadRatio)
+		}
+	}
+	if res.Workloads[0].Global.Controller != "global" || res.Workloads[0].Multi.Controller != "multi" {
+		t.Errorf("controller labels = %q / %q", res.Workloads[0].Global.Controller, res.Workloads[0].Multi.Controller)
+	}
+}
+
+// TestRunABRejectsEmptyWorkload checks the config validation path.
+func TestRunABRejectsEmptyWorkload(t *testing.T) {
+	_, err := RunAB(ABConfig{
+		Localities: 2,
+		Graph:      Graph{Width: 4, Steps: 2, Iterations: 4},
+		Workloads:  []ABWorkload{{Name: "empty"}},
+		Runs:       1,
+		CostModel:  quickModel,
+	})
+	if err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}

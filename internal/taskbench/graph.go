@@ -68,11 +68,19 @@ const (
 	// apart and rotated by one point per step, so traffic is long-range
 	// and shifts every step.
 	Spread Pattern = "spread"
+	// Skewed is the deliberately imbalanced pattern for per-destination
+	// tuning: every task has nearest-neighbor (Stencil1D) dependencies,
+	// and the first HotPoints points additionally depend on every point
+	// in the previous step. Under the block partition the hot points'
+	// owner locality receives a fan-in from the whole graph each step
+	// while the rest see only boundary halo traffic — one hot
+	// destination, many cold ones.
+	Skewed Pattern = "skewed"
 )
 
 // AllPatterns lists the full catalog in sweep order.
 var AllPatterns = []Pattern{
-	Trivial, NoComm, Stencil1D, Stencil1DPeriodic, FFT, Tree, Random, Spread,
+	Trivial, NoComm, Stencil1D, Stencil1DPeriodic, FFT, Tree, Random, Spread, Skewed,
 }
 
 // Graph parameterizes one Task Bench-style workload.
@@ -96,6 +104,10 @@ type Graph struct {
 	// SpreadDeps is the Spread pattern's dependency count per task,
 	// capped at Width (default 3).
 	SpreadDeps int
+	// HotPoints is the Skewed pattern's hot-spot count: how many leading
+	// points fan in from the whole previous step, capped at Width
+	// (default 1).
+	HotPoints int
 }
 
 // WithDefaults returns the graph with unset fields defaulted.
@@ -123,6 +135,9 @@ func (g Graph) WithDefaults() Graph {
 	}
 	if g.SpreadDeps <= 0 {
 		g.SpreadDeps = 3
+	}
+	if g.HotPoints <= 0 {
+		g.HotPoints = 1
 	}
 	return g
 }
@@ -216,6 +231,21 @@ func (g Graph) Dependencies(step, point int) []int {
 		}
 		for i := 0; i < k; i++ {
 			deps = append(deps, (point+step+i*stride)%w)
+		}
+	case Skewed:
+		for _, q := range []int{point - 1, point, point + 1} {
+			if q >= 0 && q < w {
+				deps = append(deps, q)
+			}
+		}
+		hot := g.HotPoints
+		if hot > w {
+			hot = w
+		}
+		if point < hot {
+			for q := 0; q < w; q++ {
+				deps = append(deps, q)
+			}
 		}
 	}
 	return dedupSorted(deps)

@@ -191,3 +191,44 @@ func TestValidate(t *testing.T) {
 		t.Errorf("valid graph rejected: %v", err)
 	}
 }
+
+// TestSkewedPattern checks the hot-spot shape: the first HotPoints
+// points fan in from the entire previous step, everything else keeps
+// the plain stencil neighborhood.
+func TestSkewedPattern(t *testing.T) {
+	g := Graph{Width: 8, Steps: 4, Pattern: Skewed, HotPoints: 2}.WithDefaults()
+	for _, hot := range []int{0, 1} {
+		deps := g.Dependencies(1, hot)
+		if len(deps) != g.Width {
+			t.Errorf("hot point %d has %d deps, want full width %d: %v", hot, len(deps), g.Width, deps)
+		}
+	}
+	// A non-hot interior point keeps the three-point stencil.
+	if deps := g.Dependencies(1, 4); !reflect.DeepEqual(deps, []int{3, 4, 5}) {
+		t.Errorf("cold point deps = %v, want stencil {3,4,5}", deps)
+	}
+	// Every point's dependents include the hot points: that is what
+	// concentrates traffic on the hot points' home locality.
+	for p := 0; p < g.Width; p++ {
+		dd := g.Dependents(0, p)
+		for _, hot := range []int{0, 1} {
+			found := false
+			for _, q := range dd {
+				if q == hot {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("point %d dependents %v missing hot point %d", p, dd, hot)
+			}
+		}
+	}
+	// Defaults: HotPoints falls back to 1.
+	d := Graph{Width: 8, Steps: 4, Pattern: Skewed}.WithDefaults()
+	if d.HotPoints != 1 {
+		t.Errorf("default HotPoints = %d, want 1", d.HotPoints)
+	}
+	if deps := d.Dependencies(1, 0); len(deps) != d.Width {
+		t.Errorf("default hot point deps = %v, want full width", deps)
+	}
+}

@@ -141,7 +141,7 @@ func RunPhaseDemo(cfg PhaseDemoConfig) (PhaseDemoResult, error) {
 		if err != nil {
 			return out, err
 		}
-		decisions := len(tuner.Decisions())
+		decisions := int(tuner.DecisionCount())
 		out.Phases = append(out.Phases, PhaseOutcome{
 			Pattern:         string(pat),
 			Runs:            cfg.RunsPerPhase,

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ClusterConfig drives the multi-process cluster suite: real amc-node
+// OS processes over loopback TCP sockets, spawned from NodeCommand.
+type ClusterConfig struct {
+	// NodeCommand is the argv prefix that runs one node — typically the
+	// calling amc-bench binary itself plus "-as-node", so a single build
+	// artifact is both driver and node.
+	NodeCommand []string
+	// Quick shrinks the suite to one tiny three-node run for CI smoke.
+	Quick bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+	// RunTimeout bounds one whole cluster run, spawn to exit
+	// (default 120s).
+	RunTimeout time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 120 * time.Second
+	}
+	return c
+}
+
+func (c ClusterConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// ClusterPoint is one measured cluster run.
+type ClusterPoint struct {
+	Nodes       int     `json:"nodes"`
+	Pattern     string  `json:"pattern"`
+	Width       int     `json:"width"`
+	Steps       int     `json:"steps"`
+	Iterations  int     `json:"iterations"`
+	TotalTasks  int64   `json:"total_tasks"`
+	TasksRun    int64   `json:"tasks_run"`
+	Completed   bool    `json:"completed"`
+	WallMS      float64 `json:"wall_ms"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	Messages    int64   `json:"messages"`
+	Parcels     int64   `json:"parcels"`
+}
+
+// ClusterRecovery is the crash-injection run: one node is hard-killed
+// mid-run, the survivors detect it through gossiped membership and
+// re-home its partition.
+type ClusterRecovery struct {
+	Nodes       int     `json:"nodes"`
+	CrashedNode int     `json:"crashed_node"`
+	Detected    bool    `json:"detected"`
+	Completed   bool    `json:"completed"`
+	TotalTasks  int64   `json:"total_tasks"`
+	TasksRun    int64   `json:"tasks_run"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// ClusterSuiteResult is the payload of BENCH_cluster.json.
+type ClusterSuiteResult struct {
+	WeakScaling   []ClusterPoint   `json:"weak_scaling"`
+	StrongScaling []ClusterPoint   `json:"strong_scaling"`
+	Recovery      *ClusterRecovery `json:"recovery,omitempty"`
+}
+
+// clusterRun parameterizes one multi-process execution.
+type clusterRun struct {
+	nodes       int
+	pattern     string
+	width       int
+	steps       int
+	iterations  int
+	outputBytes int
+	recover     bool
+	crashNode   int           // -1: no crash
+	crashAfter  time.Duration // delay before the injected kill
+}
+
+// RunClusterSuite executes the weak- and strong-scaling sweeps (plus the
+// crash-recovery run) and returns the aggregate. Quick mode runs a
+// single tiny three-node cluster.
+func RunClusterSuite(cfg ClusterConfig) (ClusterSuiteResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.NodeCommand) == 0 {
+		return ClusterSuiteResult{}, fmt.Errorf("bench: cluster suite needs a node command")
+	}
+	var out ClusterSuiteResult
+
+	if cfg.Quick {
+		p, err := cfg.measure(clusterRun{
+			nodes: 3, pattern: "stencil_1d", width: 6, steps: 16,
+			outputBytes: 64, crashNode: -1,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.WeakScaling = append(out.WeakScaling, p)
+		return out, nil
+	}
+
+	// Weak scaling: per-node work held at 16 points.
+	for _, n := range []int{2, 3, 4} {
+		p, err := cfg.measure(clusterRun{
+			nodes: n, pattern: "stencil_1d", width: 16 * n, steps: 64,
+			iterations: 500, outputBytes: 256, crashNode: -1,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.WeakScaling = append(out.WeakScaling, p)
+	}
+
+	// Strong scaling: total work held at 48 points.
+	for _, n := range []int{2, 4} {
+		p, err := cfg.measure(clusterRun{
+			nodes: n, pattern: "stencil_1d", width: 48, steps: 64,
+			iterations: 500, outputBytes: 256, crashNode: -1,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.StrongScaling = append(out.StrongScaling, p)
+	}
+
+	rec, err := cfg.measureRecovery()
+	if err != nil {
+		return out, err
+	}
+	out.Recovery = &rec
+	return out, nil
+}
+
+// measure runs one cluster and distills the aggregate JSON node 0 wrote.
+func (c ClusterConfig) measure(r clusterRun) (ClusterPoint, error) {
+	c.logf("cluster: %d nodes, %s width=%d steps=%d", r.nodes, r.pattern, r.width, r.steps)
+	agg, _, err := c.runCluster(r)
+	if err != nil {
+		return ClusterPoint{}, err
+	}
+	p := ClusterPoint{
+		Nodes: agg.Nodes, Pattern: agg.Pattern, Width: agg.Width, Steps: agg.Steps,
+		Iterations: agg.Iterations, TotalTasks: agg.TotalTasks, TasksRun: agg.TasksRun,
+		Completed: agg.Completed, WallMS: float64(agg.MaxWallNS) / 1e6,
+		Messages: agg.Messages, Parcels: agg.Parcels,
+	}
+	if agg.MaxWallNS > 0 {
+		p.TasksPerSec = float64(agg.TasksRun) / (float64(agg.MaxWallNS) / 1e9)
+	}
+	if !p.Completed {
+		return p, fmt.Errorf("bench: %d-node cluster ran %d/%d tasks", r.nodes, p.TasksRun, p.TotalTasks)
+	}
+	c.logf("cluster: done in %.1fms (%d tasks, %.0f tasks/s)", p.WallMS, p.TasksRun, p.TasksPerSec)
+	return p, nil
+}
+
+// measureRecovery hard-kills node 2 of 3 mid-run with -recover on: the
+// survivors must detect the crash via gossiped membership, re-home the
+// dead node's partition, and still complete the whole graph.
+func (c ClusterConfig) measureRecovery() (ClusterRecovery, error) {
+	r := clusterRun{
+		nodes: 3, pattern: "stencil_1d", width: 24, steps: 4000,
+		iterations: 2000, outputBytes: 256, recover: true,
+		crashNode: 2, crashAfter: 300 * time.Millisecond,
+	}
+	c.logf("cluster: recovery run, killing node %d after %s", r.crashNode, r.crashAfter)
+	agg, codes, err := c.runCluster(r)
+	if err != nil {
+		return ClusterRecovery{}, err
+	}
+	rec := ClusterRecovery{
+		Nodes: r.nodes, CrashedNode: r.crashNode,
+		Completed: agg.Completed, TotalTasks: agg.TotalTasks, TasksRun: agg.TasksRun,
+		WallMS: float64(agg.MaxWallNS) / 1e6,
+	}
+	for _, d := range agg.DownNodes {
+		if d == r.crashNode {
+			rec.Detected = true
+		}
+	}
+	if !rec.Detected || !rec.Completed {
+		return rec, fmt.Errorf("bench: recovery run detected=%v completed=%v (%d/%d tasks, exits %v)",
+			rec.Detected, rec.Completed, rec.TasksRun, rec.TotalTasks, codes)
+	}
+	c.logf("cluster: recovered in %.1fms (%d/%d tasks)", rec.WallMS, rec.TasksRun, rec.TotalTasks)
+	return rec, nil
+}
+
+// runCluster spawns r.nodes amc-node processes over loopback TCP with
+// ephemeral ports — node 0 first (its bound address, learned through an
+// address file, seeds the rest) — waits for them, and returns the
+// aggregate node 0 wrote plus every node's exit code.
+func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, error) {
+	dir, err := os.MkdirTemp("", "amc-cluster-")
+	if err != nil {
+		return cluster.ClusterResult{}, nil, err
+	}
+	defer os.RemoveAll(dir)
+	addrFile := filepath.Join(dir, "node0.addr")
+	resultFile := filepath.Join(dir, "cluster.json")
+
+	nodeArgs := func(id int, seed string) []string {
+		args := append([]string(nil), c.NodeCommand[1:]...)
+		args = append(args,
+			"-id", strconv.Itoa(id), "-n", strconv.Itoa(r.nodes),
+			"-bind", "127.0.0.1:0",
+			"-pattern", r.pattern,
+			"-width", strconv.Itoa(r.width),
+			"-steps", strconv.Itoa(r.steps),
+			"-iterations", strconv.Itoa(r.iterations),
+			"-output-bytes", strconv.Itoa(r.outputBytes),
+			"-join-timeout", "30s",
+			"-timeout", (c.RunTimeout - 30*time.Second).String(),
+		)
+		if r.recover {
+			args = append(args, "-recover")
+		}
+		if id == 0 {
+			args = append(args, "-addr-file", addrFile, "-result", resultFile)
+		} else {
+			args = append(args, "-seeds", seed)
+		}
+		if id == r.crashNode && r.crashAfter > 0 {
+			args = append(args, "-crash-after", r.crashAfter.String())
+		}
+		return args
+	}
+
+	procs := make([]*exec.Cmd, r.nodes)
+	start := func(id int, seed string) error {
+		cmd := exec.Command(c.NodeCommand[0], nodeArgs(id, seed)...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("bench: starting node %d: %w", id, err)
+		}
+		procs[id] = cmd
+		return nil
+	}
+	kill := func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+	}
+
+	if err := start(0, ""); err != nil {
+		return cluster.ClusterResult{}, nil, err
+	}
+	addr, err := awaitFile(addrFile, 15*time.Second)
+	if err != nil {
+		kill()
+		_ = procs[0].Wait()
+		return cluster.ClusterResult{}, nil, fmt.Errorf("bench: node 0 never published its address: %w", err)
+	}
+	seed := "0@" + addr
+	for id := 1; id < r.nodes; id++ {
+		if err := start(id, seed); err != nil {
+			kill()
+			return cluster.ClusterResult{}, nil, err
+		}
+	}
+
+	codes := make([]int, r.nodes)
+	done := make(chan struct{})
+	go func() {
+		for id, p := range procs {
+			err := p.Wait()
+			codes[id] = 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				codes[id] = ee.ExitCode()
+			} else if err != nil {
+				codes[id] = -1
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(c.RunTimeout):
+		kill()
+		<-done
+		return cluster.ClusterResult{}, codes, fmt.Errorf("bench: cluster run exceeded %s (exits %v)", c.RunTimeout, codes)
+	}
+
+	for id, code := range codes {
+		if id == r.crashNode {
+			continue // hard-killed by design; any nonzero exit is fine
+		}
+		if code != 0 {
+			return cluster.ClusterResult{}, codes, fmt.Errorf("bench: node %d exited %d", id, code)
+		}
+	}
+
+	data, err := os.ReadFile(resultFile)
+	if err != nil {
+		return cluster.ClusterResult{}, codes, fmt.Errorf("bench: node 0 wrote no result: %w", err)
+	}
+	var agg cluster.ClusterResult
+	if err := json.Unmarshal(data, &agg); err != nil {
+		return cluster.ClusterResult{}, codes, fmt.Errorf("bench: bad cluster result: %w", err)
+	}
+	return agg, codes, nil
+}
+
+// awaitFile polls until path exists with content, returning its first
+// line trimmed.
+func awaitFile(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			s := string(data)
+			for i := 0; i < len(s); i++ {
+				if s[i] == '\n' || s[i] == '\r' {
+					return s[:i], nil
+				}
+			}
+			return s, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("timed out after %s", timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"repro/bench"
+	"repro/internal/cluster"
 	"repro/internal/taskbench"
 )
 
@@ -222,6 +223,7 @@ var suites = []suiteDef{
 	{"health", "BENCH_health.json", "crash-stop chaos: phi-accrual detection latency, false-positive soak, survive-crash workload", runHealth},
 	{"e2e", "BENCH_e2e.json", "end-to-end messages/sec/core on both fabrics: borrowed vs copying decode across sizes and coalescing", runE2E},
 	{"adaptive", "BENCH_adaptive.json", "controller A/B: global OverheadTuner vs per-destination MultiTuner on uniform and skewed workloads", runAdaptive},
+	{"cluster", "BENCH_cluster.json", "multi-process cluster: weak/strong scaling over real TCP sockets + crash-recovery run", runCluster},
 }
 
 // partialStatus is embedded in every report schema: when a suite errors
@@ -259,6 +261,12 @@ func listSuites(w io.Writer) {
 }
 
 func main() {
+	// Re-exec mode: the cluster suite spawns this same binary as its
+	// amc-node processes, so one build artifact is both driver and node.
+	if len(os.Args) > 1 && os.Args[1] == "-as-node" {
+		os.Exit(cluster.NodeMain(os.Args[2:], os.Stderr))
+	}
+
 	testing.Init() // register test.* flags so test.benchtime can be set
 	suite := flag.String("suite", "parcel", "benchmark suite to run (see -suite help)")
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
@@ -690,6 +698,62 @@ func runAdaptive(out string, opts options) error {
 	}
 	fmt.Fprintf(statusW(out), "wrote %s (%d workloads, multi wins skewed=%v, no worse uniform=%v)\n",
 		out, len(rep.AB.Workloads), rep.MultiWinsSkewedOK, rep.MultiNoWorseUniformOK)
+	return nil
+}
+
+// clusterReport is the BENCH_cluster.json schema: weak and strong
+// scaling of the Task Bench stencil across real amc-node OS processes on
+// loopback TCP, plus a crash-recovery run where one node is hard-killed
+// mid-benchmark and the survivors detect it through gossiped membership
+// and finish its partition.
+type clusterReport struct {
+	partialStatus
+	GoVersion  string                   `json:"go_version"`
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Quick      bool                     `json:"quick"`
+	Cluster    bench.ClusterSuiteResult `json:"cluster"`
+	// AllCompleted: every scaling run executed its whole graph.
+	// RecoveryOK: the crash run detected the kill and still completed.
+	AllCompleted bool `json:"all_completed"`
+	RecoveryOK   bool `json:"recovery_ok"`
+}
+
+func runCluster(out string, opts options) error {
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("resolving own binary for node re-exec: %w", err)
+	}
+	rep := clusterReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      opts.quick,
+	}
+	cfg := bench.ClusterConfig{
+		NodeCommand: []string{self, "-as-node"},
+		Quick:       opts.quick,
+	}
+	if opts.verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := bench.RunClusterSuite(cfg)
+	rep.Cluster = res // partial sweep progress is meaningful even on error
+	if err != nil {
+		return failPartial(out, &rep, &rep.partialStatus, err)
+	}
+	rep.AllCompleted = true
+	for _, p := range append(append([]bench.ClusterPoint(nil), res.WeakScaling...), res.StrongScaling...) {
+		if !p.Completed {
+			rep.AllCompleted = false
+		}
+	}
+	rep.RecoveryOK = res.Recovery != nil && res.Recovery.Detected && res.Recovery.Completed
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(statusW(out), "wrote %s (%d weak + %d strong scaling points, all completed=%v, recovery ok=%v)\n",
+		out, len(res.WeakScaling), len(res.StrongScaling), rep.AllCompleted, rep.RecoveryOK)
 	return nil
 }
 

@@ -79,6 +79,15 @@ type Service struct {
 	// network.ErrLocalityDown instead of routing parcels at a corpse.
 	// Atomic so the per-locality caches can check it lock-free on hits.
 	down []atomic.Bool
+
+	// staticRoute enables cluster-mode resolution: a GID absent from the
+	// directory resolves to the locality encoded in its top 16 bits (its
+	// allocation home) instead of failing. In a multi-process cluster no
+	// process holds the whole directory — each one only records GIDs it
+	// allocated itself — but allocation homes are deterministic, so the
+	// encoded home is authoritative as long as objects do not migrate
+	// (cluster mode rejects Move; see EnableStaticRouting).
+	staticRoute atomic.Bool
 }
 
 // NewService creates a directory for n localities.
@@ -148,6 +157,13 @@ func (s *Service) Resolve(g GID) (int, error) {
 	defer s.mu.RUnlock()
 	loc, ok := s.home[g]
 	if !ok {
+		if s.staticRoute.Load() && g.Valid() && g.AllocLocality() < s.localities {
+			loc = g.AllocLocality()
+			if s.down[loc].Load() {
+				return 0, fmt.Errorf("%w: %v homed at locality %d", network.ErrLocalityDown, g, loc)
+			}
+			return loc, nil
+		}
 		return 0, fmt.Errorf("%w: %v", ErrUnknownGID, g)
 	}
 	if s.down[loc].Load() {
@@ -155,6 +171,18 @@ func (s *Service) Resolve(g GID) (int, error) {
 	}
 	return loc, nil
 }
+
+// EnableStaticRouting switches the directory into cluster mode: GIDs not
+// present locally resolve to their allocation locality (the id encoded in
+// the GID's top 16 bits), and Move is rejected. A multi-process cluster
+// runs one Service per process, each recording only the GIDs its own
+// localities allocate; static routing makes the remotely-allocated rest —
+// peer root objects, continuations travelling in response parcels —
+// resolvable without a directory exchange. Irreversible.
+func (s *Service) EnableStaticRouting() { s.staticRoute.Store(true) }
+
+// StaticRouting reports whether cluster-mode resolution is enabled.
+func (s *Service) StaticRouting() bool { return s.staticRoute.Load() }
 
 // Free removes g from the directory.
 func (s *Service) Free(g GID) {
@@ -175,6 +203,9 @@ func (s *Service) Free(g GID) {
 func (s *Service) Move(g GID, newLocality int) error {
 	if newLocality < 0 || newLocality >= s.localities {
 		return fmt.Errorf("%w: %d", ErrBadLocality, newLocality)
+	}
+	if s.staticRoute.Load() {
+		return fmt.Errorf("agas: %v: migration unsupported under static routing", g)
 	}
 	s.mu.Lock()
 	if _, ok := s.home[g]; !ok {

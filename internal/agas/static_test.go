@@ -1,0 +1,40 @@
+package agas
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestStaticRoutingResolvesForeignGIDs(t *testing.T) {
+	s := NewService(4)
+	foreign := MakeGID(2, 7) // allocated by another process's directory
+
+	if _, err := s.Resolve(foreign); !errors.Is(err, ErrUnknownGID) {
+		t.Fatalf("pre-static resolve error = %v, want ErrUnknownGID", err)
+	}
+	s.EnableStaticRouting()
+	loc, err := s.Resolve(foreign)
+	if err != nil || loc != 2 {
+		t.Fatalf("static resolve = (%d, %v), want (2, nil)", loc, err)
+	}
+	// Locally-allocated GIDs still resolve through the directory.
+	g := s.MustAllocate(1)
+	if loc, err := s.Resolve(g); err != nil || loc != 1 {
+		t.Fatalf("local resolve = (%d, %v), want (1, nil)", loc, err)
+	}
+	// A declared-down home poisons static resolutions like directory ones.
+	s.MarkDown(2)
+	if _, err := s.Resolve(foreign); !errors.Is(err, network.ErrLocalityDown) {
+		t.Fatalf("down-home resolve error = %v, want ErrLocalityDown", err)
+	}
+	// Invalid and out-of-range GIDs stay unknown.
+	if _, err := s.Resolve(Invalid); !errors.Is(err, ErrUnknownGID) {
+		t.Fatalf("invalid resolve error = %v, want ErrUnknownGID", err)
+	}
+	// Migration is off the table under static routing.
+	if err := s.Move(g, 0); err == nil {
+		t.Fatal("Move succeeded under static routing")
+	}
+}

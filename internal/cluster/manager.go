@@ -1,0 +1,573 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/runtime"
+)
+
+// Action names registered by the Service. Join carries a joiner's
+// one-entry table to a seed; Gossip carries a full membership table and
+// doubles as the join reply.
+const (
+	ActionJoin   = "cluster/join"
+	ActionGossip = "cluster/gossip"
+)
+
+// AddrBook receives peer addresses learned from membership gossip; the
+// network.PeerFabric implements it. nil (in-process fabrics) disables
+// address installation.
+type AddrBook interface {
+	SetPeerAddr(id int, addr string) error
+}
+
+// Options configures the cluster membership service.
+type Options struct {
+	// GossipInterval is the period between gossip rounds (default 25ms).
+	// Gossip frames double as phi-accrual heartbeat traffic, so this
+	// should not exceed the health monitor's HeartbeatInterval by much.
+	GossipInterval time.Duration
+	// Fanout is how many random live peers each round targets (default 3).
+	Fanout int
+	// AdvertiseAddr is the address gossiped as this process's hosted
+	// localities' dial address (empty for in-process fabrics).
+	AdvertiseAddr string
+	// Seed seeds target selection, making in-process tests deterministic
+	// (default 1).
+	Seed int64
+	// AddrBook receives addresses carried by membership entries; nil
+	// disables installation (in-process fabrics need none).
+	AddrBook AddrBook
+}
+
+func (o Options) withDefaults() Options {
+	if o.GossipInterval <= 0 {
+		o.GossipInterval = 25 * time.Millisecond
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Service runs SWIM-style membership for every hosted locality of a
+// runtime: it registers the join/gossip actions, bridges the phi-accrual
+// detector's suspicion edges into gossiped suspect/refute traffic, and
+// turns confirmed-down verdicts — local or gossiped — into the runtime's
+// crash-stop degradation (DeclareDown).
+type Service struct {
+	rt   *runtime.Runtime
+	opts Options
+	mgrs []*Manager // indexed by locality; nil for non-hosted
+}
+
+// NewService creates the membership service and registers its actions.
+// Call Start to begin gossiping (after the join barrier in cluster mode).
+func NewService(rt *runtime.Runtime, opts Options) *Service {
+	s := &Service{rt: rt, opts: opts.withDefaults(), mgrs: make([]*Manager, rt.Localities())}
+	for i := 0; i < rt.Localities(); i++ {
+		if rt.Hosted(i) {
+			s.mgrs[i] = newManager(s, i)
+		}
+	}
+	rt.MustRegisterAction(ActionJoin, s.handleJoin)
+	rt.MustRegisterAction(ActionGossip, s.handleGossip)
+	rt.SubscribeSuspicion(s.onSuspicion)
+	rt.SubscribeVerdict(s.onVerdict)
+	rt.SubscribeDeath(s.onDeath)
+	return s
+}
+
+// Manager returns locality i's membership manager (nil for non-hosted).
+func (s *Service) Manager(i int) *Manager {
+	if i < 0 || i >= len(s.mgrs) {
+		return nil
+	}
+	return s.mgrs[i]
+}
+
+// Start launches every hosted manager's gossip loop.
+func (s *Service) Start() {
+	for _, m := range s.mgrs {
+		if m != nil {
+			m.start()
+		}
+	}
+}
+
+// Stop terminates the gossip loops. Idempotent.
+func (s *Service) Stop() {
+	for _, m := range s.mgrs {
+		if m != nil {
+			m.stopLoop()
+		}
+	}
+}
+
+func (s *Service) handleGossip(ctx *runtime.Context, args []byte) ([]byte, error) {
+	ms, err := DecodeMembership(args)
+	if err != nil {
+		return nil, err
+	}
+	if m := s.Manager(ctx.Locality); m != nil {
+		m.Merge(ms)
+	}
+	return nil, nil
+}
+
+// handleJoin merges the joiner's self entry (installing its address) and
+// replies with the full local table, so one round trip teaches the
+// joiner every member the seed knows — including itself.
+func (s *Service) handleJoin(ctx *runtime.Context, args []byte) ([]byte, error) {
+	ms, err := DecodeMembership(args)
+	if err != nil {
+		return nil, err
+	}
+	m := s.Manager(ctx.Locality)
+	if m == nil {
+		return nil, fmt.Errorf("cluster: join targeted non-hosted locality %d", ctx.Locality)
+	}
+	m.Merge(ms)
+	reply := EncodeMembership(nil, m.Members())
+	_ = s.rt.Locality(ctx.Locality).Apply(ctx.Source, ActionGossip, reply)
+	return nil, nil
+}
+
+func (s *Service) onSuspicion(observer, peer int, suspected bool) {
+	if m := s.Manager(observer); m != nil {
+		if suspected {
+			m.suspect(peer)
+		} else {
+			m.unsuspect(peer)
+		}
+	}
+}
+
+// onVerdict fires between the detector's hard verdict and DeclareDown,
+// while the peer is still routable: the observer sends it one obituary
+// carrying its Down entry, so a wrongly-convicted node (one-way
+// partition: mute but still hearing) learns it is condemned and can
+// fail fast rather than run on partitioned.
+func (s *Service) onVerdict(observer, peer int) {
+	if m := s.Manager(observer); m != nil {
+		m.sendObituary(peer)
+	}
+}
+
+// onDeath runs synchronously inside DeclareDown on this process: record
+// the verdict and rebroadcast so every survivor degrades too.
+func (s *Service) onDeath(peer int) {
+	for _, m := range s.mgrs {
+		if m != nil {
+			m.markDown(peer)
+		}
+	}
+}
+
+// Seed is one bootstrap contact: a locality id and its dial address.
+type Seed struct {
+	ID   int
+	Addr string
+}
+
+// ParseSeed parses the "id@host:port" form used by command-line flags.
+func ParseSeed(s string) (Seed, error) {
+	id, addr, ok := strings.Cut(s, "@")
+	if !ok {
+		return Seed{}, fmt.Errorf("cluster: seed %q: want id@addr", s)
+	}
+	n, err := strconv.Atoi(id)
+	if err != nil || n < 0 {
+		return Seed{}, fmt.Errorf("cluster: seed %q: bad locality id", s)
+	}
+	if addr == "" {
+		return Seed{}, fmt.Errorf("cluster: seed %q: empty address", s)
+	}
+	return Seed{ID: n, Addr: addr}, nil
+}
+
+// ErrJoinTimeout reports that the bootstrap barrier was not reached.
+var ErrJoinTimeout = errors.New("cluster: join timed out")
+
+// Join bootstraps locality self into the cluster: seed addresses are
+// installed, the join request (a one-entry table carrying self's
+// advertise address) is re-sent to every seed until the member table
+// reaches size, and the call returns once it does. Safe to call before
+// Start; the join replies arrive through the gossip action regardless.
+func (s *Service) Join(self int, seeds []Seed, size int, timeout time.Duration) error {
+	m := s.Manager(self)
+	if m == nil {
+		return fmt.Errorf("cluster: locality %d is not hosted", self)
+	}
+	for _, sd := range seeds {
+		if sd.ID == self {
+			continue
+		}
+		if s.opts.AddrBook != nil {
+			if err := s.opts.AddrBook.SetPeerAddr(sd.ID, sd.Addr); err != nil {
+				return fmt.Errorf("cluster: installing seed %d@%s: %w", sd.ID, sd.Addr, err)
+			}
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	loc := s.rt.Locality(self)
+	for {
+		req := EncodeMembership(nil, []Member{m.selfEntry()})
+		for _, sd := range seeds {
+			if sd.ID != self {
+				_ = loc.Apply(sd.ID, ActionJoin, req)
+			}
+		}
+		if m.AwaitSize(size, 100*time.Millisecond) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: locality %d has %d/%d members after %v",
+				ErrJoinTimeout, self, len(m.Members()), size, timeout)
+		}
+	}
+}
+
+// Manager is one hosted locality's view of the membership table and the
+// gossip loop that disseminates it.
+type Manager struct {
+	svc  *Service
+	self int
+
+	mu        sync.Mutex
+	members   map[int]Member
+	selfInc   uint64
+	condemned bool
+	rng       *rand.Rand
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+	wg       sync.WaitGroup
+
+	gossipSent *counters.Raw
+	gossipRecv *counters.Raw
+	refutes    *counters.Raw
+	downSeen   *counters.Raw
+}
+
+func newManager(s *Service, self int) *Manager {
+	m := &Manager{
+		svc:     s,
+		self:    self,
+		members: make(map[int]Member),
+		selfInc: 1,
+		rng:     rand.New(rand.NewSource(s.opts.Seed + int64(self))),
+		stop:    make(chan struct{}),
+	}
+	m.members[self] = Member{ID: self, Incarnation: 1, State: StateAlive, Addr: s.opts.AdvertiseAddr}
+	inst := fmt.Sprintf("locality#%d", self)
+	mk := func(name string) *counters.Raw {
+		return counters.NewRaw(counters.Path{Object: "cluster", Instance: inst, Name: name})
+	}
+	m.gossipSent = mk("count/gossip-sent")
+	m.gossipRecv = mk("count/gossip-received")
+	m.refutes = mk("count/refutations")
+	m.downSeen = mk("count/members-down")
+	if reg := s.rt.Locality(self).Registry(); reg != nil {
+		for _, c := range []*counters.Raw{m.gossipSent, m.gossipRecv, m.refutes, m.downSeen} {
+			reg.MustRegister(c)
+		}
+	}
+	return m
+}
+
+func (m *Manager) start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.run()
+}
+
+func (m *Manager) stopLoop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+func (m *Manager) run() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.svc.opts.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.gossipNow()
+		}
+	}
+}
+
+// Members returns a sorted snapshot of the membership table.
+func (m *Manager) Members() []Member {
+	m.mu.Lock()
+	ms := make([]Member, 0, len(m.members))
+	for _, e := range m.members {
+		ms = append(ms, e)
+	}
+	m.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	return ms
+}
+
+// Lookup returns the entry for a member id.
+func (m *Manager) Lookup(id int) (Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.members[id]
+	return e, ok
+}
+
+// Condemned reports whether the cluster has confirmed *this* locality
+// down — a terminal verdict the node must obey by exiting, since the
+// survivors have already failed its links and rehomed its work.
+func (m *Manager) Condemned() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.condemned
+}
+
+// AliveCount counts members not confirmed down.
+func (m *Manager) AliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.members {
+		if e.State != StateDown {
+			n++
+		}
+	}
+	return n
+}
+
+// AwaitSize polls until the table holds at least size members (any
+// state) or the wait times out, reporting success.
+func (m *Manager) AwaitSize(size int, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		m.mu.Lock()
+		n := len(m.members)
+		m.mu.Unlock()
+		if n >= size {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (m *Manager) selfEntry() Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.members[m.self]
+}
+
+// Merge folds a received membership table into the local one under SWIM
+// precedence, installing learned addresses, refuting suspicion about
+// self, and degrading (DeclareDown) for newly confirmed-down members.
+// Exposed for tests and the join path; the gossip action calls it for
+// every received table.
+func (m *Manager) Merge(ms []Member) {
+	m.gossipRecv.Inc()
+	var newlyDown []int
+	changed := false
+
+	m.mu.Lock()
+	for _, e := range ms {
+		if e.ID < 0 || e.ID >= m.svc.rt.Localities() {
+			continue // hostile or misconfigured peer; ignore the entry
+		}
+		if e.ID == m.self {
+			// Rumors about ourselves: suspicion at our incarnation or
+			// later is refuted by bumping the incarnation and gossiping
+			// alive; confirmed-down is terminal (the cluster has already
+			// degraded around us — rejoining would need a new identity).
+			if e.State == StateDown {
+				// Terminal at any incarnation: our refutations may never
+				// have arrived (one-way partition), so the verdict can
+				// legitimately carry a stale incarnation.
+				m.condemned = true
+				continue
+			}
+			if e.Incarnation < m.selfInc || e.State == StateAlive {
+				continue
+			}
+			m.selfInc = e.Incarnation + 1
+			self := m.members[m.self]
+			self.Incarnation = m.selfInc
+			self.State = StateAlive
+			m.members[m.self] = self
+			m.refutes.Inc()
+			changed = true
+			continue
+		}
+		cur, known := m.members[e.ID]
+		if known && !supersedes(e, cur) {
+			continue
+		}
+		// A less specific rumor must not erase a known dial address.
+		if e.Addr == "" && known && cur.Addr != "" {
+			e.Addr = cur.Addr
+		}
+		// Install the address before the member becomes routable, so the
+		// first send finds it dialable.
+		if e.Addr != "" && m.svc.opts.AddrBook != nil && (!known || cur.Addr != e.Addr) {
+			_ = m.svc.opts.AddrBook.SetPeerAddr(e.ID, e.Addr)
+		}
+		m.members[e.ID] = e
+		changed = true
+		if e.State == StateDown && (!known || cur.State != StateDown) {
+			m.downSeen.Inc()
+			newlyDown = append(newlyDown, e.ID)
+		}
+	}
+	m.mu.Unlock()
+
+	// DeclareDown runs its death subscribers synchronously (including
+	// this service's markDown), so it must be called without the lock.
+	// Before the route closes, send the condemned peer one best-effort
+	// obituary: down members are excluded from gossip targets, so this is
+	// a wrongly-convicted node's (e.g. one-way partition) only chance to
+	// learn it has been condemned and fail fast instead of running on.
+	if len(newlyDown) > 0 {
+		obituary := EncodeMembership(nil, m.Members())
+		loc := m.svc.rt.Locality(m.self)
+		for _, id := range newlyDown {
+			_ = loc.Apply(id, ActionGossip, obituary)
+			m.svc.rt.DeclareDown(id)
+		}
+	}
+	if changed {
+		m.gossipNow()
+	}
+}
+
+// suspect records the local detector's soft verdict and gossips it so
+// the suspected member can refute.
+func (m *Manager) suspect(peer int) {
+	m.mu.Lock()
+	e, ok := m.members[peer]
+	if !ok || e.State != StateAlive {
+		m.mu.Unlock()
+		return
+	}
+	e.State = StateSuspect
+	m.members[peer] = e
+	m.mu.Unlock()
+	m.gossipNow()
+}
+
+// unsuspect clears local suspicion when phi drops back: fresh direct
+// evidence outranks our own stale rumor, but only at the incarnation we
+// suspected (a refutation with a higher incarnation stands on its own).
+func (m *Manager) unsuspect(peer int) {
+	m.mu.Lock()
+	if e, ok := m.members[peer]; ok && e.State == StateSuspect {
+		e.State = StateAlive
+		m.members[peer] = e
+	}
+	m.mu.Unlock()
+}
+
+// markDown records a confirmed-down verdict (from the local detector's
+// hard threshold or a merged rumor) and rebroadcasts it once.
+func (m *Manager) markDown(peer int) {
+	m.mu.Lock()
+	e, ok := m.members[peer]
+	if peer == m.self || (ok && e.State == StateDown) {
+		m.mu.Unlock()
+		return
+	}
+	if !ok {
+		e = Member{ID: peer}
+	}
+	e.State = StateDown
+	m.members[peer] = e
+	m.downSeen.Inc()
+	m.mu.Unlock()
+	m.gossipNow()
+}
+
+// sendObituary sends peer a copy of the table with peer's own entry
+// forced to Down — without mutating the table (markDown does that,
+// consistently, once DeclareDown runs its death subscribers).
+func (m *Manager) sendObituary(peer int) {
+	m.mu.Lock()
+	ms := make([]Member, 0, len(m.members))
+	for id, e := range m.members {
+		if id == peer {
+			e.State = StateDown
+		}
+		ms = append(ms, e)
+	}
+	if _, known := m.members[peer]; !known {
+		ms = append(ms, Member{ID: peer, State: StateDown})
+	}
+	m.mu.Unlock()
+	loc := m.svc.rt.Locality(m.self)
+	if loc.Apply(peer, ActionGossip, EncodeMembership(nil, ms)) != nil {
+		return
+	}
+	// Push the obituary onto the wire before the caller proceeds to
+	// DeclareDown: FailDest would otherwise fast-fail it while it still
+	// sits in the outbound queue.
+	port := loc.Port()
+	for i := 0; i < 64 && port.PendingOutbound() > 0; i++ {
+		port.DoBackgroundWork(64)
+	}
+}
+
+// gossipNow sends the full table to Fanout random not-down members.
+// Gossip frames are also the heartbeat traffic the phi detector feeds
+// on, so a healthy cluster needs no separate beacons between members.
+func (m *Manager) gossipNow() {
+	m.mu.Lock()
+	targets := make([]int, 0, len(m.members))
+	for id, e := range m.members {
+		if id != m.self && e.State != StateDown {
+			targets = append(targets, id)
+		}
+	}
+	m.rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+	if len(targets) > m.svc.opts.Fanout {
+		targets = targets[:m.svc.opts.Fanout]
+	}
+	ms := make([]Member, 0, len(m.members))
+	for _, e := range m.members {
+		ms = append(ms, e)
+	}
+	m.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	payload := EncodeMembership(nil, ms)
+	loc := m.svc.rt.Locality(m.self)
+	for _, dst := range targets {
+		if loc.Apply(dst, ActionGossip, payload) == nil {
+			m.gossipSent.Inc()
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMembershipRoundTrip(t *testing.T) {
+	in := []Member{
+		{ID: 0, Incarnation: 1, State: StateAlive, Addr: "127.0.0.1:9000"},
+		{ID: 1, Incarnation: 7, State: StateSuspect, Addr: ""},
+		{ID: 2, Incarnation: 42, State: StateDown, Addr: "[::1]:1"},
+	}
+	enc := EncodeMembership(nil, in)
+	out, err := DecodeMembership(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d members, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMembershipEncodeAppends(t *testing.T) {
+	prefix := []byte("prefix")
+	enc := EncodeMembership(prefix, []Member{{ID: 3, Incarnation: 1}})
+	if !bytes.HasPrefix(enc, prefix) {
+		t.Fatal("encode must append to dst")
+	}
+	if _, err := DecodeMembership(enc[len(prefix):]); err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+func TestMembershipDecodeRejectsHostile(t *testing.T) {
+	valid := EncodeMembership(nil, []Member{{ID: 1, Incarnation: 2, State: StateAlive, Addr: "a:1"}})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte{0x00}, valid[1:]...)},
+		{"bad version", func() []byte { b := bytes.Clone(valid); b[1] = 99; return b }()},
+		{"truncated header", valid[:3]},
+		{"truncated entry", valid[:6]},
+		{"truncated addr", valid[:len(valid)-1]},
+		{"trailing bytes", append(bytes.Clone(valid), 0)},
+		{"bad state", func() []byte {
+			b := EncodeMembership(nil, []Member{{ID: 1, Incarnation: 2}})
+			b[4+4+8] = 7 // state byte of entry 0
+			return b
+		}()},
+		{"count overflow", func() []byte {
+			b := bytes.Clone(valid)
+			b[2], b[3] = 0xff, 0xff // count = 65535 > MaxMembers
+			return b
+		}()},
+		{"addr overflow", func() []byte {
+			b := EncodeMembership(nil, []Member{{ID: 1, Incarnation: 2}})
+			b[len(b)-2], b[len(b)-1] = 0xff, 0xff // addrLen = 65535
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeMembership(tc.data); !errors.Is(err, ErrBadMembership) {
+			t.Errorf("%s: got %v, want ErrBadMembership", tc.name, err)
+		}
+	}
+}
+
+func TestMembershipAddrLimit(t *testing.T) {
+	long := strings.Repeat("x", MaxAddrLen)
+	enc := EncodeMembership(nil, []Member{{ID: 1, Incarnation: 1, Addr: long}})
+	out, err := DecodeMembership(enc)
+	if err != nil || out[0].Addr != long {
+		t.Fatalf("max-length addr must round-trip, got %v", err)
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	cases := []struct {
+		a, b Member
+		want bool
+	}{
+		// Down is terminal: it wins and cannot be displaced, even by a
+		// higher incarnation.
+		{Member{Incarnation: 2, State: StateAlive}, Member{Incarnation: 1, State: StateDown}, false},
+		{Member{Incarnation: 1, State: StateDown}, Member{Incarnation: 2, State: StateAlive}, true},
+		{Member{Incarnation: 2, State: StateAlive}, Member{Incarnation: 1, State: StateSuspect}, true},
+		{Member{Incarnation: 1, State: StateSuspect}, Member{Incarnation: 1, State: StateAlive}, true},
+		{Member{Incarnation: 1, State: StateDown}, Member{Incarnation: 1, State: StateSuspect}, true},
+		{Member{Incarnation: 1, State: StateAlive}, Member{Incarnation: 1, State: StateAlive}, false},
+	}
+	for i, tc := range cases {
+		if got := supersedes(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: supersedes(%+v, %+v) = %v, want %v", i, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func FuzzDecodeMembership(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeMembership(nil, nil))
+	f.Add(EncodeMembership(nil, []Member{{ID: 0, Incarnation: 1, State: StateAlive, Addr: "127.0.0.1:9000"}}))
+	f.Add(EncodeMembership(nil, []Member{
+		{ID: 1, Incarnation: 1 << 60, State: StateSuspect, Addr: strings.Repeat("a", MaxAddrLen)},
+		{ID: 2, Incarnation: 0, State: StateDown},
+	}))
+	f.Add([]byte{membershipMagic, membershipVersion, 0xff, 0xff})
+	f.Add([]byte{membershipMagic, membershipVersion, 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, err := DecodeMembership(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Decoded tables must re-encode to the identical bytes: the codec
+		// admits exactly one representation per table.
+		enc := EncodeMembership(nil, ms)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data, enc)
+		}
+		for i, m := range ms {
+			if m.State > StateDown {
+				t.Fatalf("entry %d: invalid state %d survived decode", i, m.State)
+			}
+			if len(m.Addr) > MaxAddrLen {
+				t.Fatalf("entry %d: oversized addr survived decode", i)
+			}
+		}
+	})
+}

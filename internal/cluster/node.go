@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/network"
+	"repro/internal/reliable"
+	"repro/internal/runtime"
+	"repro/internal/taskbench"
+)
+
+// Node exit codes. CodeCrashDetected distinguishes a clean fail-fast on
+// a detected peer crash (or on being condemned) from an ordinary error,
+// so drivers and CI can assert the failure path specifically.
+const (
+	CodeOK            = 0
+	CodeError         = 1
+	CodeCrashDetected = 3
+)
+
+// BenchSpec is the Task Bench workload one node run executes.
+type BenchSpec struct {
+	Pattern     string
+	Width       int
+	Steps       int
+	Iterations  int
+	OutputBytes int
+	Recover     bool
+	Timeout     time.Duration
+}
+
+// NodeSpec configures one amc-node process: one hosted locality of an
+// N-locality cluster over real sockets.
+type NodeSpec struct {
+	// ID is the hosted locality; N is the cluster size.
+	ID, N int
+	// Bind is the listen address (e.g. "127.0.0.1:9000", ":0" for an
+	// ephemeral port); Advertise overrides the address gossiped to peers
+	// (defaults to the bound address).
+	Bind, Advertise string
+	// Seeds are the bootstrap contacts. Node 0 conventionally runs with
+	// none and is everyone else's seed.
+	Seeds []Seed
+	// AddrFile, when set, receives the bound address once listening —
+	// how a driver using ephemeral ports learns where each node landed.
+	AddrFile string
+	// ResultFile receives the aggregated benchmark JSON (node 0 only;
+	// empty writes it to stdout).
+	ResultFile string
+
+	Workers           int
+	GossipInterval    time.Duration
+	HeartbeatInterval time.Duration
+	PhiThreshold      float64
+	JoinTimeout       time.Duration
+
+	Bench BenchSpec
+
+	// CrashAfter, when positive, hard-kills the process (os.Exit, no
+	// shutdown, sockets die mid-conversation) that long after the bench
+	// starts: the deterministic crash CI and the chaos driver inject.
+	CrashAfter time.Duration
+}
+
+func (s NodeSpec) withDefaults() NodeSpec {
+	if s.Workers <= 0 {
+		s.Workers = 2
+	}
+	if s.GossipInterval <= 0 {
+		s.GossipInterval = 25 * time.Millisecond
+	}
+	if s.HeartbeatInterval <= 0 {
+		s.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if s.PhiThreshold <= 0 {
+		s.PhiThreshold = 8
+	}
+	if s.JoinTimeout <= 0 {
+		s.JoinTimeout = 10 * time.Second
+	}
+	if s.Bench.Pattern == "" {
+		s.Bench.Pattern = string(taskbench.Stencil1D)
+	}
+	if s.Bench.Width <= 0 {
+		s.Bench.Width = 2 * s.N
+	}
+	if s.Bench.Steps <= 0 {
+		s.Bench.Steps = 64
+	}
+	if s.Bench.OutputBytes <= 0 {
+		s.Bench.OutputBytes = 64
+	}
+	if s.Bench.Timeout <= 0 {
+		s.Bench.Timeout = 60 * time.Second
+	}
+	return s
+}
+
+// NodeResult is one node's benchmark outcome, reported to node 0.
+type NodeResult struct {
+	ID           int     `json:"id"`
+	Tasks        int64   `json:"tasks"`
+	WallNS       int64   `json:"wall_ns"`
+	Messages     int64   `json:"messages"`
+	Parcels      int64   `json:"parcels"`
+	NetOverhead  float64 `json:"network_overhead"`
+	TaskOverhead float64 `json:"task_overhead_us"`
+	Err          string  `json:"error,omitempty"`
+}
+
+// ClusterResult is node 0's aggregate over the whole run.
+type ClusterResult struct {
+	Nodes       int          `json:"nodes"`
+	Pattern     string       `json:"pattern"`
+	Width       int          `json:"width"`
+	Steps       int          `json:"steps"`
+	Iterations  int          `json:"iterations"`
+	OutputBytes int          `json:"output_bytes"`
+	TotalTasks  int64        `json:"total_tasks"`
+	TasksRun    int64        `json:"tasks_run"`
+	MaxWallNS   int64        `json:"max_wall_ns"`
+	Messages    int64        `json:"messages"`
+	Parcels     int64        `json:"parcels"`
+	Completed   bool         `json:"completed"`
+	DownNodes   []int        `json:"down_nodes,omitempty"`
+	PerNode     []NodeResult `json:"per_node"`
+}
+
+const (
+	actionBenchResult = "cluster/bench-result"
+	actionFinish      = "cluster/finish"
+)
+
+// node is the running state of one amc-node process.
+type node struct {
+	spec   NodeSpec
+	fabric *network.PeerFabric
+	rel    *reliable.Fabric
+	rt     *runtime.Runtime
+	svc    *Service
+	bench  *taskbench.Bench
+	logger *log.Logger
+
+	resMu   sync.Mutex
+	results map[int]NodeResult
+	finish  chan struct{}
+	finOnce sync.Once
+}
+
+// RunNode executes one node's full lifecycle — listen, join, gossip,
+// run the benchmark partition, report/aggregate — and returns a process
+// exit code. It is the body of cmd/amc-node and of amc-bench -as-node.
+func RunNode(spec NodeSpec) int {
+	spec = spec.withDefaults()
+	n := &node{
+		spec:    spec,
+		logger:  log.New(os.Stderr, fmt.Sprintf("amc-node[%d] ", spec.ID), log.Lmicroseconds),
+		results: make(map[int]NodeResult),
+		finish:  make(chan struct{}),
+	}
+	code, err := n.run()
+	if err != nil {
+		n.logger.Printf("error: %v", err)
+	}
+	return code
+}
+
+func (n *node) run() (int, error) {
+	spec := n.spec
+	if spec.ID < 0 || spec.ID >= spec.N || spec.N < 2 {
+		return CodeError, fmt.Errorf("cluster: bad node identity %d/%d", spec.ID, spec.N)
+	}
+	fabric, err := network.NewPeerFabric(network.PeerConfig{
+		Localities: spec.N,
+		Self:       spec.ID,
+		Bind:       spec.Bind,
+		Advertise:  spec.Advertise,
+	})
+	if err != nil {
+		return CodeError, err
+	}
+	n.fabric = fabric
+	defer fabric.Close()
+	advertise := spec.Advertise
+	if advertise == "" {
+		advertise = fabric.Addr()
+	}
+	n.logger.Printf("listening on %s (advertising %s)", fabric.Addr(), advertise)
+	if spec.AddrFile != "" {
+		if err := os.WriteFile(spec.AddrFile, []byte(advertise+"\n"), 0o644); err != nil {
+			return CodeError, err
+		}
+	}
+
+	// Generous retransmission budget: bootstrap and gossip ride the
+	// reliable layer, and a link must not be condemned by the transport
+	// before the phi detector has had a chance to vote.
+	n.rel = reliable.New(fabric, reliable.Config{
+		RTO:        5 * time.Millisecond,
+		RTOMax:     200 * time.Millisecond,
+		MaxRetries: 12,
+	})
+	defer n.rel.Close()
+
+	n.rt = runtime.New(runtime.Config{
+		Localities:         spec.N,
+		WorkersPerLocality: spec.Workers,
+		Fabric:             n.rel,
+		Hosted:             []int{spec.ID},
+	})
+	defer n.rt.Shutdown()
+
+	bench, err := taskbench.New(n.rt, taskbench.Options{Timeout: spec.Bench.Timeout})
+	if err != nil {
+		return CodeError, err
+	}
+	n.bench = bench
+	n.rt.MustRegisterAction(actionBenchResult, n.handleBenchResult)
+	n.rt.MustRegisterAction(actionFinish, n.handleFinish)
+
+	n.svc = NewService(n.rt, Options{
+		GossipInterval: spec.GossipInterval,
+		AdvertiseAddr:  advertise,
+		AddrBook:       fabric,
+		Seed:           int64(spec.ID) + 1,
+	})
+	defer n.svc.Stop()
+	n.rt.SubscribeDeath(func(peer int) {
+		n.logger.Printf("membership: locality %d confirmed down", peer)
+	})
+
+	// Gossip starts before the join barrier: it only ever targets members
+	// already in the table (whose addresses arrived with their entries),
+	// so no traffic burns retry budget against peers not yet known.
+	n.svc.Start()
+	n.logger.Printf("joining: %d seeds, waiting for %d members", len(spec.Seeds), spec.N)
+	if err := n.svc.Join(spec.ID, spec.Seeds, spec.N, spec.JoinTimeout); err != nil {
+		return CodeError, err
+	}
+	n.logger.Printf("join complete: %d members", len(n.svc.Manager(spec.ID).Members()))
+
+	// Only now that every peer is dialable may heartbeats flow: failure
+	// detection against an address-less peer would exhaust the reliable
+	// layer's retry budget and condemn the link before the cluster forms.
+	n.rt.StartHealth(health.Config{
+		HeartbeatInterval: spec.HeartbeatInterval,
+		PhiThreshold:      spec.PhiThreshold,
+	})
+	time.Sleep(200 * time.Millisecond) // detector warm-up across the cluster
+
+	if spec.CrashAfter > 0 {
+		time.AfterFunc(spec.CrashAfter, func() {
+			n.logger.Printf("injected crash: exiting hard")
+			os.Exit(137)
+		})
+	}
+
+	g := taskbench.Graph{
+		Pattern:     taskbench.Pattern(spec.Bench.Pattern),
+		Width:       spec.Bench.Width,
+		Steps:       spec.Bench.Steps,
+		Iterations:  spec.Bench.Iterations,
+		OutputBytes: spec.Bench.OutputBytes,
+	}
+	n.logger.Printf("running %v (recover=%v)", g, spec.Bench.Recover)
+	res, benchErr := bench.RunCluster(g, taskbench.ClusterOptions{Recover: spec.Bench.Recover})
+
+	mine := NodeResult{ID: spec.ID}
+	if benchErr != nil {
+		mine.Err = benchErr.Error()
+	} else {
+		mine = NodeResult{
+			ID: spec.ID, Tasks: res.Tasks, WallNS: int64(res.Wall),
+			Messages: res.MessagesSent, Parcels: res.ParcelsSent,
+			NetOverhead: res.NetworkOverhead, TaskOverhead: res.TaskOverheadUS,
+		}
+	}
+
+	code := CodeOK
+	if benchErr != nil {
+		code = CodeError
+		if errors.Is(benchErr, network.ErrLocalityDown) {
+			code = CodeCrashDetected
+		}
+	}
+	if n.svc.Manager(spec.ID).Condemned() || n.rt.LocalityDead(spec.ID) {
+		n.logger.Printf("condemned by the cluster: failing fast")
+		return CodeCrashDetected, benchErr
+	}
+
+	if spec.ID == 0 {
+		if err := n.aggregate(mine, g); err != nil && benchErr == nil {
+			return CodeError, err
+		}
+		return code, benchErr
+	}
+	return code, n.report(mine)
+}
+
+// report sends this node's result to node 0 and waits for the finish
+// broadcast (or gives up quietly: node 0 may be the one that crashed).
+func (n *node) report(mine NodeResult) error {
+	payload, err := json.Marshal(mine)
+	if err != nil {
+		return err
+	}
+	loc := n.rt.Locality(n.spec.ID)
+	if err := loc.Apply(0, actionBenchResult, payload); err != nil {
+		n.logger.Printf("cannot report to node 0: %v", err)
+		return nil
+	}
+	select {
+	case <-n.finish:
+		n.logger.Printf("finish received")
+	case <-time.After(30 * time.Second):
+		n.logger.Printf("no finish from node 0; exiting anyway")
+	}
+	return nil
+}
+
+// aggregate (node 0) collects every live node's result — ceasing to wait
+// for nodes the membership layer confirms down — writes the cluster
+// JSON, and broadcasts finish.
+func (n *node) aggregate(mine NodeResult, g taskbench.Graph) error {
+	n.resMu.Lock()
+	n.results[0] = mine
+	n.resMu.Unlock()
+
+	deadline := time.Now().Add(n.spec.Bench.Timeout + 15*time.Second)
+	mgr := n.svc.Manager(0)
+	var down []int
+	for {
+		down = down[:0]
+		have := true
+		n.resMu.Lock()
+		got := len(n.results)
+		for i := 0; i < n.spec.N; i++ {
+			if _, ok := n.results[i]; ok {
+				continue
+			}
+			if e, k := mgr.Lookup(i); k && e.State == StateDown {
+				down = append(down, i)
+				continue
+			}
+			have = false
+		}
+		n.resMu.Unlock()
+		if have {
+			break
+		}
+		if time.Now().After(deadline) {
+			n.logger.Printf("aggregation timed out with %d/%d results", got, n.spec.N)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	agg := ClusterResult{
+		Nodes: n.spec.N, Pattern: string(g.Pattern), Width: g.Width, Steps: g.Steps,
+		Iterations: g.Iterations, OutputBytes: g.OutputBytes,
+		TotalTasks: int64(g.TotalTasks()), DownNodes: append([]int(nil), down...),
+	}
+	n.resMu.Lock()
+	for i := 0; i < n.spec.N; i++ {
+		r, ok := n.results[i]
+		if !ok {
+			continue
+		}
+		agg.PerNode = append(agg.PerNode, r)
+		agg.TasksRun += r.Tasks
+		agg.Messages += r.Messages
+		agg.Parcels += r.Parcels
+		if r.WallNS > agg.MaxWallNS {
+			agg.MaxWallNS = r.WallNS
+		}
+	}
+	n.resMu.Unlock()
+	agg.Completed = agg.TasksRun >= agg.TotalTasks
+	for _, r := range agg.PerNode {
+		if r.Err != "" {
+			agg.Completed = false
+		}
+	}
+
+	out, err := json.MarshalIndent(agg, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if n.spec.ResultFile != "" {
+		if err := os.WriteFile(n.spec.ResultFile, out, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+
+	loc := n.rt.Locality(0)
+	for i := 1; i < n.spec.N; i++ {
+		_ = loc.Apply(i, actionFinish, nil)
+	}
+	// Give the finish parcels (and their acks) a moment on the wire.
+	time.Sleep(200 * time.Millisecond)
+	return nil
+}
+
+func (n *node) handleBenchResult(ctx *runtime.Context, args []byte) ([]byte, error) {
+	var r NodeResult
+	if err := json.Unmarshal(args, &r); err != nil {
+		return nil, fmt.Errorf("cluster: bad bench result: %w", err)
+	}
+	n.resMu.Lock()
+	n.results[r.ID] = r
+	n.resMu.Unlock()
+	n.logger.Printf("result from node %d: %d tasks", r.ID, r.Tasks)
+	return nil, nil
+}
+
+func (n *node) handleFinish(ctx *runtime.Context, args []byte) ([]byte, error) {
+	n.finOnce.Do(func() { close(n.finish) })
+	return nil, nil
+}

@@ -1,0 +1,260 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// The exec tests run real amc-node OS processes over loopback TCP — the
+// end-to-end acceptance path for cluster mode. They build the binary
+// once per test run.
+
+var (
+	nodeBinOnce sync.Once
+	nodeBinPath string
+	nodeBinErr  error
+)
+
+func nodeBin(t *testing.T) string {
+	t.Helper()
+	nodeBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "amc-node-bin-")
+		if err != nil {
+			nodeBinErr = err
+			return
+		}
+		nodeBinPath = filepath.Join(dir, "amc-node")
+		cmd := exec.Command("go", "build", "-o", nodeBinPath, "repro/cmd/amc-node")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			nodeBinErr = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if nodeBinErr != nil {
+		t.Fatalf("building amc-node: %v", nodeBinErr)
+	}
+	return nodeBinPath
+}
+
+// nodeProc is one spawned amc-node with its captured stderr.
+type nodeProc struct {
+	cmd    *exec.Cmd
+	stderr strings.Builder
+	code   int
+}
+
+type execCluster struct {
+	t       *testing.T
+	dir     string
+	bin     string
+	n       int
+	procs   []*nodeProc
+	resFile string
+}
+
+// startExecCluster launches an n-node cluster on ephemeral loopback
+// ports: node 0 first (its address file seeds the rest). extra(id)
+// returns per-node additional flags.
+func startExecCluster(t *testing.T, n int, extra func(id int) []string) *execCluster {
+	t.Helper()
+	c := &execCluster{t: t, dir: t.TempDir(), bin: nodeBin(t), n: n, procs: make([]*nodeProc, n)}
+	c.resFile = filepath.Join(c.dir, "cluster.json")
+	addrFile := filepath.Join(c.dir, "node0.addr")
+
+	start := func(id int, seed string) {
+		// Relaxed detector parameters: the suite shares one core with
+		// every other test package, and at the production 25ms/phi-8
+		// settings scheduling starvation can convict live peers.
+		// Detection still lands within a second — far inside the
+		// test deadlines.
+		args := []string{
+			"-id", strconv.Itoa(id), "-n", strconv.Itoa(n),
+			"-bind", "127.0.0.1:0", "-join-timeout", "30s",
+			"-heartbeat-interval", "50ms", "-gossip-interval", "50ms", "-phi", "12",
+		}
+		if id == 0 {
+			args = append(args, "-addr-file", addrFile, "-result", c.resFile)
+		} else {
+			args = append(args, "-seeds", seed)
+		}
+		args = append(args, extra(id)...)
+		p := &nodeProc{cmd: exec.Command(c.bin, args...)}
+		p.cmd.Stdout = &p.stderr
+		p.cmd.Stderr = &p.stderr
+		if err := p.cmd.Start(); err != nil {
+			t.Fatalf("starting node %d: %v", id, err)
+		}
+		c.procs[id] = p
+	}
+
+	start(0, "")
+	addr := awaitAddr(t, addrFile)
+	for id := 1; id < n; id++ {
+		start(id, "0@"+addr)
+	}
+	t.Cleanup(func() {
+		for id, p := range c.procs {
+			if p != nil && p.cmd.Process != nil {
+				_ = p.cmd.Process.Kill()
+			}
+			if p != nil && t.Failed() {
+				t.Logf("--- node %d output ---\n%s", id, p.stderr.String())
+			}
+		}
+	})
+	return c
+}
+
+func awaitAddr(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			return strings.TrimSpace(string(data))
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node 0 never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// wait blocks until every node exits (or the deadline passes) and
+// records exit codes.
+func (c *execCluster) wait(timeout time.Duration) {
+	c.t.Helper()
+	done := make(chan struct{})
+	go func() {
+		for _, p := range c.procs {
+			err := p.cmd.Wait()
+			if ee, ok := err.(*exec.ExitError); ok {
+				p.code = ee.ExitCode()
+			} else if err != nil {
+				p.code = -1
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		for _, p := range c.procs {
+			if p.cmd.Process != nil {
+				_ = p.cmd.Process.Kill()
+			}
+		}
+		<-done
+		c.t.Fatalf("cluster did not exit within %s", timeout)
+	}
+}
+
+func (c *execCluster) result() cluster.ClusterResult {
+	c.t.Helper()
+	data, err := os.ReadFile(c.resFile)
+	if err != nil {
+		c.t.Fatalf("node 0 wrote no result: %v", err)
+	}
+	var agg cluster.ClusterResult
+	if err := json.Unmarshal(data, &agg); err != nil {
+		c.t.Fatalf("bad cluster result: %v", err)
+	}
+	return agg
+}
+
+// TestExecThreeNodeTaskbench: three OS processes over real sockets run
+// one stencil graph to completion, every task exactly once.
+func TestExecThreeNodeTaskbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	c := startExecCluster(t, 3, func(id int) []string {
+		return []string{"-pattern", "stencil_1d", "-width", "6", "-steps", "32", "-timeout", "60s"}
+	})
+	c.wait(90 * time.Second)
+	for id, p := range c.procs {
+		if p.code != 0 {
+			t.Errorf("node %d exited %d", id, p.code)
+		}
+	}
+	agg := c.result()
+	if !agg.Completed {
+		t.Fatalf("run did not complete: %+v", agg)
+	}
+	if agg.TasksRun != agg.TotalTasks {
+		t.Fatalf("ran %d tasks, want exactly %d", agg.TasksRun, agg.TotalTasks)
+	}
+}
+
+// TestExecKillOneFailFast: node 2 is hard-killed mid-run; with no
+// recovery policy the survivors must detect the crash (phi detector +
+// gossip) and fail fast with the dedicated exit code.
+func TestExecKillOneFailFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	c := startExecCluster(t, 3, func(id int) []string {
+		args := []string{"-pattern", "stencil_1d", "-width", "6", "-steps", "100000",
+			"-iterations", "500", "-timeout", "60s"}
+		if id == 2 {
+			args = append(args, "-crash-after", "500ms")
+		}
+		return args
+	})
+	c.wait(90 * time.Second)
+	for _, id := range []int{0, 1} {
+		if c.procs[id].code != cluster.CodeCrashDetected {
+			t.Errorf("node %d exited %d, want %d (crash detected)", id, c.procs[id].code, cluster.CodeCrashDetected)
+		}
+		if !strings.Contains(c.procs[id].stderr.String(), "locality 2 confirmed down") {
+			t.Errorf("node %d never logged the membership verdict on node 2", id)
+		}
+	}
+}
+
+// TestExecKillOneRecovers: same kill, but with -recover the survivors
+// re-home the dead node's partition and still complete the whole graph.
+func TestExecKillOneRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	c := startExecCluster(t, 3, func(id int) []string {
+		args := []string{"-pattern", "stencil_1d", "-width", "12", "-steps", "8000",
+			"-iterations", "2000", "-recover", "-timeout", "90s"}
+		if id == 2 {
+			args = append(args, "-crash-after", "500ms")
+		}
+		return args
+	})
+	c.wait(120 * time.Second)
+	for _, id := range []int{0, 1} {
+		if c.procs[id].code != 0 {
+			t.Errorf("node %d exited %d, want 0", id, c.procs[id].code)
+		}
+	}
+	agg := c.result()
+	if !agg.Completed {
+		t.Fatalf("recovery run did not complete: %+v", agg)
+	}
+	found := false
+	for _, d := range agg.DownNodes {
+		if d == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("node 0 never recorded node 2 down (down=%v)", agg.DownNodes)
+	}
+	if agg.TasksRun < agg.TotalTasks {
+		t.Errorf("ran %d tasks, want >= %d", agg.TasksRun, agg.TotalTasks)
+	}
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// PhiThreshold is the suspicion level at which a peer is declared
 	// dead (default 8).
 	PhiThreshold float64
+	// SuspectPhi is the softer threshold at which a peer becomes merely
+	// *suspected* (Monitor.OnSuspect): enough accrued silence to gossip
+	// about, not enough to convict. Crossing back below it fires
+	// OnAlive. Default PhiThreshold/2.
+	SuspectPhi float64
 	// MinStdDev floors the fitted standard deviation so a perfectly
 	// regular heartbeat stream does not make the detector hair-triggered
 	// (default HeartbeatInterval/4).
@@ -80,6 +85,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.PhiThreshold <= 0 {
 		c.PhiThreshold = 8
+	}
+	if c.SuspectPhi <= 0 {
+		c.SuspectPhi = c.PhiThreshold / 2
 	}
 	if c.MinStdDev <= 0 {
 		c.MinStdDev = c.HeartbeatInterval / 4

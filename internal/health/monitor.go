@@ -31,6 +31,13 @@ type MonitorConfig struct {
 	// OnDown is invoked exactly once per peer, from the monitor
 	// goroutine, when the peer's phi crosses the threshold.
 	OnDown func(peer int)
+	// OnSuspect is invoked (from the monitor goroutine) when a peer's
+	// phi crosses the softer Config.SuspectPhi threshold, and OnAlive
+	// when it drops back below — the edge-triggered pair the gossip
+	// membership layer turns into suspect/refute traffic. Unlike OnDown
+	// these can fire repeatedly as suspicion flaps; nil disables.
+	OnSuspect func(peer int)
+	OnAlive   func(peer int)
 	// Registry optionally receives the health counters
 	// (/health{locality#i}/...); nil disables registration.
 	Registry *counters.Registry
@@ -49,8 +56,9 @@ type Monitor struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	suspected []atomic.Bool
-	hbSeq     []atomic.Uint64
+	suspected  []atomic.Bool
+	suspectHot []atomic.Bool // between SuspectPhi crossings (soft suspicion)
+	hbSeq      []atomic.Uint64
 
 	// Counters: cumulative suspicions, heartbeats exchanged, and the
 	// per-peer suspicion level (live phi, in milli-phi, and its peak).
@@ -64,12 +72,13 @@ type Monitor struct {
 func NewMonitor(cfg MonitorConfig) *Monitor {
 	cfg.Config = cfg.Config.WithDefaults()
 	m := &Monitor{
-		cfg:       cfg,
-		det:       NewDetector(cfg.Config),
-		stop:      make(chan struct{}),
-		suspected: make([]atomic.Bool, cfg.Peers),
-		hbSeq:     make([]atomic.Uint64, cfg.Peers),
-		phiPeak:   make([]*counters.Raw, cfg.Peers),
+		cfg:        cfg,
+		det:        NewDetector(cfg.Config),
+		stop:       make(chan struct{}),
+		suspected:  make([]atomic.Bool, cfg.Peers),
+		suspectHot: make([]atomic.Bool, cfg.Peers),
+		hbSeq:      make([]atomic.Uint64, cfg.Peers),
+		phiPeak:    make([]*counters.Raw, cfg.Peers),
 	}
 	inst := fmt.Sprintf("locality#%d", cfg.Locality)
 	mk := func(name string) *counters.Raw {
@@ -186,6 +195,16 @@ func (m *Monitor) sweep(now time.Time) {
 		}
 		phi := m.det.Phi(p, now)
 		m.phiPeak[p].SetMax(int64(phi * 1000))
+		// Soft suspicion: edge-triggered crossings of the lower SuspectPhi
+		// threshold, reported before (and independently of) the terminal
+		// OnDown verdict so a membership layer can gossip and refute.
+		if phi >= m.cfg.SuspectPhi {
+			if m.suspectHot[p].CompareAndSwap(false, true) && m.cfg.OnSuspect != nil {
+				m.cfg.OnSuspect(p)
+			}
+		} else if m.suspectHot[p].CompareAndSwap(true, false) && m.cfg.OnAlive != nil {
+			m.cfg.OnAlive(p)
+		}
 		if phi >= m.cfg.PhiThreshold && m.suspected[p].CompareAndSwap(false, true) {
 			m.suspicions.Inc()
 			m.cfg.Trace.Record(trace.Event{

@@ -227,6 +227,15 @@ var ErrLinkDown = errors.New("network: link down")
 // health package.
 var ErrLocalityDown = errors.New("network: locality down")
 
+// ErrPeerUnreachable reports that a transport could not reach the
+// destination's address: no address is known for the peer yet (it has not
+// joined), or dialing the known address failed. It is a transient
+// condition — callers above a reliability layer see the send retried once
+// the peer's address is installed or its listener comes up — distinct
+// from ErrLinkDown (retry budget exhausted) and ErrLocalityDown (declared
+// crashed).
+var ErrPeerUnreachable = errors.New("network: peer unreachable")
+
 // SimFabric is the in-process simulated fabric.
 type SimFabric struct {
 	model    CostModel

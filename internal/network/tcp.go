@@ -23,11 +23,12 @@ type TCPFabric struct {
 	listeners []net.Listener
 	handlers  []atomic.Pointer[Handler]
 
-	mu     sync.Mutex
-	conns  map[linkKey]net.Conn
-	closed atomic.Bool
-	wg     sync.WaitGroup
-	fault  atomic.Pointer[FaultHook]
+	mu       sync.Mutex
+	conns    map[linkKey]net.Conn
+	accepted map[net.Conn]struct{}
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	fault    atomic.Pointer[FaultHook]
 
 	msgs    atomic.Uint64
 	bytes   atomic.Uint64
@@ -47,6 +48,7 @@ func NewTCPFabric(n int) (*TCPFabric, error) {
 		listeners: make([]net.Listener, n),
 		handlers:  make([]atomic.Pointer[Handler], n),
 		conns:     make(map[linkKey]net.Conn),
+		accepted:  make(map[net.Conn]struct{}),
 	}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -68,6 +70,19 @@ func (f *TCPFabric) accept(dst int, l net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		// Accepted connections are tracked so Close can tear them down:
+		// the remote end of an accepted conn belongs to the dialer, and a
+		// dialer that never closes (or lives in another process) would
+		// otherwise leave the readLoop parked in ReadFull forever and hang
+		// Close's wg.Wait.
+		f.mu.Lock()
+		if f.closed.Load() {
+			f.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		f.accepted[conn] = struct{}{}
+		f.mu.Unlock()
 		f.wg.Add(1)
 		go f.readLoop(dst, conn)
 	}
@@ -81,7 +96,12 @@ const tcpReadBufferSize = 256 << 10
 
 func (f *TCPFabric) readLoop(dst int, conn net.Conn) {
 	defer f.wg.Done()
-	defer conn.Close()
+	defer func() {
+		_ = conn.Close()
+		f.mu.Lock()
+		delete(f.accepted, conn)
+		f.mu.Unlock()
+	}()
 	// Batched socket reads: the buffered reader turns per-frame ReadFull
 	// pairs into large socket reads, so a burst of small frames costs one
 	// syscall instead of two per frame. Framing is unchanged — only where
@@ -267,7 +287,10 @@ func (f *TCPFabric) getConn(src, dst int) (net.Conn, error) {
 	}
 	c, err := net.Dial("tcp", f.listeners[dst].Addr().String())
 	if err != nil {
-		return nil, fmt.Errorf("network: dial %d->%d: %w", src, dst, err)
+		// Typed so layers above can classify a dead or not-yet-listening
+		// peer (transient, retryable) without string matching. No stale
+		// slot is left behind: the cache is only populated on success.
+		return nil, fmt.Errorf("%w: dial %d->%d: %v", ErrPeerUnreachable, src, dst, err)
 	}
 	f.conns[key] = c
 	return c, nil
@@ -281,6 +304,9 @@ func (f *TCPFabric) Close() error {
 	}
 	f.mu.Lock()
 	for _, c := range f.conns {
+		_ = c.Close()
+	}
+	for c := range f.accepted {
 		_ = c.Close()
 	}
 	f.mu.Unlock()

@@ -25,12 +25,18 @@ func handleHeartbeat(ctx *Context, args []byte) ([]byte, error) {
 }
 
 // startHealth wires a per-locality failure-detection monitor into every
-// port: received traffic feeds the phi-accrual detector, idle links get
-// explicit heartbeats, and a suspicion crossing the threshold triggers
-// DeclareDown. Called from New when cfg.Health.Enabled.
+// hosted port: received traffic feeds the phi-accrual detector, idle
+// links get explicit heartbeats, and a suspicion crossing the threshold
+// triggers DeclareDown. Called from New when cfg.Health.Enabled, or later
+// through StartHealth (cluster mode defers it until peer addresses are
+// known, so early heartbeats don't burn the reliability layer's retry
+// budget against unreachable peers).
 func (rt *Runtime) startHealth() {
 	rt.monitors = make([]*health.Monitor, len(rt.locs))
 	for i, l := range rt.locs {
+		if !l.hosted {
+			continue
+		}
 		i, l := i, l
 		m := health.NewMonitor(health.MonitorConfig{
 			Config:   rt.cfg.Health,
@@ -47,16 +53,93 @@ func (rt *Runtime) startHealth() {
 				if rt.silenced[i].Load() {
 					return
 				}
+				// Verdict subscribers run first: DeclareDown blocks all
+				// further sends to the peer, and a membership layer needs
+				// one last chance to tell a wrongly-convicted (e.g.
+				// one-way-partitioned) peer it has been condemned.
+				rt.notifyVerdict(i, peer)
 				rt.DeclareDown(peer)
 			},
-			Registry: l.registry,
-			Trace:    rt.cfg.Trace,
+			OnSuspect: func(peer int) { rt.notifySuspicion(i, peer, true) },
+			OnAlive:   func(peer int) { rt.notifySuspicion(i, peer, false) },
+			Registry:  l.registry,
+			Trace:     rt.cfg.Trace,
 		})
 		rt.monitors[i] = m
 		l.port.SetOnMessage(m.Heartbeat)
 	}
 	for _, m := range rt.monitors {
-		m.Start()
+		if m != nil {
+			m.Start()
+		}
+	}
+}
+
+// StartHealth enables failure detection after construction with the
+// given configuration. The cluster bootstrap calls it once the join
+// protocol has installed every peer's address; it is a no-op if monitors
+// are already running (Config.Health.Enabled at New) or the runtime has
+// stopped.
+func (rt *Runtime) StartHealth(cfg health.Config) {
+	rt.stopMu.Lock()
+	defer rt.stopMu.Unlock()
+	if rt.stopped || rt.monitors != nil {
+		return
+	}
+	cfg.Enabled = true
+	rt.cfg.Health = cfg
+	rt.startHealth()
+}
+
+// SubscribeSuspicion registers fn to be invoked (from a monitor
+// goroutine) whenever a hosted locality's detector crosses the suspicion
+// threshold for a peer (suspected=true) or backs off below it
+// (suspected=false). Suspicion is softer than death: it precedes OnDown
+// and may flap — the SWIM-style membership layer gossips it so peers can
+// refute before the confirmed-down verdict. Subscriptions cannot be
+// removed.
+func (rt *Runtime) SubscribeSuspicion(fn func(observer, peer int, suspected bool)) {
+	if fn == nil {
+		return
+	}
+	rt.deathMu.Lock()
+	rt.suspSubs = append(rt.suspSubs, fn)
+	rt.deathMu.Unlock()
+}
+
+// SubscribeVerdict registers fn to be invoked (from the monitor
+// goroutine) after a hosted locality's detector crosses the hard
+// PhiThreshold for a peer but *before* the runtime declares the peer
+// down. While death subscribers see a fait accompli — the peer is
+// already unroutable — verdict subscribers can still send to it, which
+// the membership layer uses for a final obituary.
+func (rt *Runtime) SubscribeVerdict(fn func(observer, peer int)) {
+	if fn == nil {
+		return
+	}
+	rt.deathMu.Lock()
+	rt.verdictSubs = append(rt.verdictSubs, fn)
+	rt.deathMu.Unlock()
+}
+
+func (rt *Runtime) notifyVerdict(observer, peer int) {
+	rt.deathMu.Lock()
+	subs := append([]func(int, int){}, rt.verdictSubs...)
+	rt.deathMu.Unlock()
+	for _, fn := range subs {
+		fn(observer, peer)
+	}
+}
+
+func (rt *Runtime) notifySuspicion(observer, peer int, suspected bool) {
+	if rt.silenced[observer].Load() {
+		return
+	}
+	rt.deathMu.Lock()
+	subs := append([]func(int, int, bool){}, rt.suspSubs...)
+	rt.deathMu.Unlock()
+	for _, fn := range subs {
+		fn(observer, peer, suspected)
 	}
 }
 
@@ -161,7 +244,7 @@ func (rt *Runtime) DeclareDown(peer int) {
 		pf.FailPeer(peer)
 	}
 	for i, l := range rt.locs {
-		if i == peer {
+		if i == peer || !l.hosted {
 			continue
 		}
 		l.port.FailDest(peer)

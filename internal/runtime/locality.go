@@ -23,6 +23,7 @@ import (
 type Locality struct {
 	id       int
 	rt       *Runtime
+	hosted   bool
 	registry *counters.Registry
 	cache    *agas.Cache
 	port     *parcel.Port
@@ -50,18 +51,29 @@ type pendingCont struct {
 	args   []byte
 }
 
-func newLocality(rt *Runtime, id int) *Locality {
+func newLocality(rt *Runtime, id int, hosted bool) *Locality {
 	l := &Locality{
 		id:         id,
 		rt:         rt,
+		hosted:     hosted,
 		registry:   counters.NewRegistry(),
 		conts:      make(map[agas.GID]*pendingCont),
 		components: newComponentTable(),
 	}
 	l.cache = agas.NewCache(rt.agas, id)
+	// The root GID is allocated for hosted and stub localities alike: it
+	// is each locality's FIRST allocation, so every process in a cluster
+	// computes the same deterministic MakeGID(id, 1) for every peer —
+	// the address parcels travel to without a shared directory.
 	l.rootGID = rt.agas.MustAllocate(id)
 	if err := rt.agas.RegisterName(fmt.Sprintf("runtime/locality#%d", id), l.rootGID); err != nil {
 		panic(err)
+	}
+	if !hosted {
+		// A stub locality routes (rootGID above) but runs nothing: no
+		// port (its process owns the fabric handler), no scheduler, no
+		// counters to aggregate.
+		return l
 	}
 	l.port = parcel.NewPort(parcel.Config{
 		Locality:   id,
@@ -102,15 +114,25 @@ func newLocality(rt *Runtime, id int) *Locality {
 	return l
 }
 
-func (l *Locality) start() { l.sched.start() }
+func (l *Locality) start() {
+	if l.hosted {
+		l.sched.start()
+	}
+}
 
 func (l *Locality) stop() {
-	l.port.Close()
-	l.sched.stop()
+	if l.hosted {
+		l.port.Close()
+		l.sched.stop()
+	}
 }
 
 // ID returns the locality id.
 func (l *Locality) ID() int { return l.id }
+
+// Hosted reports whether this locality runs in this process (always true
+// outside cluster mode). Stub localities have no port or scheduler.
+func (l *Locality) Hosted() bool { return l.hosted }
 
 // GID returns the locality's root object GID.
 func (l *Locality) GID() agas.GID { return l.rootGID }
@@ -124,8 +146,12 @@ func (l *Locality) Port() *parcel.Port { return l.port }
 // AGASCache returns the locality's resolution cache.
 func (l *Locality) AGASCache() *agas.Cache { return l.cache }
 
-// SchedStats returns the locality's scheduler instrumentation snapshot.
+// SchedStats returns the locality's scheduler instrumentation snapshot
+// (zero for a non-hosted stub).
 func (l *Locality) SchedStats() SchedStats {
+	if !l.hosted {
+		return SchedStats{}
+	}
 	s := l.sched.stats()
 	return SchedStats(s)
 }
@@ -134,8 +160,9 @@ func (l *Locality) SchedStats() SchedStats {
 // counters.
 type SchedStats schedStats
 
-// Spawn schedules fn as a local lightweight task.
-func (l *Locality) Spawn(fn func()) bool { return l.sched.spawn(fn) }
+// Spawn schedules fn as a local lightweight task. Spawning on a
+// non-hosted stub reports failure (there is no scheduler here).
+func (l *Locality) Spawn(fn func()) bool { return l.hosted && l.sched.spawn(fn) }
 
 // pendingContinuations returns the number of futures still awaiting
 // result parcels.
@@ -151,6 +178,9 @@ func (l *Locality) pendingContinuations() int {
 // without touching the parcel layer, as in HPX.
 func (l *Locality) Async(dest int, action string, args []byte) (*lco.Future[[]byte], error) {
 	prom := lco.NewPromise[[]byte]()
+	if !l.hosted {
+		return nil, fmt.Errorf("runtime: locality %d is not hosted in this process", l.id)
+	}
 	if dest < 0 || dest >= len(l.rt.locs) {
 		return nil, fmt.Errorf("runtime: destination locality %d out of range", dest)
 	}
@@ -198,6 +228,9 @@ func (l *Locality) Async(dest int, action string, args []byte) (*lco.Future[[]by
 // Apply invokes action on the destination locality with fire-and-forget
 // semantics: no continuation parcel travels back.
 func (l *Locality) Apply(dest int, action string, args []byte) error {
+	if !l.hosted {
+		return fmt.Errorf("runtime: locality %d is not hosted in this process", l.id)
+	}
 	if dest < 0 || dest >= len(l.rt.locs) {
 		return fmt.Errorf("runtime: destination locality %d out of range", dest)
 	}

@@ -111,6 +111,13 @@ type Config struct {
 	// subsystem existed. When enabled, each locality watches every peer
 	// and a detected crash triggers DeclareDown.
 	Health health.Config
+	// Hosted lists the locality ids this process actually runs (cluster
+	// mode: one process per locality over a PeerFabric). nil hosts every
+	// locality, the in-process default. Non-hosted localities exist only
+	// as routing stubs — deterministic root GIDs, no scheduler, port or
+	// monitor — and AGAS switches to static routing so GIDs allocated by
+	// other processes resolve to their encoded home locality.
+	Hosted []int
 }
 
 func (c Config) withDefaults() Config {
@@ -160,8 +167,10 @@ type Runtime struct {
 	dead     []atomic.Bool
 	silenced []atomic.Bool
 
-	deathMu   sync.Mutex
-	deathSubs []func(peer int)
+	deathMu     sync.Mutex
+	deathSubs   []func(peer int)
+	suspSubs    []func(observer, peer int, suspected bool)
+	verdictSubs []func(observer, peer int)
 
 	retryMu   sync.Mutex
 	retryable map[string]bool
@@ -200,9 +209,26 @@ func New(cfg Config) *Runtime {
 	rt.registerFabricCounters()
 	rt.dead = make([]atomic.Bool, cfg.Localities)
 	rt.silenced = make([]atomic.Bool, cfg.Localities)
+	hosted := make([]bool, cfg.Localities)
+	if cfg.Hosted == nil {
+		for i := range hosted {
+			hosted[i] = true
+		}
+	} else {
+		for _, id := range cfg.Hosted {
+			if id < 0 || id >= cfg.Localities {
+				panic(fmt.Sprintf("runtime: hosted locality %d outside [0,%d)", id, cfg.Localities))
+			}
+			hosted[id] = true
+		}
+		// Cluster mode: this process's directory only ever learns about
+		// GIDs allocated here, so remote GIDs must route by their encoded
+		// allocation home.
+		rt.agas.EnableStaticRouting()
+	}
 	rt.locs = make([]*Locality, cfg.Localities)
 	for i := 0; i < cfg.Localities; i++ {
-		rt.locs[i] = newLocality(rt, i)
+		rt.locs[i] = newLocality(rt, i, hosted[i])
 	}
 	for _, l := range rt.locs {
 		l.start()
@@ -218,6 +244,12 @@ func (rt *Runtime) Localities() int { return len(rt.locs) }
 
 // Locality returns locality i.
 func (rt *Runtime) Locality(i int) *Locality { return rt.locs[i] }
+
+// Hosted reports whether locality i runs in this process. Always true
+// outside cluster mode (Config.Hosted nil).
+func (rt *Runtime) Hosted(i int) bool {
+	return i >= 0 && i < len(rt.locs) && rt.locs[i].hosted
+}
 
 // Counters returns the root registry aggregating every locality's
 // counters.
@@ -292,6 +324,9 @@ func (rt *Runtime) EnableCoalescing(action string, params coalescing.Params) err
 	}
 	var cs []*coalescing.Coalescer
 	for _, l := range rt.locs {
+		if !l.hosted {
+			continue
+		}
 		for _, name := range []string{action, ResponseAction(action)} {
 			c := coalescing.New(l.port, params, coalescing.Options{
 				Locality:     l.id,
@@ -427,20 +462,29 @@ func (rt *Runtime) Coalescers(action string) []*coalescing.Coalescer {
 // controller can co-tune against the Eq. 4 overhead signal.
 func (rt *Runtime) SetBackgroundBatch(n int) {
 	for _, l := range rt.locs {
-		l.sched.setBackgroundBatch(n)
+		if l.hosted {
+			l.sched.setBackgroundBatch(n)
+		}
 	}
 }
 
 // BackgroundBatch returns the live background-batch size.
 func (rt *Runtime) BackgroundBatch() int {
-	return rt.locs[0].sched.backgroundBatch()
+	for _, l := range rt.locs {
+		if l.hosted {
+			return l.sched.backgroundBatch()
+		}
+	}
+	return 0
 }
 
 // FlushAllCoalescers forces every coalescing queue on every locality to
 // send immediately (used at phase boundaries).
 func (rt *Runtime) FlushAllCoalescers() {
 	for _, l := range rt.locs {
-		l.port.FlushHandlers()
+		if l.hosted {
+			l.port.FlushHandlers()
+		}
 	}
 }
 
@@ -457,8 +501,9 @@ func (rt *Runtime) Quiesce(timeout time.Duration) bool {
 		for i, l := range rt.locs {
 			// Dead localities are excluded: their pending state can never
 			// drain (their wire is gone), and waiting on it would turn
-			// every post-crash quiescence into a full timeout.
-			if rt.dead[i].Load() {
+			// every post-crash quiescence into a full timeout. Non-hosted
+			// localities have no local state to drain at all.
+			if rt.dead[i].Load() || !l.hosted {
 				continue
 			}
 			if l.sched.pending() > 0 || l.port.PendingOutbound() > 0 || l.pendingContinuations() > 0 {
@@ -495,7 +540,9 @@ func (rt *Runtime) Shutdown() {
 	// Monitors stop first: heartbeat traffic would otherwise keep the
 	// quiescence loop from ever seeing an empty outbound queue.
 	for _, m := range rt.monitors {
-		m.Stop()
+		if m != nil {
+			m.Stop()
+		}
 	}
 
 	// Responses generated while draining re-enter coalescing queues, so

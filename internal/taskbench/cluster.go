@@ -1,0 +1,316 @@
+package taskbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/runtime"
+	"repro/internal/serialization"
+)
+
+// ClusterOptions configures one distributed graph execution (RunCluster).
+type ClusterOptions struct {
+	// Recover re-homes a crashed locality's points onto survivors and
+	// re-drives their dataflow instead of failing the run.
+	Recover bool
+	// SweepInterval is how often the watchdog checks for declared-down
+	// localities (default 5ms).
+	SweepInterval time.Duration
+	// Poll is the completion-poll period (default 1ms).
+	Poll time.Duration
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.SweepInterval <= 0 {
+		o.SweepInterval = 5 * time.Millisecond
+	}
+	if o.Poll <= 0 {
+		o.Poll = time.Millisecond
+	}
+	return o
+}
+
+// RunCluster executes one graph across OS processes: each process runs
+// RunCluster over the same graph on a runtime hosting its own subset of
+// localities (runtime.Config.Hosted), and executes exactly the task
+// points block-partitioned onto its hosted localities. Cross-process
+// edges travel as parcels over the wire fabric; the call returns when
+// every locally-owned task has executed.
+//
+// Unlike Run, completion cannot wait on the per-step latches — they
+// count Width completions but each process only ever executes its own
+// partition — so the run polls its local done set instead.
+//
+// Crash-stop failures (declared by the phi detector or the gossip
+// membership layer via DeclareDown) are handled per Recover, mirroring
+// RunWithCrash but with per-process state only: the dead locality's
+// points are re-homed deterministically (every survivor computes the
+// same new owners), re-homed zero-dependency points are re-seeded by
+// their new owner, and every process re-sends its already-computed
+// outputs to re-homed dependents, replacing inputs that died with the
+// crashed process. Tasks the dead locality had already run are
+// re-executed by the new owner: cluster recovery is at-least-once, where
+// the in-process heal (shared done set) is exactly-once.
+func (b *Bench) RunCluster(g Graph, opts ClusterOptions) (Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	g = g.WithDefaults()
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	ru := b.prepare(g)
+	ru.cluster = &opts
+	b.installRun(ru)
+	defer b.cur.Store(nil)
+	ru.stopSweep = make(chan struct{})
+	go b.clusterSweep(ru)
+	defer close(ru.stopSweep)
+
+	portBefore := b.portStats()
+	before := metrics.Snapshot(b.rt)
+	start := time.Now()
+
+	// Seed the zero-dependency tasks this process owns; every other
+	// process seeds its own partition, and dataflow does the rest.
+	w := g.Width
+	for s := 0; s < g.Steps; s++ {
+		for p := 0; p < w; p++ {
+			idx := s*w + p
+			if len(ru.deps[idx]) != 0 {
+				continue
+			}
+			loc := int(ru.owners[p].Load())
+			if !b.rt.Hosted(loc) {
+				continue
+			}
+			s, p := s, p
+			if !b.rt.Locality(loc).Spawn(func() { b.runTask(ru, s, p, loc) }) {
+				return Result{}, runtime.ErrStopped
+			}
+		}
+	}
+
+	deadline := time.Now().Add(b.timeout)
+	tick := time.NewTicker(opts.Poll)
+	defer tick.Stop()
+	for !b.clusterComplete(ru) {
+		select {
+		case <-ru.failed:
+			return Result{}, fmt.Errorf("taskbench: %s: %w: locality %s crashed and no recovery policy is active (%d tasks executed locally)",
+				g, network.ErrLocalityDown, b.deadList(), ru.executed.Load())
+		case <-tick.C:
+		}
+		if time.Now().After(deadline) {
+			return Result{}, fmt.Errorf("taskbench: %s stalled with %d tasks executed locally",
+				g, ru.executed.Load())
+		}
+	}
+
+	wall := time.Since(start)
+	after := metrics.Snapshot(b.rt)
+	portAfter := b.portStats()
+	phase := metrics.Phase{
+		Tasks:          after.Tasks - before.Tasks,
+		TaskDuration:   after.TaskDuration - before.TaskDuration,
+		ExecDuration:   after.ExecDuration - before.ExecDuration,
+		BackgroundWork: after.BackgroundWork - before.BackgroundWork,
+	}
+	return Result{
+		Graph:           g,
+		Wall:            wall,
+		Tasks:           ru.executed.Load(),
+		NetworkOverhead: phase.NetworkOverhead(),
+		TaskOverheadUS:  phase.TaskOverheadUS(),
+		MessagesSent:    portAfter[0] - portBefore[0],
+		ParcelsSent:     portAfter[1] - portBefore[1],
+	}, nil
+}
+
+// clusterComplete reports whether every task point currently owned by a
+// hosted locality has executed locally, at every step.
+func (b *Bench) clusterComplete(ru *run) bool {
+	w := ru.g.Width
+	for p := 0; p < w; p++ {
+		if !b.rt.Hosted(int(ru.owners[p].Load())) {
+			continue
+		}
+		for s := 0; s < ru.g.Steps; s++ {
+			if !ru.done[s*w+p].Load() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (b *Bench) deadList() string {
+	out := ""
+	for i := 0; i < b.rt.Localities(); i++ {
+		if b.rt.LocalityDead(i) {
+			if out != "" {
+				out += ","
+			}
+			out += fmt.Sprint(i)
+		}
+	}
+	if out == "" {
+		return "?"
+	}
+	return out
+}
+
+// clusterSweep is the distributed-run watchdog: it reacts to localities
+// the runtime declares down (by the local phi detector or by gossiped
+// membership verdicts — both end in DeclareDown).
+func (b *Bench) clusterSweep(ru *run) {
+	tick := time.NewTicker(ru.cluster.SweepInterval)
+	defer tick.Stop()
+	handled := make(map[int]bool)
+	rehomed := make(map[int]bool)
+	sent := make(map[int]bool)
+	recovering := false
+	ticks := 0
+	for {
+		select {
+		case <-ru.stopSweep:
+			return
+		case <-tick.C:
+			ticks++
+		}
+		var newDead []int
+		hostedAlive := 0
+		for i := 0; i < b.rt.Localities(); i++ {
+			dead := b.rt.LocalityDead(i)
+			if b.rt.Hosted(i) && !dead {
+				hostedAlive++
+			}
+			if dead && !handled[i] {
+				newDead = append(newDead, i)
+			}
+		}
+		if len(newDead) > 0 {
+			// Every hosted locality condemned means *we* are the crashed
+			// node as far as the cluster is concerned: obey the verdict.
+			if hostedAlive == 0 || !ru.cluster.Recover {
+				ru.fail()
+				return
+			}
+			for _, d := range newDead {
+				handled[d] = true
+			}
+			changed := b.rehomeDeterministic(ru, handled)
+			if changed == nil {
+				ru.fail() // nobody left to own the work
+				return
+			}
+			for p := range changed {
+				rehomed[p] = true
+			}
+			// A fresh crash may re-home new dependents of producers whose
+			// outputs were already re-driven: forget what was sent and
+			// cover the full (grown) re-homed set again.
+			clear(sent)
+			b.redrive(ru, rehomed, sent)
+			recovering = true
+		}
+		// While recovering, keep the heal scan running: re-sent inputs
+		// only re-trigger tasks whose input counters were lost with the
+		// dead process, while tasks that had consumed their inputs but
+		// never ran (queued on the dead scheduler, or counters shared
+		// in-process) are caught by readiness over the local done set.
+		if recovering {
+			b.heal(ru)
+			// Re-run the redrive periodically: a task that finished in the
+			// detection window may have sent its output to the dead owner
+			// and completed only after the first redrive passed it by —
+			// heal cannot see it either when the producer lives in another
+			// process, so only a re-send closes the gap. The sent set makes
+			// each pass incremental (newly-done producers only); a full
+			// re-send every pass would flood the port and starve the
+			// heartbeats keeping the survivors alive to each other.
+			if ticks%16 == 0 {
+				b.redrive(ru, rehomed, sent)
+			}
+		}
+	}
+}
+
+// rehomeDeterministic redistributes every point owned by a dead locality
+// round-robin over the survivors, in point order over survivors in id
+// order — a pure function of (graph, dead set), so every process
+// computes identical new owners without coordination. Returns the set of
+// re-homed points (nil when no survivors remain).
+func (b *Bench) rehomeDeterministic(ru *run, dead map[int]bool) map[int]bool {
+	var survivors []int32
+	for i := 0; i < b.rt.Localities(); i++ {
+		if !dead[i] && !b.rt.LocalityDead(i) {
+			survivors = append(survivors, int32(i))
+		}
+	}
+	if len(survivors) == 0 {
+		return nil
+	}
+	changed := make(map[int]bool)
+	k := 0
+	for p := range ru.owners {
+		if dead[int(ru.owners[p].Load())] {
+			ru.owners[p].Store(survivors[k%len(survivors)])
+			k++
+			changed[p] = true
+		}
+	}
+	return changed
+}
+
+// redrive restarts dataflow into the re-homed points: zero-dependency
+// re-homed points now owned here are re-seeded, and outputs this process
+// has already computed are re-sent to re-homed dependents (the originals
+// died with the crashed process's input counters). runTask's done CAS
+// and the relaxed surplus accounting make both idempotent. sent records
+// the producers whose outputs have been re-driven already, keeping
+// repeated passes incremental.
+func (b *Bench) redrive(ru *run, changed map[int]bool, sent map[int]bool) {
+	sender := -1
+	for i := 0; i < b.rt.Localities(); i++ {
+		if b.rt.Hosted(i) && !b.rt.LocalityDead(i) {
+			sender = i
+			break
+		}
+	}
+	if sender < 0 {
+		return
+	}
+	src := b.rt.Locality(sender)
+	w := ru.g.Width
+	for s := 0; s < ru.g.Steps; s++ {
+		for p := 0; p < w; p++ {
+			idx := s*w + p
+			if changed[p] && len(ru.deps[idx]) == 0 {
+				loc := int(ru.owners[p].Load())
+				if b.rt.Hosted(loc) && !ru.done[idx].Load() {
+					s, p := s, p
+					b.rt.Locality(loc).Spawn(func() { b.runTask(ru, s, p, loc) })
+				}
+			}
+			if !ru.done[idx].Load() || sent[idx] || s+1 >= ru.g.Steps {
+				continue
+			}
+			sent[idx] = true
+			for _, q := range ru.dependents[idx] {
+				if !changed[q] {
+					continue
+				}
+				wr := serialization.NewWriter(24 + len(ru.payload))
+				wr.Uvarint(ru.epoch)
+				wr.Uvarint(uint64(s + 1))
+				wr.Uvarint(uint64(q))
+				wr.BytesField(ru.payload)
+				_ = src.Apply(int(ru.owners[q].Load()), b.action, wr.Bytes())
+			}
+		}
+	}
+}

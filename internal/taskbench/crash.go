@@ -151,6 +151,12 @@ func (b *Bench) heal(ru *run) {
 			}
 			s, p := s, p
 			loc := int(ru.owners[p].Load())
+			// Cluster mode: tasks owned by another process are not ours to
+			// re-spawn (their owner heals them; our done view of remote
+			// producers is partial anyway).
+			if !b.rt.Hosted(loc) {
+				continue
+			}
 			if !b.rt.Locality(loc).Spawn(func() { b.runTask(ru, s, p, loc) }) {
 				ru.fail() // runtime shutting down under us
 				return

@@ -1,7 +1,6 @@
 package taskbench
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -41,11 +40,36 @@ type Bench struct {
 
 	mu  sync.Mutex // serializes Run
 	cur atomic.Pointer[run]
+
+	// epochs tags every input parcel with the run it belongs to. In
+	// cluster mode the processes start the same run a few milliseconds
+	// apart, so a fast node's first outputs can arrive before the slow
+	// receiver has prepared its run state; those early parcels are held
+	// in pending and replayed when the matching run is installed (the
+	// transport has already delivered them exactly-once — dropping them
+	// here would stall the graph with no retransmission coming).
+	epoch        atomic.Uint64
+	pendMu       sync.Mutex
+	pending      []pendingInput
+	drainedEpoch uint64
 }
+
+// pendingInput is one buffered early input (payload content is unused
+// by the protocol, so only the coordinates are retained).
+type pendingInput struct {
+	epoch       uint64
+	step, point int
+	loc         int
+}
+
+// maxPending bounds the early-parcel buffer; overflow is dropped (a
+// stall follows, but memory stays bounded under a hostile sender).
+const maxPending = 1 << 16
 
 // run is the state of one graph execution.
 type run struct {
-	g Graph
+	g     Graph
+	epoch uint64
 	// owners maps each point to its executing locality. Atomic because
 	// crash recovery re-homes the dead locality's points mid-run.
 	owners []atomic.Int32
@@ -67,6 +91,11 @@ type run struct {
 	failed     chan struct{}
 	failOnce   sync.Once
 	stopSweep  chan struct{}
+
+	// Cluster-mode state (nil outside RunCluster): this process executes
+	// only its hosted partition and the crash watchdog reacts to
+	// DeclareDown verdicts instead of an injected CrashSpec.
+	cluster *ClusterOptions
 }
 
 // fail marks the run cleanly failed (crash detected, no recovery policy);
@@ -130,7 +159,7 @@ func (b *Bench) execute(g Graph, crash *CrashSpec) (Result, error) {
 	}
 	ru := b.prepare(g)
 	ru.crash = crash
-	b.cur.Store(ru)
+	b.installRun(ru)
 	defer b.cur.Store(nil)
 	if crash != nil {
 		ru.stopSweep = make(chan struct{})
@@ -202,11 +231,50 @@ func (b *Bench) execute(g Graph, crash *CrashSpec) (Result, error) {
 	}, nil
 }
 
+// installRun publishes the run and replays any inputs that arrived for
+// its epoch before it existed (cluster mode: peers that started first).
+func (b *Bench) installRun(ru *run) {
+	b.cur.Store(ru)
+	b.pendMu.Lock()
+	b.drainedEpoch = ru.epoch
+	var replay []pendingInput
+	keep := b.pending[:0]
+	for _, p := range b.pending {
+		if p.epoch == ru.epoch {
+			replay = append(replay, p)
+		} else if p.epoch > ru.epoch {
+			keep = append(keep, p)
+		}
+	}
+	b.pending = keep
+	b.pendMu.Unlock()
+	for _, p := range replay {
+		_ = b.applyInput(ru, p.step, p.point, p.loc)
+	}
+}
+
+// bufferInput stashes an early input, unless its run was already
+// installed while the caller was deciding (then the caller must apply it
+// normally against the returned run) or it is stale (nil, false).
+func (b *Bench) bufferInput(ep uint64, step, point, loc int) (*run, bool) {
+	b.pendMu.Lock()
+	defer b.pendMu.Unlock()
+	if ru := b.cur.Load(); ru != nil && ru.epoch == ep {
+		return ru, false
+	}
+	if ep > b.drainedEpoch && len(b.pending) < maxPending {
+		b.pending = append(b.pending, pendingInput{ep, step, point, loc})
+		return nil, true
+	}
+	return nil, false
+}
+
 // prepare builds the dependence tables and completion LCOs for a graph.
 func (b *Bench) prepare(g Graph) *run {
 	w, L := g.Width, b.rt.Localities()
 	ru := &run{
 		g:          g,
+		epoch:      b.epoch.Add(1),
 		owners:     make([]atomic.Int32, w),
 		deps:       make([][]int, w*g.Steps),
 		dependents: make([][]int, w*g.Steps),
@@ -239,10 +307,14 @@ func (b *Bench) prepare(g Graph) *run {
 	return ru
 }
 
-// portStats sums {messages, parcels} sent across all localities.
+// portStats sums {messages, parcels} sent across the hosted localities
+// (non-hosted cluster stubs have no port).
 func (b *Bench) portStats() [2]int64 {
 	var out [2]int64
 	for i := 0; i < b.rt.Localities(); i++ {
+		if !b.rt.Hosted(i) {
+			continue
+		}
 		st := b.rt.Locality(i).Port().Stats()
 		out[0] += st.MessagesSent
 		out[1] += st.ParcelsSent
@@ -255,6 +327,7 @@ func (b *Bench) portStats() [2]int64 {
 // as a scheduler task on the owning locality, so no extra hop is needed.
 func (b *Bench) inputAction(ctx *runtime.Context, args []byte) ([]byte, error) {
 	r := serialization.NewReader(args)
+	ep := r.Uvarint()
 	step := int(r.Uvarint())
 	point := int(r.Uvarint())
 	r.BytesField() // payload: carried for wire-size realism, content unused
@@ -262,25 +335,38 @@ func (b *Bench) inputAction(ctx *runtime.Context, args []byte) ([]byte, error) {
 		return nil, fmt.Errorf("taskbench: corrupt input parcel: %w", err)
 	}
 	ru := b.cur.Load()
-	if ru == nil {
-		return nil, errors.New("taskbench: input parcel with no active run")
+	if ru == nil || ru.epoch != ep {
+		// Early (the matching run is not installed yet — buffer it) or
+		// stale (its run is over — drop it); bufferInput decides under the
+		// lock, and hands back the run if installation just won the race.
+		var buffered bool
+		if ru, buffered = b.bufferInput(ep, step, point, ctx.Locality); buffered || ru == nil {
+			return nil, nil
+		}
 	}
+	return nil, b.applyInput(ru, step, point, ctx.Locality)
+}
+
+// applyInput counts one dependence input down for (step, point); the
+// last arriving input runs the task body inline.
+func (b *Bench) applyInput(ru *run, step, point, loc int) error {
 	w := ru.g.Width
 	if step < 0 || step >= ru.g.Steps || point < 0 || point >= w {
-		return nil, fmt.Errorf("taskbench: input for (%d,%d) outside %s", step, point, ru.g)
+		return fmt.Errorf("taskbench: input for (%d,%d) outside %s", step, point, ru.g)
 	}
 	switch n := ru.remaining[step*w+point].Add(-1); {
 	case n == 0:
-		b.runTask(ru, step, point, ctx.Locality)
+		b.runTask(ru, step, point, loc)
 	case n < 0:
-		// Under a crash the recovery sweep re-spawns tasks directly, so a
-		// late dataflow trigger for an already-run task is expected
-		// at-least-once noise, not a protocol violation.
-		if ru.crash == nil {
-			return nil, fmt.Errorf("taskbench: surplus input for task (%d,%d)", step, point)
+		// Under a crash the recovery sweep (or a cluster redrive) re-sends
+		// inputs and re-spawns tasks directly, so a late dataflow trigger
+		// for an already-run task is expected at-least-once noise, not a
+		// protocol violation.
+		if ru.crash == nil && (ru.cluster == nil || !ru.cluster.Recover) {
+			return fmt.Errorf("taskbench: surplus input for task (%d,%d)", step, point)
 		}
 	}
-	return nil, nil
+	return nil
 }
 
 // runTask executes the task body at (step, point) on locality loc: spin
@@ -301,6 +387,12 @@ func (b *Bench) runTask(ru *run, step, point, loc int) {
 			return
 		}
 	}
+	// In cluster mode a condemned locality stops executing: the cluster
+	// has already re-homed its partition, and work it completed now would
+	// race the survivors' re-execution.
+	if ru.cluster != nil && b.rt.LocalityDead(loc) {
+		return
+	}
 	if !ru.done[step*ru.g.Width+point].CompareAndSwap(false, true) {
 		return // already executed (sweep re-spawn raced the dataflow path)
 	}
@@ -311,7 +403,8 @@ func (b *Bench) runTask(ru *run, step, point, loc int) {
 	if step+1 < ru.g.Steps {
 		src := b.rt.Locality(loc)
 		for _, q := range ru.dependents[step*w+point] {
-			wr := serialization.NewWriter(16 + len(ru.payload))
+			wr := serialization.NewWriter(24 + len(ru.payload))
+			wr.Uvarint(ru.epoch)
 			wr.Uvarint(uint64(step + 1))
 			wr.Uvarint(uint64(q))
 			wr.BytesField(ru.payload)

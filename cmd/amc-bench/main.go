@@ -40,6 +40,15 @@
 // Eq. 4 overhead, convergence time, decision counts and steady-state
 // stability per arm. -quick shrinks it to a CI-smoke size.
 //
+// The fft suite runs the distributed 2-D FFT app (internal/apps/fft)
+// on the collectives layer: {direct, ring} all-to-all variants ×
+// {off, static grid, adaptive MultiTuner} coalescing × grid sizes,
+// each cell verified bit-exact against the sequential reference and
+// measured for wall time and Eq. 4 overhead (with the per-variant
+// Pearson correlation between the two), then three-node multi-process
+// cluster runs of the same app over loopback TCP. -quick shrinks it to
+// a CI-smoke size.
+//
 // An unknown -suite value prints the registry of available suites and
 // exits nonzero; `-suite help` prints the same listing.
 //
@@ -224,6 +233,7 @@ var suites = []suiteDef{
 	{"e2e", "BENCH_e2e.json", "end-to-end messages/sec/core on both fabrics: borrowed vs copying decode across sizes and coalescing", runE2E},
 	{"adaptive", "BENCH_adaptive.json", "controller A/B: global OverheadTuner vs per-destination MultiTuner on uniform and skewed workloads", runAdaptive},
 	{"cluster", "BENCH_cluster.json", "multi-process cluster: weak/strong scaling over real TCP sockets + crash-recovery run", runCluster},
+	{"fft", "BENCH_fft.json", "distributed 2-D FFT on collectives: all-to-all variants x coalescing arms, Eq. 4 correlation, 3-node cluster runs", runFFT},
 }
 
 // partialStatus is embedded in every report schema: when a suite errors
@@ -754,6 +764,76 @@ func runCluster(out string, opts options) error {
 	}
 	fmt.Fprintf(statusW(out), "wrote %s (%d weak + %d strong scaling points, all completed=%v, recovery ok=%v)\n",
 		out, len(res.WeakScaling), len(res.StrongScaling), rep.AllCompleted, rep.RecoveryOK)
+	return nil
+}
+
+// fftReport is the BENCH_fft.json schema: the distributed 2-D FFT
+// benchmark (internal/apps/fft over collectives) swept across
+// {all-to-all algorithm variant × coalescing arm (static grid +
+// adaptive MultiTuner) × grid size}, each cell verified bit-exact
+// against the sequential reference and measured for wall time and Eq. 4
+// network overhead, plus three-node multi-process cluster runs of the
+// same app over real TCP sockets.
+type fftReport struct {
+	partialStatus
+	GoVersion  string               `json:"go_version"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Quick      bool                 `json:"quick"`
+	FFT        bench.FFTSuiteResult `json:"fft"`
+	// AllVerified: every sweep cell and cluster run was bit-exact.
+	// RingBeatsDirectOK: the paced ring rotation beat the direct burst on
+	// wall time or Eq. 4 overhead in at least one matched cell.
+	// ClusterVerifiedOK: every cluster run (>= 3 real processes) verified.
+	AllVerified       bool `json:"all_verified"`
+	RingBeatsDirectOK bool `json:"ring_beats_direct"`
+	ClusterVerifiedOK bool `json:"cluster_verified"`
+}
+
+func runFFT(out string, opts options) error {
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("resolving own binary for node re-exec: %w", err)
+	}
+	rep := fftReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      opts.quick,
+	}
+	cfg := bench.FFTConfig{
+		NodeCommand: []string{self, "-as-node"},
+		Quick:       opts.quick,
+	}
+	if opts.verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := bench.RunFFTSuite(cfg)
+	rep.FFT = res // partial sweep progress is meaningful even on error
+	if err != nil {
+		return failPartial(out, &rep, &rep.partialStatus, err)
+	}
+	rep.AllVerified = len(res.Points) > 0
+	for _, p := range res.Points {
+		if !p.Verified {
+			rep.AllVerified = false
+		}
+	}
+	rep.ClusterVerifiedOK = len(res.Cluster) > 0
+	for _, p := range res.Cluster {
+		if !p.Verified || !p.Completed {
+			rep.ClusterVerifiedOK = false
+		}
+		if !p.Verified {
+			rep.AllVerified = false
+		}
+	}
+	rep.RingBeatsDirectOK = len(res.RingWins) > 0
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(statusW(out), "wrote %s (%d sweep cells, %d cluster runs, all verified=%v, ring beats direct=%v)\n",
+		out, len(rep.FFT.Points), len(rep.FFT.Cluster), rep.AllVerified, rep.RingBeatsDirectOK)
 	return nil
 }
 

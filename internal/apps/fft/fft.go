@@ -1,0 +1,253 @@
+// Package fft implements the distributed 2-D FFT evaluation
+// application: row FFTs, an all-to-all transpose, column FFTs and a
+// transpose back, following the HPX FFT communication benchmark
+// (PAPERS.md, arXiv 2504.03657). The transpose steps are total
+// exchanges — every locality sends a block to every other locality —
+// which is exactly the collective the paper's Eq. 4 overhead signal has
+// not been exercised against: bulk-synchronous bursts rather than
+// point-to-point streams. The app runs on collectives.AllToAll so the
+// benchmark can compare algorithm variants (direct burst vs. paced
+// rotation) under static and adaptive coalescing.
+//
+// Correctness is bit-exact against a sequential reference: both paths
+// apply the identical fft1d kernel to identical complex vectors (whole
+// rows, then whole columns reassembled from the transpose), so the
+// floating-point operations — and therefore the results — are the same.
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collectives"
+	"repro/internal/serialization"
+)
+
+// Config parameterizes one 2-D FFT.
+type Config struct {
+	// Rows and Cols set the grid; both must be powers of two
+	// (defaults 64 × 64).
+	Rows, Cols int
+	// Seed drives the deterministic input generator.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows == 0 {
+		c.Rows = 64
+	}
+	if c.Cols == 0 {
+		c.Cols = 64
+	}
+	return c
+}
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate rejects non-power-of-two grids.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if !pow2(c.Rows) || !pow2(c.Cols) {
+		return fmt.Errorf("fft: grid %dx%d must be powers of two", c.Rows, c.Cols)
+	}
+	return nil
+}
+
+// Range returns the half-open block [lo, hi) of n items owned by
+// partition l of L. Works for any L ≤ n, power of two or not (cluster
+// runs use 3 nodes).
+func Range(n, L, l int) (lo, hi int) { return l * n / L, (l + 1) * n / L }
+
+// splitmix64 is the deterministic input generator; stable across
+// processes so every cluster node generates identical data.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func unit(u uint64) float64 { return float64(u>>11)/float64(1<<53)*2 - 1 }
+
+// InputRow generates row r of the input grid.
+func (c Config) InputRow(r int) []complex128 {
+	c = c.withDefaults()
+	x := c.Seed + uint64(r)*0x632be59bd9b4e019
+	row := make([]complex128, c.Cols)
+	for i := range row {
+		row[i] = complex(unit(splitmix64(&x)), unit(splitmix64(&x)))
+	}
+	return row
+}
+
+// fft1d is the in-place iterative radix-2 Cooley-Tukey kernel. Both the
+// distributed path and the sequential reference use it on identical
+// vectors, which is what makes the comparison bit-exact.
+func fft1d(a []complex128) {
+	n := len(a)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u, v := a[i+j], a[i+j+length/2]*w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// Reference computes the full 2-D FFT sequentially: row FFTs, column
+// FFTs via explicit transposes — the same structure the distributed
+// path has, minus the network.
+func Reference(cfg Config) [][]complex128 {
+	cfg = cfg.withDefaults()
+	grid := make([][]complex128, cfg.Rows)
+	for r := range grid {
+		grid[r] = cfg.InputRow(r)
+		fft1d(grid[r])
+	}
+	trans := transpose(grid, cfg.Cols, cfg.Rows)
+	for c := range trans {
+		fft1d(trans[c])
+	}
+	return transpose(trans, cfg.Rows, cfg.Cols)
+}
+
+func transpose(m [][]complex128, rows, cols int) [][]complex128 {
+	out := make([][]complex128, rows)
+	for r := range out {
+		out[r] = make([]complex128, cols)
+		for c := range out[r] {
+			out[r][c] = m[c][r]
+		}
+	}
+	return out
+}
+
+// pack serializes the sub-block rows[i][lo:hi] for every local row —
+// one all-to-all part.
+func pack(rows [][]complex128, lo, hi int) []byte {
+	w := serialization.NewWriter(16 * len(rows) * (hi - lo))
+	for _, row := range rows {
+		w.C128Slice(row[lo:hi])
+	}
+	return w.Bytes()
+}
+
+// Distributed runs locality l's share of the 2-D FFT on the
+// communicator: FFT over owned rows, all-to-all transpose, FFT over
+// owned columns, all-to-all back. It returns the owned output rows
+// [lo, hi) = Range(Rows, L, l). tag must be unique per call across the
+// communicator (it namespaces the two internal exchanges).
+func Distributed(comm *collectives.Comm, l int, cfg Config, tag string) ([][]complex128, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	L := comm.Localities()
+	rlo, rhi := Range(cfg.Rows, L, l)
+	clo, chi := Range(cfg.Cols, L, l)
+
+	// Row FFTs over the owned row block.
+	rows := make([][]complex128, rhi-rlo)
+	for i := range rows {
+		rows[i] = cfg.InputRow(rlo + i)
+		fft1d(rows[i])
+	}
+
+	// Transpose: send each destination the column range it owns.
+	parts := make([][]byte, L)
+	for d := 0; d < L; d++ {
+		dlo, dhi := Range(cfg.Cols, L, d)
+		parts[d] = pack(rows, dlo, dhi)
+	}
+	got, err := comm.AllToAll(l, tag+"/t1", parts)
+	if err != nil {
+		return nil, fmt.Errorf("fft: transpose: %w", err)
+	}
+
+	// Reassemble owned columns as rows of the transposed grid.
+	trans := make([][]complex128, chi-clo)
+	for i := range trans {
+		trans[i] = make([]complex128, cfg.Rows)
+	}
+	for s := 0; s < L; s++ {
+		slo, shi := Range(cfg.Rows, L, s)
+		rd := serialization.NewReader(got[s])
+		for r := slo; r < shi; r++ {
+			seg := rd.C128Slice()
+			if rd.Err() != nil || len(seg) != chi-clo {
+				return nil, fmt.Errorf("fft: corrupt transpose block from %d: %v", s, rd.Err())
+			}
+			for c := range seg {
+				trans[c][r] = seg[c]
+			}
+		}
+	}
+
+	// Column FFTs.
+	for i := range trans {
+		fft1d(trans[i])
+	}
+
+	// Transpose back: send each destination the row range it owns.
+	for d := 0; d < L; d++ {
+		dlo, dhi := Range(cfg.Rows, L, d)
+		parts[d] = pack(trans, dlo, dhi)
+	}
+	if got, err = comm.AllToAll(l, tag+"/t2", parts); err != nil {
+		return nil, fmt.Errorf("fft: transpose back: %w", err)
+	}
+
+	out := make([][]complex128, rhi-rlo)
+	for i := range out {
+		out[i] = make([]complex128, cfg.Cols)
+	}
+	for s := 0; s < L; s++ {
+		slo, shi := Range(cfg.Cols, L, s)
+		rd := serialization.NewReader(got[s])
+		for c := slo; c < shi; c++ {
+			seg := rd.C128Slice()
+			if rd.Err() != nil || len(seg) != rhi-rlo {
+				return nil, fmt.Errorf("fft: corrupt output block from %d: %v", s, rd.Err())
+			}
+			for r := range seg {
+				out[r][c] = seg[r]
+			}
+		}
+	}
+	return out, nil
+}
+
+// VerifyRows checks got (rows [lo, lo+len(got)) of the output) is
+// bit-exact against the reference ref.
+func VerifyRows(ref [][]complex128, lo int, got [][]complex128) error {
+	for i, row := range got {
+		want := ref[lo+i]
+		if len(row) != len(want) {
+			return fmt.Errorf("fft: row %d has %d cols, want %d", lo+i, len(row), len(want))
+		}
+		for c := range row {
+			if row[c] != want[c] {
+				return fmt.Errorf("fft: row %d col %d = %v, want %v (not bit-exact)",
+					lo+i, c, row[c], want[c])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package fft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collectives"
+	"repro/internal/network"
+	"repro/internal/runtime"
+)
+
+func newTestRuntime(t *testing.T, n int) *runtime.Runtime {
+	t.Helper()
+	rt := runtime.New(runtime.Config{
+		Localities:         n,
+		WorkersPerLocality: 2,
+		CostModel: network.CostModel{
+			SendOverhead: 2 * time.Microsecond,
+			Latency:      5 * time.Microsecond,
+		},
+	})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// runDistributed executes the distributed FFT across all localities of
+// rt and returns the per-locality row blocks.
+func runDistributed(t *testing.T, comm *collectives.Comm, cfg Config, tag string) [][][]complex128 {
+	t.Helper()
+	L := comm.Localities()
+	out := make([][][]complex128, L)
+	errs := make([]error, L)
+	var wg sync.WaitGroup
+	for l := 0; l < L; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			out[l], errs[l] = Distributed(comm, l, cfg, tag)
+		}(l)
+	}
+	wg.Wait()
+	for l, err := range errs {
+		if err != nil {
+			t.Fatalf("locality %d: %v", l, err)
+		}
+	}
+	return out
+}
+
+func TestFFT1DKnownValues(t *testing.T) {
+	// FFT of a pure tone concentrates all energy in one bin.
+	const n = 64
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = cmplx.Exp(complex(0, 2*math.Pi*5*float64(i)/n))
+	}
+	fft1d(a)
+	for k := range a {
+		want := 0.0
+		if k == 5 {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(a[k])-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want magnitude %v", k, cmplx.Abs(a[k]), want)
+		}
+	}
+}
+
+func TestFFT1DMatchesDFT(t *testing.T) {
+	const n = 32
+	cfg := Config{Rows: 1, Cols: n, Seed: 99}
+	in := cfg.InputRow(0)
+	got := append([]complex128(nil), in...)
+	fft1d(got)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += in[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/n))
+		}
+		if cmplx.Abs(got[k]-want) > 1e-9*float64(n) {
+			t.Errorf("bin %d = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestDistributedMatchesReferenceBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		L          int
+		rows, cols int
+	}{
+		{2, 16, 16},
+		{4, 32, 16},
+		{3, 32, 8}, // locality count not dividing the grid evenly
+		{4, 8, 32},
+	} {
+		for _, alg := range []collectives.Algorithm{collectives.AlgDirect, collectives.AlgRing} {
+			name := fmt.Sprintf("L%d-%dx%d-%s", tc.L, tc.rows, tc.cols, alg)
+			t.Run(name, func(t *testing.T) {
+				rt := newTestRuntime(t, tc.L)
+				comm, err := collectives.NewComm(rt, "fft", collectives.Options{Algorithm: alg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(comm.Close)
+				cfg := Config{Rows: tc.rows, Cols: tc.cols, Seed: 7}
+				ref := Reference(cfg)
+				blocks := runDistributed(t, comm, cfg, "x")
+				for l := 0; l < tc.L; l++ {
+					lo, _ := Range(cfg.Rows, tc.L, l)
+					if err := VerifyRows(ref, lo, blocks[l]); err != nil {
+						t.Errorf("locality %d: %v", l, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBadGrid(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	comm, err := collectives.NewComm(rt, "fft-bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(comm.Close)
+	if _, err := Distributed(comm, 0, Config{Rows: 24, Cols: 16}, "t"); err == nil {
+		t.Error("non-power-of-two grid should fail")
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	// A participant dying mid-FFT must fail the survivors' transforms
+	// promptly (no hang), and a fresh run afterwards must still be
+	// bit-exact — the crash leaves no residue in the collectives layer.
+	const L = 4
+	rt := newTestRuntime(t, L)
+	comm, err := collectives.NewComm(rt, "fft-crash", collectives.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(comm.Close)
+	cfg := Config{Rows: 32, Cols: 32, Seed: 11}
+
+	// Localities 0..2 start; locality 3 "crashes" before participating.
+	errs := make(chan error, L-1)
+	for l := 0; l < L-1; l++ {
+		go func(l int) {
+			_, err := Distributed(comm, l, cfg, "doomed")
+			errs <- err
+		}(l)
+	}
+	time.Sleep(20 * time.Millisecond)
+	rt.DeclareDown(3)
+	for i := 0; i < L-1; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, network.ErrLocalityDown) {
+				t.Errorf("survivor returned %v, want ErrLocalityDown", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("survivor hung after participant death")
+		}
+	}
+
+	// Recovery: a fresh runtime (restarted cluster) produces bit-exact
+	// results for the same configuration.
+	rt2 := newTestRuntime(t, L)
+	comm2, err := collectives.NewComm(rt2, "fft-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(comm2.Close)
+	ref := Reference(cfg)
+	blocks := runDistributed(t, comm2, cfg, "recovered")
+	for l := 0; l < L; l++ {
+		lo, _ := Range(cfg.Rows, L, l)
+		if err := VerifyRows(ref, lo, blocks[l]); err != nil {
+			t.Errorf("recovered locality %d: %v", l, err)
+		}
+	}
+}
+
+func TestRangeCoversAll(t *testing.T) {
+	for _, L := range []int{1, 2, 3, 4, 5, 7, 8} {
+		for _, n := range []int{8, 32, 64} {
+			prev := 0
+			for l := 0; l < L; l++ {
+				lo, hi := Range(n, L, l)
+				if lo != prev || hi < lo {
+					t.Fatalf("Range(%d, %d, %d) = [%d, %d), prev end %d", n, L, l, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("Range(%d, %d, ·) covers %d items", n, L, prev)
+			}
+		}
+	}
+}

@@ -9,7 +9,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/apps/fft"
+	"repro/internal/coalescing"
+	"repro/internal/collectives"
 	"repro/internal/health"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/reliable"
 	"repro/internal/runtime"
@@ -34,6 +38,23 @@ type BenchSpec struct {
 	OutputBytes int
 	Recover     bool
 	Timeout     time.Duration
+}
+
+// FFTSpec is the distributed-FFT workload (the -app fft alternative to
+// the Task Bench workload): a 2-D FFT whose transpose steps are
+// collective all-to-alls over the real-socket cluster.
+type FFTSpec struct {
+	// Rows and Cols set the grid (powers of two).
+	Rows, Cols int
+	// Alg selects the all-to-all algorithm variant: "direct", "ring" or
+	// "auto".
+	Alg string
+	// Iterations repeats the transform with fresh tags.
+	Iterations int
+	// CoalesceParcels/CoalesceInterval, when CoalesceParcels > 0, enable
+	// static coalescing for the collective contribution action.
+	CoalesceParcels  int
+	CoalesceInterval time.Duration
 }
 
 // NodeSpec configures one amc-node process: one hosted locality of an
@@ -61,7 +82,12 @@ type NodeSpec struct {
 	PhiThreshold      float64
 	JoinTimeout       time.Duration
 
+	// App selects the workload: "bench" (Task Bench, the default) or
+	// "fft" (distributed 2-D FFT over collectives).
+	App string
+
 	Bench BenchSpec
+	FFT   FFTSpec
 
 	// CrashAfter, when positive, hard-kills the process (os.Exit, no
 	// shutdown, sockets die mid-conversation) that long after the bench
@@ -100,6 +126,21 @@ func (s NodeSpec) withDefaults() NodeSpec {
 	if s.Bench.Timeout <= 0 {
 		s.Bench.Timeout = 60 * time.Second
 	}
+	if s.App == "" {
+		s.App = "bench"
+	}
+	if s.FFT.Rows <= 0 {
+		s.FFT.Rows = 64
+	}
+	if s.FFT.Cols <= 0 {
+		s.FFT.Cols = 64
+	}
+	if s.FFT.Alg == "" {
+		s.FFT.Alg = "ring"
+	}
+	if s.FFT.Iterations <= 0 {
+		s.FFT.Iterations = 2
+	}
 	return s
 }
 
@@ -112,12 +153,18 @@ type NodeResult struct {
 	Parcels      int64   `json:"parcels"`
 	NetOverhead  float64 `json:"network_overhead"`
 	TaskOverhead float64 `json:"task_overhead_us"`
+	Verified     bool    `json:"verified,omitempty"` // fft: output bit-exact vs the sequential reference
 	Err          string  `json:"error,omitempty"`
 }
 
 // ClusterResult is node 0's aggregate over the whole run.
 type ClusterResult struct {
 	Nodes       int          `json:"nodes"`
+	App         string       `json:"app,omitempty"`
+	FFTRows     int          `json:"fft_rows,omitempty"`
+	FFTCols     int          `json:"fft_cols,omitempty"`
+	Algorithm   string       `json:"algorithm,omitempty"`
+	Verified    bool         `json:"verified,omitempty"` // fft: every node bit-exact
 	Pattern     string       `json:"pattern"`
 	Width       int          `json:"width"`
 	Steps       int          `json:"steps"`
@@ -225,6 +272,35 @@ func (n *node) run() (int, error) {
 	n.rt.MustRegisterAction(actionBenchResult, n.handleBenchResult)
 	n.rt.MustRegisterAction(actionFinish, n.handleFinish)
 
+	// The FFT communicator must exist before the join barrier: a
+	// contribution arriving at a node that has not yet registered the
+	// collectives action (or the communicator) is dropped permanently,
+	// and nodes leave the barrier microseconds apart. Creating the comm
+	// pre-join makes the barrier order registration before any
+	// collective traffic.
+	var fftComm *collectives.Comm
+	if spec.App == "fft" {
+		alg, err := collectives.ParseAlgorithm(spec.FFT.Alg)
+		if err != nil {
+			return CodeError, err
+		}
+		if spec.FFT.CoalesceParcels > 0 {
+			if err := n.rt.EnableCoalescing(collectives.Action, coalescing.Params{
+				NParcels: spec.FFT.CoalesceParcels,
+				Interval: spec.FFT.CoalesceInterval,
+			}); err != nil {
+				return CodeError, err
+			}
+		}
+		if fftComm, err = collectives.NewComm(n.rt, "cluster-fft", collectives.Options{
+			Algorithm: alg,
+			Timeout:   spec.Bench.Timeout,
+		}); err != nil {
+			return CodeError, err
+		}
+		defer fftComm.Close()
+	}
+
 	n.svc = NewService(n.rt, Options{
 		GossipInterval: spec.GossipInterval,
 		AdvertiseAddr:  advertise,
@@ -269,17 +345,23 @@ func (n *node) run() (int, error) {
 		Iterations:  spec.Bench.Iterations,
 		OutputBytes: spec.Bench.OutputBytes,
 	}
-	n.logger.Printf("running %v (recover=%v)", g, spec.Bench.Recover)
-	res, benchErr := bench.RunCluster(g, taskbench.ClusterOptions{Recover: spec.Bench.Recover})
-
-	mine := NodeResult{ID: spec.ID}
-	if benchErr != nil {
-		mine.Err = benchErr.Error()
+	var mine NodeResult
+	var benchErr error
+	if spec.App == "fft" {
+		mine, benchErr = n.runFFT(fftComm)
 	} else {
-		mine = NodeResult{
-			ID: spec.ID, Tasks: res.Tasks, WallNS: int64(res.Wall),
-			Messages: res.MessagesSent, Parcels: res.ParcelsSent,
-			NetOverhead: res.NetworkOverhead, TaskOverhead: res.TaskOverheadUS,
+		n.logger.Printf("running %v (recover=%v)", g, spec.Bench.Recover)
+		var res taskbench.Result
+		res, benchErr = bench.RunCluster(g, taskbench.ClusterOptions{Recover: spec.Bench.Recover})
+		mine = NodeResult{ID: spec.ID}
+		if benchErr != nil {
+			mine.Err = benchErr.Error()
+		} else {
+			mine = NodeResult{
+				ID: spec.ID, Tasks: res.Tasks, WallNS: int64(res.Wall),
+				Messages: res.MessagesSent, Parcels: res.ParcelsSent,
+				NetOverhead: res.NetworkOverhead, TaskOverhead: res.TaskOverheadUS,
+			}
 		}
 	}
 
@@ -302,6 +384,54 @@ func (n *node) run() (int, error) {
 		return code, benchErr
 	}
 	return code, n.report(mine)
+}
+
+// runFFT executes this node's share of the distributed 2-D FFT and
+// verifies the owned output rows bit-exactly against the sequential
+// reference (every node recomputes the small reference grid locally, so
+// verification needs no extra communication).
+func (n *node) runFFT(comm *collectives.Comm) (NodeResult, error) {
+	spec := n.spec
+	mine := NodeResult{ID: spec.ID}
+	cfg := fft.Config{Rows: spec.FFT.Rows, Cols: spec.FFT.Cols, Seed: 0x5eed}
+	n.logger.Printf("running fft %dx%d alg=%s iterations=%d",
+		cfg.Rows, cfg.Cols, comm.Algorithm(), spec.FFT.Iterations)
+	port := n.rt.Locality(spec.ID).Port()
+	p0 := port.Stats()
+	before := metrics.Snapshot(n.rt)
+	start := time.Now()
+	var blocks [][]complex128
+	var ferr error
+	for it := 0; it < spec.FFT.Iterations; it++ {
+		if blocks, ferr = fft.Distributed(comm, spec.ID, cfg, fmt.Sprintf("it%d", it)); ferr != nil {
+			break
+		}
+	}
+	wall := time.Since(start)
+	after := metrics.Snapshot(n.rt)
+	p1 := port.Stats()
+	phase := metrics.Phase{
+		Tasks:          after.Tasks - before.Tasks,
+		TaskDuration:   after.TaskDuration - before.TaskDuration,
+		ExecDuration:   after.ExecDuration - before.ExecDuration,
+		BackgroundWork: after.BackgroundWork - before.BackgroundWork,
+	}
+	mine.WallNS = int64(wall)
+	mine.Messages = p1.MessagesSent - p0.MessagesSent
+	mine.Parcels = p1.ParcelsSent - p0.ParcelsSent
+	mine.NetOverhead = phase.NetworkOverhead()
+	mine.TaskOverhead = phase.TaskOverheadUS()
+	if ferr != nil {
+		mine.Err = ferr.Error()
+		return mine, ferr
+	}
+	lo, _ := fft.Range(cfg.Rows, spec.N, spec.ID)
+	if err := fft.VerifyRows(fft.Reference(cfg), lo, blocks); err != nil {
+		mine.Err = err.Error()
+		return mine, err
+	}
+	mine.Verified = true
+	return mine, nil
 }
 
 // report sends this node's result to node 0 and waits for the finish
@@ -363,9 +493,16 @@ func (n *node) aggregate(mine NodeResult, g taskbench.Graph) error {
 	}
 
 	agg := ClusterResult{
-		Nodes: n.spec.N, Pattern: string(g.Pattern), Width: g.Width, Steps: g.Steps,
-		Iterations: g.Iterations, OutputBytes: g.OutputBytes,
-		TotalTasks: int64(g.TotalTasks()), DownNodes: append([]int(nil), down...),
+		Nodes: n.spec.N, App: n.spec.App, DownNodes: append([]int(nil), down...),
+	}
+	if n.spec.App == "fft" {
+		agg.FFTRows, agg.FFTCols = n.spec.FFT.Rows, n.spec.FFT.Cols
+		agg.Algorithm = n.spec.FFT.Alg
+		agg.Iterations = n.spec.FFT.Iterations
+	} else {
+		agg.Pattern, agg.Width, agg.Steps = string(g.Pattern), g.Width, g.Steps
+		agg.Iterations, agg.OutputBytes = g.Iterations, g.OutputBytes
+		agg.TotalTasks = int64(g.TotalTasks())
 	}
 	n.resMu.Lock()
 	for i := 0; i < n.spec.N; i++ {
@@ -382,7 +519,17 @@ func (n *node) aggregate(mine NodeResult, g taskbench.Graph) error {
 		}
 	}
 	n.resMu.Unlock()
-	agg.Completed = agg.TasksRun >= agg.TotalTasks
+	if n.spec.App == "fft" {
+		agg.Completed = len(agg.PerNode) == n.spec.N
+		agg.Verified = agg.Completed
+		for _, r := range agg.PerNode {
+			if !r.Verified {
+				agg.Verified = false
+			}
+		}
+	} else {
+		agg.Completed = agg.TasksRun >= agg.TotalTasks
+	}
 	for _, r := range agg.PerNode {
 		if r.Err != "" {
 			agg.Completed = false

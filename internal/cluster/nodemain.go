@@ -29,6 +29,13 @@ func NodeMain(args []string, stderr io.Writer) int {
 	fs.DurationVar(&spec.HeartbeatInterval, "heartbeat-interval", 25*time.Millisecond, "phi-accrual heartbeat period")
 	fs.Float64Var(&spec.PhiThreshold, "phi", 8, "phi threshold for declaring a peer dead")
 	fs.DurationVar(&spec.JoinTimeout, "join-timeout", 10*time.Second, "bootstrap barrier timeout")
+	fs.StringVar(&spec.App, "app", "bench", "workload: bench (Task Bench) or fft (distributed 2-D FFT)")
+	fs.IntVar(&spec.FFT.Rows, "fft-rows", 64, "fft: grid rows (power of two)")
+	fs.IntVar(&spec.FFT.Cols, "fft-cols", 64, "fft: grid cols (power of two)")
+	fs.StringVar(&spec.FFT.Alg, "fft-alg", "ring", "fft: all-to-all algorithm variant (direct|ring|auto)")
+	fs.IntVar(&spec.FFT.Iterations, "fft-iterations", 2, "fft: transform repetitions")
+	fs.IntVar(&spec.FFT.CoalesceParcels, "fft-coalesce-parcels", 0, "fft: static coalescing batch size for contributions (0 = off)")
+	fs.DurationVar(&spec.FFT.CoalesceInterval, "fft-coalesce-interval", time.Millisecond, "fft: static coalescing flush interval")
 	fs.StringVar(&spec.Bench.Pattern, "pattern", "stencil_1d", "task bench dependency pattern")
 	fs.IntVar(&spec.Bench.Width, "width", 0, "graph width in task points (default 2 per node)")
 	fs.IntVar(&spec.Bench.Steps, "steps", 64, "graph steps")

@@ -1,0 +1,505 @@
+package collectives
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Algorithm variants.
+//
+// Binomial tree (rooted operations): relative rank r = (l - root + L) %
+// L. Rank r's subtree covers relative ranks [r, r+span) clipped to L,
+// where span is the largest power of two dividing r (the whole clipped
+// power-of-two range for the root). Children are r+span/2, r+span/4, …,
+// r+1; the parent clears r's lowest set bit. Broadcast relays the value
+// down this tree (O(log L) fan-out per node instead of the root's O(L)
+// loop), reduce folds partials up it, scatter splits packed blocks down
+// it.
+//
+// Ring all-gather: L-1 steps; at step k every locality forwards to its
+// right neighbour the block it received at step k-1 (its own payload at
+// step 1). Rotation all-to-all: at step k locality l exchanges exactly
+// with (l±k) % L. Both put one frame per link per step instead of an
+// O(L) burst per locality, spreading load across links and time.
+//
+// Failure handling (every variant): a participant that cannot complete
+// its part best-effort poisons the instances that depend on it (error
+// frames), so peers fail fast; the communicator timeout and the
+// death-subscriber poisoning are the backstop when even the poison
+// frame cannot be delivered. Waiters always drop their instance, and
+// poisoning clears the rest, so failed operations leak nothing.
+
+// treeParent returns the binomial-tree parent of relative rank r > 0.
+func treeParent(r int) int { return r &^ (r & -r) }
+
+// subtreeSpan returns the (power-of-two) span of r's subtree; the
+// subtree covers relative ranks [r, r+span) clipped to L.
+func subtreeSpan(r, L int) int {
+	if r == 0 {
+		s := 1
+		for s < L {
+			s <<= 1
+		}
+		return s
+	}
+	return r & -r
+}
+
+// treeChildren returns r's children in descending span order.
+func treeChildren(r, L int) []int {
+	var out []int
+	for m := subtreeSpan(r, L) >> 1; m >= 1; m >>= 1 {
+		if c := r + m; c < L {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// saltReduce separates the fan-in of a direct Reduce from a plain
+// Gather issued under the same user tag.
+const saltReduce = 0x165667b19e3779f9
+
+// gather is the direct fan-in: every locality sends to the root, the
+// root waits for L slots.
+func (c *Comm) gather(l, root int, seq uint64, payload []byte, m *opMeter) ([][]byte, error) {
+	L := c.rt.Localities()
+	h := header{kind: kGather, root: uint32(root), seq: seq}
+	key := opKey{kind: kGather, root: uint32(root), dest: uint32(root), seq: seq}
+	if l != root {
+		return nil, c.send(m, l, root, h, payload)
+	}
+	inst, err := c.armed(key, L, L)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.send(m, l, root, h, payload); err != nil {
+		c.drop(key)
+		return nil, err
+	}
+	return c.await(inst, key)
+}
+
+func (c *Comm) reduce(l, root int, seq uint64, payload []byte, fn ReduceFunc, m *opMeter) ([]byte, error) {
+	if c.alg == AlgDirect {
+		return c.reduceDirect(l, root, seq, payload, fn, m)
+	}
+	return c.reduceTree(l, root, seq, payload, fn, m)
+}
+
+// reduceDirect gathers at the root and folds there.
+func (c *Comm) reduceDirect(l, root int, seq uint64, payload []byte, fn ReduceFunc, m *opMeter) ([]byte, error) {
+	parts, err := c.gather(l, root, seq^saltReduce, payload, m)
+	if err != nil || l != root {
+		return nil, err
+	}
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		if acc, err = fn(acc, p); err != nil {
+			return nil, fmt.Errorf("collectives: reduce: %w", err)
+		}
+	}
+	return acc, nil
+}
+
+// reduceTree folds partial reductions up the binomial tree: each node
+// combines its children's partials with its own payload and sends the
+// result to its parent; the root returns the total. A node that fails
+// poisons its parent chain so the root is released immediately.
+func (c *Comm) reduceTree(l, root int, seq uint64, payload []byte, fn ReduceFunc, m *opMeter) ([]byte, error) {
+	L := c.rt.Localities()
+	rel := (l - root + L) % L
+	children := treeChildren(rel, L)
+	abs := func(r int) int { return (root + r) % L }
+
+	poisonUp := func(msg string) {
+		if rel != 0 {
+			c.sendError(l, abs(treeParent(rel)), header{kind: kReduceTree, root: uint32(root), aux: uint32(abs(treeParent(rel))), seq: seq}, msg)
+		}
+	}
+
+	acc := payload
+	if len(children) > 0 {
+		key := opKey{kind: kReduceTree, root: uint32(root), aux: uint32(l), dest: uint32(l), seq: seq}
+		inst, err := c.armed(key, len(children), L)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := c.await(inst, key)
+		if err != nil {
+			poisonUp(err.Error())
+			return nil, err
+		}
+		// Fold in ascending child rank for a deterministic order.
+		for i := len(children) - 1; i >= 0; i-- {
+			if acc, err = fn(acc, parts[abs(children[i])]); err != nil {
+				err = fmt.Errorf("collectives: reduce: %w", err)
+				poisonUp(err.Error())
+				return nil, err
+			}
+		}
+	}
+	if rel == 0 {
+		return acc, nil
+	}
+	parent := abs(treeParent(rel))
+	h := header{kind: kReduceTree, root: uint32(root), aux: uint32(parent), seq: seq}
+	if err := c.send(m, l, parent, h, acc); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Comm) broadcast(l, root int, seq uint64, payload []byte, m *opMeter) ([]byte, error) {
+	if c.alg == AlgDirect {
+		return c.broadcastDirect(l, root, seq, payload, m)
+	}
+	return c.broadcastTree(l, root, seq, payload, m)
+}
+
+// broadcastDirect is the O(L) root loop. A send failure no longer
+// aborts the loop: every remaining destination is still attempted, so
+// only genuinely unreachable peers are left to the poisoning backstop.
+func (c *Comm) broadcastDirect(l, root int, seq uint64, payload []byte, m *opMeter) ([]byte, error) {
+	L := c.rt.Localities()
+	key := opKey{kind: kBcastDirect, root: uint32(root), aux: uint32(l), dest: uint32(l), seq: seq}
+	inst, err := c.armed(key, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	if l == root {
+		for dst := 0; dst < L; dst++ {
+			h := header{kind: kBcastDirect, root: uint32(root), aux: uint32(dst), seq: seq}
+			if err := c.send(m, l, dst, h, payload); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	parts, err := c.await(inst, key)
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return parts[0], nil
+}
+
+// broadcastTree relays the root's value down the binomial tree. A node
+// that cannot reach a child poisons that child's whole subtree directly
+// so nobody below the broken link hangs.
+func (c *Comm) broadcastTree(l, root int, seq uint64, payload []byte, m *opMeter) ([]byte, error) {
+	L := c.rt.Localities()
+	rel := (l - root + L) % L
+	abs := func(r int) int { return (root + r) % L }
+
+	val := payload
+	if rel != 0 {
+		key := opKey{kind: kBcastTree, root: uint32(root), aux: uint32(l), dest: uint32(l), seq: seq}
+		inst, err := c.armed(key, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := c.await(inst, key)
+		if err != nil {
+			c.poisonSubtree(l, rel, root, seq, kBcastTree, err.Error())
+			return nil, err
+		}
+		val = parts[0]
+	}
+	var firstErr error
+	for _, cr := range treeChildren(rel, L) {
+		child := abs(cr)
+		h := header{kind: kBcastTree, root: uint32(root), aux: uint32(child), seq: seq}
+		if err := c.send(m, l, child, h, val); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			c.poisonSubtree(l, cr, root, seq, kBcastTree, err.Error())
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return val, nil
+}
+
+// poisonSubtree best-effort fails the per-destination instances of
+// every rank strictly below rel in the tree rooted at root (excluding
+// rel itself).
+func (c *Comm) poisonSubtree(from, rel, root int, seq uint64, kind uint8, msg string) {
+	L := c.rt.Localities()
+	span := subtreeSpan(rel, L)
+	for q := rel + 1; q < rel+span && q < L; q++ {
+		dst := (root + q) % L
+		c.sendError(from, dst, header{kind: kind, root: uint32(root), aux: uint32(dst), seq: seq}, msg)
+	}
+}
+
+func (c *Comm) scatter(l, root int, seq uint64, parts [][]byte, m *opMeter) ([]byte, error) {
+	if c.alg == AlgDirect {
+		return c.scatterDirect(l, root, seq, parts, m)
+	}
+	return c.scatterTree(l, root, seq, parts, m)
+}
+
+// scatterDirect: the root sends each destination its part.
+func (c *Comm) scatterDirect(l, root int, seq uint64, parts [][]byte, m *opMeter) ([]byte, error) {
+	L := c.rt.Localities()
+	key := opKey{kind: kScatterDirect, root: uint32(root), aux: uint32(l), dest: uint32(l), seq: seq}
+	inst, err := c.armed(key, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	if l == root {
+		for dst := 0; dst < L; dst++ {
+			h := header{kind: kScatterDirect, root: uint32(root), aux: uint32(dst), seq: seq}
+			if err := c.send(m, l, dst, h, parts[dst]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	got, err := c.await(inst, key)
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return got[0], nil
+}
+
+// appendEntry packs one length-prefixed part into a scatter block.
+func appendEntry(dst, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// splitEntries parses count length-prefixed entries; offs has count+1
+// byte offsets so contiguous entry ranges can be re-sliced (not
+// re-encoded) when forwarding sub-blocks down the tree.
+func splitEntries(block []byte, count int) (entries [][]byte, offs []int, err error) {
+	entries = make([][]byte, 0, count)
+	offs = make([]int, 0, count+1)
+	off := 0
+	for i := 0; i < count; i++ {
+		offs = append(offs, off)
+		n, vn := binary.Uvarint(block[off:])
+		if vn <= 0 || uint64(len(block)-off-vn) < n {
+			return nil, nil, fmt.Errorf("collectives: corrupt scatter block (entry %d/%d)", i, count)
+		}
+		entries = append(entries, block[off+vn:off+vn+int(n)])
+		off += vn + int(n)
+	}
+	if off != len(block) {
+		return nil, nil, fmt.Errorf("collectives: scatter block has %d trailing bytes", len(block)-off)
+	}
+	return entries, append(offs, off), nil
+}
+
+// scatterTree splits packed part-blocks down the binomial tree: each
+// child receives one block covering its whole subtree (relative-rank
+// ascending), keeps the first entry and re-slices the rest onward.
+func (c *Comm) scatterTree(l, root int, seq uint64, parts [][]byte, m *opMeter) ([]byte, error) {
+	L := c.rt.Localities()
+	rel := (l - root + L) % L
+	abs := func(r int) int { return (root + r) % L }
+	children := treeChildren(rel, L)
+
+	sendBlock := func(cr int, blob []byte) error {
+		child := abs(cr)
+		h := header{kind: kScatterTree, root: uint32(root), aux: uint32(child), seq: seq}
+		if err := c.send(m, l, child, h, blob); err != nil {
+			c.sendError(l, child, h, err.Error())
+			c.poisonSubtree(l, cr, root, seq, kScatterTree, err.Error())
+			return err
+		}
+		return nil
+	}
+
+	if rel == 0 {
+		var firstErr error
+		for _, cr := range children {
+			end := cr + subtreeSpan(cr, L)
+			if end > L {
+				end = L
+			}
+			var blob []byte
+			for q := cr; q < end; q++ {
+				blob = appendEntry(blob, parts[abs(q)])
+			}
+			if err := sendBlock(cr, blob); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return parts[root], nil
+	}
+
+	key := opKey{kind: kScatterTree, root: uint32(root), aux: uint32(l), dest: uint32(l), seq: seq}
+	inst, err := c.armed(key, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	got, err := c.await(inst, key)
+	if err != nil {
+		c.poisonSubtree(l, rel, root, seq, kScatterTree, err.Error())
+		return nil, err
+	}
+	end := rel + subtreeSpan(rel, L)
+	if end > L {
+		end = L
+	}
+	entries, offs, err := splitEntries(got[0], end-rel)
+	if err != nil {
+		c.poisonSubtree(l, rel, root, seq, kScatterTree, err.Error())
+		return nil, err
+	}
+	var firstErr error
+	for _, cr := range children {
+		cend := cr + subtreeSpan(cr, L)
+		if cend > end {
+			cend = end
+		}
+		blob := got[0][offs[cr-rel]:offs[cend-rel]]
+		if err := sendBlock(cr, blob); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return entries[0], nil
+}
+
+func (c *Comm) allGather(l int, seq uint64, payload []byte, m *opMeter) ([][]byte, error) {
+	if c.alg == AlgDirect {
+		return c.allGatherDirect(l, seq, payload, m)
+	}
+	return c.allGatherRing(l, seq, payload, m)
+}
+
+// allGatherDirect: every locality sends its payload to every other — an
+// O(L) burst per locality.
+func (c *Comm) allGatherDirect(l int, seq uint64, payload []byte, m *opMeter) ([][]byte, error) {
+	L := c.rt.Localities()
+	key := opKey{kind: kAllGatherDirect, dest: uint32(l), seq: seq}
+	inst, err := c.armed(key, L, L)
+	if err != nil {
+		return nil, err
+	}
+	h := header{kind: kAllGatherDirect, seq: seq}
+	for d := 0; d < L; d++ {
+		if err := c.send(m, l, d, h, payload); err != nil {
+			c.drop(key)
+			return nil, err
+		}
+	}
+	return c.await(inst, key)
+}
+
+// allGatherRing: L-1 steps around the ring; each step forwards the
+// block received the step before, so every link carries exactly one
+// block per step.
+func (c *Comm) allGatherRing(l int, seq uint64, payload []byte, m *opMeter) ([][]byte, error) {
+	L := c.rt.Localities()
+	out := make([][]byte, L)
+	out[l] = payload
+	if L == 1 {
+		return out, nil
+	}
+	next, prev := (l+1)%L, (l+L-1)%L
+	poisonDownstream := func(fromStep int, msg string) {
+		for j := fromStep; j < L; j++ {
+			c.sendError(l, next, header{kind: kAllGatherRing, aux: uint32(j), seq: seq}, msg)
+		}
+	}
+	cur := payload
+	for k := 1; k < L; k++ {
+		key := opKey{kind: kAllGatherRing, aux: uint32(k), dest: uint32(l), seq: seq}
+		inst, err := c.armed(key, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		h := header{kind: kAllGatherRing, aux: uint32(k), seq: seq}
+		if err := c.send(m, l, next, h, cur); err != nil {
+			c.drop(key)
+			poisonDownstream(k+1, err.Error())
+			return nil, err
+		}
+		parts, err := c.await(inst, key)
+		if err != nil {
+			poisonDownstream(k+1, err.Error())
+			return nil, err
+		}
+		cur = parts[0]
+		out[(l-k+L)%L] = cur
+	}
+	_ = prev
+	return out, nil
+}
+
+func (c *Comm) allToAll(l int, seq uint64, parts [][]byte, m *opMeter) ([][]byte, error) {
+	if c.alg == AlgDirect {
+		return c.allToAllDirect(l, seq, parts, m)
+	}
+	return c.allToAllRing(l, seq, parts, m)
+}
+
+// allToAllDirect: every locality bursts all L-1 parts at once — every
+// link loaded simultaneously (the incast-prone variant).
+func (c *Comm) allToAllDirect(l int, seq uint64, parts [][]byte, m *opMeter) ([][]byte, error) {
+	L := c.rt.Localities()
+	key := opKey{kind: kAllToAllDirect, dest: uint32(l), seq: seq}
+	inst, err := c.armed(key, L, L)
+	if err != nil {
+		return nil, err
+	}
+	h := header{kind: kAllToAllDirect, seq: seq}
+	for d := 0; d < L; d++ {
+		if err := c.send(m, l, d, h, parts[d]); err != nil {
+			c.drop(key)
+			return nil, err
+		}
+	}
+	return c.await(inst, key)
+}
+
+// allToAllRing is the rotation exchange: at step k locality l sends its
+// part for (l+k)%L and receives from (l-k+L)%L, one frame per locality
+// per step, pacing the exchange across links and time.
+func (c *Comm) allToAllRing(l int, seq uint64, parts [][]byte, m *opMeter) ([][]byte, error) {
+	L := c.rt.Localities()
+	out := make([][]byte, L)
+	out[l] = parts[l]
+	poisonRemaining := func(fromStep int, msg string) {
+		for j := fromStep; j < L; j++ {
+			c.sendError(l, (l+j)%L, header{kind: kAllToAllRing, aux: uint32(j), seq: seq}, msg)
+		}
+	}
+	for k := 1; k < L; k++ {
+		dst, src := (l+k)%L, (l-k+L)%L
+		key := opKey{kind: kAllToAllRing, aux: uint32(k), dest: uint32(l), seq: seq}
+		inst, err := c.armed(key, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		h := header{kind: kAllToAllRing, aux: uint32(k), seq: seq}
+		if err := c.send(m, l, dst, h, parts[dst]); err != nil {
+			c.drop(key)
+			poisonRemaining(k+1, err.Error())
+			return nil, err
+		}
+		got, err := c.await(inst, key)
+		if err != nil {
+			poisonRemaining(k+1, err.Error())
+			return nil, err
+		}
+		out[src] = got[0]
+	}
+	return out, nil
+}

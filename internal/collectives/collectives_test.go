@@ -81,10 +81,7 @@ func runAll(t *testing.T, n int, fn func(l int) ([]byte, error)) [][]byte {
 func TestGather(t *testing.T) {
 	const L = 4
 	rt := newTestRuntime(t, L)
-	comm, err := NewComm(rt, "g")
-	if err != nil {
-		t.Fatal(err)
-	}
+	comm := withComm(t, rt, "g")
 	var rootParts [][]byte
 	runAll(t, L, func(l int) ([]byte, error) {
 		parts, err := comm.Gather(l, 2, "t0", encInt(int64(l*10)))
@@ -110,10 +107,7 @@ func TestGather(t *testing.T) {
 func TestReduceSum(t *testing.T) {
 	const L = 5
 	rt := newTestRuntime(t, L)
-	comm, err := NewComm(rt, "r")
-	if err != nil {
-		t.Fatal(err)
-	}
+	comm := withComm(t, rt, "r")
 	results := runAll(t, L, func(l int) ([]byte, error) {
 		return comm.Reduce(l, 0, "sum", encInt(int64(l+1)), sumInts)
 	})
@@ -130,10 +124,7 @@ func TestReduceSum(t *testing.T) {
 func TestBroadcast(t *testing.T) {
 	const L = 4
 	rt := newTestRuntime(t, L)
-	comm, err := NewComm(rt, "b")
-	if err != nil {
-		t.Fatal(err)
-	}
+	comm := withComm(t, rt, "b")
 	results := runAll(t, L, func(l int) ([]byte, error) {
 		var payload []byte
 		if l == 1 {
@@ -151,10 +142,7 @@ func TestBroadcast(t *testing.T) {
 func TestAllReduce(t *testing.T) {
 	const L = 3
 	rt := newTestRuntime(t, L)
-	comm, err := NewComm(rt, "ar")
-	if err != nil {
-		t.Fatal(err)
-	}
+	comm := withComm(t, rt, "ar")
 	results := runAll(t, L, func(l int) ([]byte, error) {
 		return comm.AllReduce(l, "s", encInt(int64(l)), sumInts)
 	})
@@ -168,10 +156,7 @@ func TestAllReduce(t *testing.T) {
 func TestBarrierSynchronizes(t *testing.T) {
 	const L = 4
 	rt := newTestRuntime(t, L)
-	comm, err := NewComm(rt, "bar")
-	if err != nil {
-		t.Fatal(err)
-	}
+	comm := withComm(t, rt, "bar")
 	var mu sync.Mutex
 	arrived := 0
 	runAll(t, L, func(l int) ([]byte, error) {
@@ -194,10 +179,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 func TestRepeatedOperationsWithFreshTags(t *testing.T) {
 	const L = 3
 	rt := newTestRuntime(t, L)
-	comm, err := NewComm(rt, "iter")
-	if err != nil {
-		t.Fatal(err)
-	}
+	comm := withComm(t, rt, "iter")
 	for it := 0; it < 5; it++ {
 		tag := fmt.Sprintf("i%d", it)
 		results := runAll(t, L, func(l int) ([]byte, error) {
@@ -213,14 +195,8 @@ func TestRepeatedOperationsWithFreshTags(t *testing.T) {
 
 func TestMultipleComms(t *testing.T) {
 	rt := newTestRuntime(t, 2)
-	a, err := NewComm(rt, "a")
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewComm(rt, "b2")
-	if err != nil {
-		t.Fatal(err)
-	}
+	a := withComm(t, rt, "a")
+	b := withComm(t, rt, "b2")
 	// Same tag on two communicators: no cross-talk.
 	var ra, rb [][]byte
 	var wg sync.WaitGroup
@@ -267,11 +243,8 @@ func TestCollectivesAreCoalesced(t *testing.T) {
 	// internal action batches contributions like any other traffic.
 	const L = 2
 	rt := newTestRuntime(t, L)
-	comm, err := NewComm(rt, "co")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := rt.EnableCoalescing(collectiveAction, coalescing.Params{
+	comm := withComm(t, rt, "co")
+	if err := rt.EnableCoalescing(Action, coalescing.Params{
 		NParcels: 8, Interval: 2 * time.Millisecond,
 	}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,438 @@
+package collectives
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/runtime"
+)
+
+// withComm creates a communicator and closes it when the test ends.
+func withComm(t *testing.T, rt *runtime.Runtime, name string, opts ...Options) *Comm {
+	t.Helper()
+	comm, err := NewComm(rt, name, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(comm.Close)
+	return comm
+}
+
+// runAll2 is runAll for slice-of-slices results (AllGather/AllToAll).
+func runAll2(t *testing.T, n int, fn func(l int) ([][]byte, error)) [][][]byte {
+	t.Helper()
+	out := make([][][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for l := 0; l < n; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			out[l], errs[l] = fn(l)
+		}(l)
+	}
+	wg.Wait()
+	for l, err := range errs {
+		if err != nil {
+			t.Fatalf("locality %d: %v", l, err)
+		}
+	}
+	return out
+}
+
+var variantAlgs = []Algorithm{AlgDirect, AlgTree, AlgRing}
+
+func TestScatterVariants(t *testing.T) {
+	const L, root = 5, 2
+	for _, alg := range variantAlgs {
+		t.Run(alg.String(), func(t *testing.T) {
+			rt := newTestRuntime(t, L)
+			comm := withComm(t, rt, "sc-"+alg.String(), Options{Algorithm: alg})
+			parts := make([][]byte, L)
+			for d := range parts {
+				if d == 3 {
+					continue // empty part must round-trip too
+				}
+				parts[d] = encInt(int64(100 + d))
+			}
+			results := runAll(t, L, func(l int) ([]byte, error) {
+				var in [][]byte
+				if l == root {
+					in = parts
+				}
+				return comm.Scatter(l, root, "s", in)
+			})
+			for l := 0; l < L; l++ {
+				if !bytes.Equal(results[l], parts[l]) {
+					t.Errorf("locality %d got %v, want %v", l, results[l], parts[l])
+				}
+			}
+		})
+	}
+}
+
+func TestAllGatherVariants(t *testing.T) {
+	const L = 4
+	for _, alg := range variantAlgs {
+		t.Run(alg.String(), func(t *testing.T) {
+			rt := newTestRuntime(t, L)
+			comm := withComm(t, rt, "ag-"+alg.String(), Options{Algorithm: alg})
+			results := runAll2(t, L, func(l int) ([][]byte, error) {
+				return comm.AllGather(l, "g", encInt(int64(l*7)))
+			})
+			for l := 0; l < L; l++ {
+				if len(results[l]) != L {
+					t.Fatalf("locality %d got %d parts", l, len(results[l]))
+				}
+				for s := 0; s < L; s++ {
+					if got := decInt(t, results[l][s]); got != int64(s*7) {
+						t.Errorf("locality %d slot %d = %d, want %d", l, s, got, s*7)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllToAllVariants(t *testing.T) {
+	const L = 4
+	for _, alg := range variantAlgs {
+		t.Run(alg.String(), func(t *testing.T) {
+			rt := newTestRuntime(t, L)
+			comm := withComm(t, rt, "a2a-"+alg.String(), Options{Algorithm: alg})
+			results := runAll2(t, L, func(l int) ([][]byte, error) {
+				parts := make([][]byte, L)
+				for d := range parts {
+					parts[d] = encInt(int64(l*100 + d))
+				}
+				return comm.AllToAll(l, "x", parts)
+			})
+			for l := 0; l < L; l++ {
+				for s := 0; s < L; s++ {
+					if got := decInt(t, results[l][s]); got != int64(s*100+l) {
+						t.Errorf("locality %d from %d = %d, want %d", l, s, got, s*100+l)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTreeVariantsNonPowerOfTwo(t *testing.T) {
+	// Tree broadcast/reduce/scatter across a non-power-of-two locality
+	// count with a non-zero root exercises the clipped-subtree math.
+	const L, root = 6, 4
+	rt := newTestRuntime(t, L)
+	comm := withComm(t, rt, "tree6", Options{Algorithm: AlgTree})
+
+	results := runAll(t, L, func(l int) ([]byte, error) {
+		var payload []byte
+		if l == root {
+			payload = encInt(4242)
+		}
+		return comm.Broadcast(l, root, "b", payload)
+	})
+	for l := 0; l < L; l++ {
+		if got := decInt(t, results[l]); got != 4242 {
+			t.Errorf("broadcast: locality %d got %d", l, got)
+		}
+	}
+
+	results = runAll(t, L, func(l int) ([]byte, error) {
+		return comm.Reduce(l, root, "r", encInt(int64(l+1)), sumInts)
+	})
+	if got := decInt(t, results[root]); got != 21 { // 1+..+6
+		t.Errorf("reduce = %d, want 21", got)
+	}
+
+	parts := make([][]byte, L)
+	for d := range parts {
+		parts[d] = []byte(strings.Repeat("x", d)) // ragged sizes incl. empty
+	}
+	results = runAll(t, L, func(l int) ([]byte, error) {
+		var in [][]byte
+		if l == root {
+			in = parts
+		}
+		return comm.Scatter(l, root, "s", in)
+	})
+	for l := 0; l < L; l++ {
+		if !bytes.Equal(results[l], parts[l]) {
+			t.Errorf("scatter: locality %d got %q, want %q", l, results[l], parts[l])
+		}
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	// The same AllToAll exchange through every variant produces the same
+	// result matrix.
+	const L = 5
+	rt := newTestRuntime(t, L)
+	want := make([][][]byte, L)
+	for l := 0; l < L; l++ {
+		want[l] = make([][]byte, L)
+		for s := 0; s < L; s++ {
+			want[l][s] = encInt(int64(s*1000 + l))
+		}
+	}
+	for _, alg := range variantAlgs {
+		comm := withComm(t, rt, "agree-"+alg.String(), Options{Algorithm: alg})
+		results := runAll2(t, L, func(l int) ([][]byte, error) {
+			parts := make([][]byte, L)
+			for d := range parts {
+				parts[d] = encInt(int64(l*1000 + d))
+			}
+			return comm.AllToAll(l, "t", parts)
+		})
+		for l := 0; l < L; l++ {
+			for s := 0; s < L; s++ {
+				if !bytes.Equal(results[l][s], want[l][s]) {
+					t.Errorf("%s: locality %d slot %d disagrees", alg, l, s)
+				}
+			}
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Algorithm
+	}{{"direct", AlgDirect}, {"tree", AlgTree}, {"ring", AlgRing}, {"auto", AlgAuto}, {"", AlgAuto}} {
+		got, err := ParseAlgorithm(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Error("bogus algorithm should fail")
+	}
+}
+
+func TestBadPartCounts(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	comm := withComm(t, rt, "badparts")
+	if _, err := comm.Scatter(0, 0, "t", make([][]byte, 2)); err == nil {
+		t.Error("scatter with wrong part count should fail")
+	}
+	if _, err := comm.AllToAll(0, "t", make([][]byte, 4)); err == nil {
+		t.Error("alltoall with wrong part count should fail")
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	const L = 3
+	rt := newTestRuntime(t, L)
+	comm, err := NewComm(rt, "closing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := comm.Gather(0, 0, "never", nil) // peers never contribute
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	comm.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked gather returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the blocked waiter")
+	}
+	if _, err := comm.Gather(0, 0, "after", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("gather after close returned %v, want ErrClosed", err)
+	}
+	comm.Close() // idempotent
+
+	// The name (and its counters) are reusable after Close.
+	reborn := withComm(t, rt, "closing")
+	if _, err := reborn.Gather(1, 0, "t", nil); err != nil {
+		t.Errorf("reborn comm gather: %v", err)
+	}
+}
+
+func TestDeathPoisonsPendingOps(t *testing.T) {
+	// Satellite: a lost participant must not leave the root blocked
+	// forever. Locality 2 never contributes; declaring it down poisons
+	// the in-flight instances and releases the root with
+	// ErrLocalityDown, and later operations fail fast.
+	const L = 3
+	rt := newTestRuntime(t, L)
+	comm := withComm(t, rt, "death", Options{Timeout: 30 * time.Second})
+	done := make(chan error, 1)
+	go func() { // root blocks awaiting locality 2
+		_, err := comm.Gather(0, 0, "t", encInt(0))
+		done <- err
+	}()
+	if _, err := comm.Gather(1, 0, "t", encInt(1)); err != nil {
+		t.Fatalf("non-root gather: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	rt.DeclareDown(2)
+	select {
+	case err := <-done:
+		if !errors.Is(err, network.ErrLocalityDown) {
+			t.Errorf("pending gather returned %v, want ErrLocalityDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("death did not release the blocked root")
+	}
+	if _, err := comm.Gather(0, 0, "later", nil); !errors.Is(err, network.ErrLocalityDown) {
+		t.Errorf("post-death gather returned %v, want fast ErrLocalityDown", err)
+	}
+	// No orphaned instances behind the failed operation.
+	comm.mu.Lock()
+	n := len(comm.insts)
+	comm.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d orphaned instances after poisoning", n)
+	}
+}
+
+func TestOperationTimeout(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	comm := withComm(t, rt, "to", Options{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := comm.Gather(0, 0, "t", nil) // locality 1 never contributes
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("got %v, want timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+	comm.mu.Lock()
+	n := len(comm.insts)
+	comm.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d instances leaked after timeout", n)
+	}
+}
+
+func TestCountersLifecycle(t *testing.T) {
+	const L = 3
+	rt := newTestRuntime(t, L)
+	comm := withComm(t, rt, "cnt", Options{Algorithm: AlgRing})
+	runAll2(t, L, func(l int) ([][]byte, error) {
+		parts := make([][]byte, L)
+		for d := range parts {
+			parts[d] = encInt(int64(l + d))
+		}
+		return comm.AllToAll(l, "t", parts)
+	})
+	reg := rt.Locality(0).Registry()
+	ops, err := reg.Value("/collectives{locality#0/total}/alltoall/count/ops@cnt")
+	if err != nil || ops != 1 {
+		t.Errorf("ops counter = %v, %v; want 1", ops, err)
+	}
+	msgs, err := reg.Value("/collectives{locality#0/total}/alltoall/count/messages@cnt")
+	if err != nil || msgs != L-1 {
+		t.Errorf("messages counter = %v, %v; want %d (ring fan-out)", msgs, err, L-1)
+	}
+	if b, err := reg.Value("/collectives{locality#0/total}/alltoall/count/bytes@cnt"); err != nil || b <= 0 {
+		t.Errorf("bytes counter = %v, %v; want > 0", b, err)
+	}
+	if lat, err := reg.Value("/collectives{locality#0/total}/alltoall/time/completion-us@cnt"); err != nil || lat <= 0 {
+		t.Errorf("latency counter = %v, %v; want > 0", lat, err)
+	}
+	comm.Close()
+	if _, err := reg.Value("/collectives{locality#0/total}/alltoall/count/ops@cnt"); err == nil {
+		t.Error("counters still registered after Close")
+	}
+}
+
+func TestZeroAllocContribution(t *testing.T) {
+	// Satellite: the binary tag replaced fmt.Sprintf string tags; encode
+	// into a reused buffer and decode must not allocate at all.
+	h := header{comm: 0xfeed, kind: kAllToAllRing, root: 3, origin: 2, aux: 7, seq: 0xabcdef}
+	body := bytes.Repeat([]byte{0x5a}, 64)
+	buf := make([]byte, 0, contributionSize(body))
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendContribution(buf[:0], h, body)
+		g, gb, err := parseContribution(buf)
+		if err != nil || g != h || len(gb) != len(body) {
+			t.Fatal("round-trip mismatch")
+		}
+	}); n != 0 {
+		t.Errorf("contribution round-trip allocates %v times per op, want 0", n)
+	}
+}
+
+func TestRuntimeIsolation(t *testing.T) {
+	// Satellite: comm state lives on the runtime (no package-level map
+	// keyed by *Runtime), so the same name on two runtimes never
+	// collides and dies with its runtime.
+	rtA := newTestRuntime(t, 2)
+	rtB := newTestRuntime(t, 2)
+	a := withComm(t, rtA, "same")
+	b := withComm(t, rtB, "same")
+	if a == b {
+		t.Fatal("distinct runtimes shared a communicator")
+	}
+	var ra, rb [][]byte
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { defer wg.Done(); ra, _ = a.Gather(0, 0, "t", encInt(1)) }()
+	go func() { defer wg.Done(); _, _ = a.Gather(1, 0, "t", encInt(2)) }()
+	go func() { defer wg.Done(); rb, _ = b.Gather(0, 0, "t", encInt(10)) }()
+	go func() { defer wg.Done(); _, _ = b.Gather(1, 0, "t", encInt(20)) }()
+	wg.Wait()
+	if decInt(t, ra[0])+decInt(t, ra[1]) != 3 || decInt(t, rb[0])+decInt(t, rb[1]) != 30 {
+		t.Error("cross-runtime interference")
+	}
+}
+
+func TestTreeHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		r, L   int
+		parent int
+		kids   []int
+	}{
+		{0, 4, 0, []int{2, 1}},
+		{1, 4, 0, nil},
+		{2, 4, 0, []int{3}},
+		{0, 3, 0, []int{2, 1}},
+		{2, 3, 0, nil},
+		{0, 6, 0, []int{4, 2, 1}},
+		{4, 6, 0, []int{5}},
+		{0, 1, 0, nil},
+	} {
+		if tc.r != 0 {
+			if got := treeParent(tc.r); got != tc.parent {
+				t.Errorf("parent(%d) = %d, want %d", tc.r, got, tc.parent)
+			}
+		}
+		got := treeChildren(tc.r, tc.L)
+		if fmt.Sprint(got) != fmt.Sprint(tc.kids) {
+			t.Errorf("children(%d, %d) = %v, want %v", tc.r, tc.L, got, tc.kids)
+		}
+	}
+	// Every rank reachable exactly once from the root, for many L.
+	for L := 1; L <= 33; L++ {
+		seen := make([]bool, L)
+		var visit func(r int)
+		visit = func(r int) {
+			if seen[r] {
+				t.Fatalf("L=%d: rank %d visited twice", L, r)
+			}
+			seen[r] = true
+			for _, c := range treeChildren(r, L) {
+				visit(c)
+			}
+		}
+		visit(0)
+		for r, ok := range seen {
+			if !ok {
+				t.Fatalf("L=%d: rank %d unreachable", L, r)
+			}
+		}
+	}
+}

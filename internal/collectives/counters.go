@@ -1,0 +1,127 @@
+package collectives
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/counters"
+)
+
+// Per-operation counter indices.
+const (
+	opGather = iota
+	opReduce
+	opBroadcast
+	opAllReduce
+	opBarrier
+	opScatter
+	opAllGather
+	opAllToAll
+	opCount
+)
+
+var opNames = [opCount]string{
+	"gather", "reduce", "broadcast", "allreduce", "barrier",
+	"scatter", "allgather", "alltoall",
+}
+
+// opCounters is one operation's instrumentation at one locality:
+//
+//	/collectives{locality#L/total}/<op>/count/ops@<comm>
+//	/collectives{locality#L/total}/<op>/count/bytes@<comm>      payload bytes sent to remote peers
+//	/collectives{locality#L/total}/<op>/count/messages@<comm>   fan-out: remote contribution frames sent
+//	/collectives{locality#L/total}/<op>/time/completion-us@<comm>
+type opCounters struct {
+	ops      *counters.Raw
+	bytes    *counters.Raw
+	messages *counters.Raw
+	latency  *counters.Average
+}
+
+func opPath(inst, op, name, comm string) counters.Path {
+	return counters.Path{
+		Object:     "collectives",
+		Instance:   inst,
+		Name:       op + "/" + name,
+		Parameters: comm,
+	}
+}
+
+// registerCounters creates and registers the per-operation counters on
+// every hosted locality's registry. Called once from NewComm.
+func (c *Comm) registerCounters() {
+	for l := 0; l < c.rt.Localities(); l++ {
+		if !c.rt.Hosted(l) {
+			continue
+		}
+		reg := c.rt.Locality(l).Registry()
+		inst := fmt.Sprintf("locality#%d/total", l)
+		set := new([opCount]opCounters)
+		for op := 0; op < opCount; op++ {
+			set[op] = opCounters{
+				ops:      counters.NewRaw(opPath(inst, opNames[op], "count/ops", c.name)),
+				bytes:    counters.NewRaw(opPath(inst, opNames[op], "count/bytes", c.name)),
+				messages: counters.NewRaw(opPath(inst, opNames[op], "count/messages", c.name)),
+				latency:  counters.NewAverage(opPath(inst, opNames[op], "time/completion-us", c.name)),
+			}
+			reg.MustRegister(set[op].ops)
+			reg.MustRegister(set[op].bytes)
+			reg.MustRegister(set[op].messages)
+			reg.MustRegister(set[op].latency)
+		}
+		c.stats[l] = set
+	}
+}
+
+// unregisterCounters removes the communicator's counters from every
+// hosted locality's registry. Called from Close.
+func (c *Comm) unregisterCounters() {
+	for l, set := range c.stats {
+		reg := c.rt.Locality(l).Registry()
+		inst := fmt.Sprintf("locality#%d/total", l)
+		for op := 0; op < opCount; op++ {
+			reg.Unregister(opPath(inst, opNames[op], "count/ops", c.name))
+			reg.Unregister(opPath(inst, opNames[op], "count/bytes", c.name))
+			reg.Unregister(opPath(inst, opNames[op], "count/messages", c.name))
+			reg.Unregister(opPath(inst, opNames[op], "time/completion-us", c.name))
+		}
+		_ = set
+		delete(c.stats, l)
+	}
+}
+
+// opMeter times one collective call at one locality and attributes the
+// frames it sends. All methods are nil-receiver safe so unhosted or
+// closed paths cost nothing.
+type opMeter struct {
+	cs    *opCounters
+	start time.Time
+}
+
+// meter begins metering op at locality l and counts the call.
+func (c *Comm) meter(l, op int) *opMeter {
+	set := c.stats[l]
+	if set == nil {
+		return nil
+	}
+	cs := &set[op]
+	cs.ops.Inc()
+	return &opMeter{cs: cs, start: time.Now()}
+}
+
+// sent records one remote contribution frame carrying n payload bytes.
+func (m *opMeter) sent(n int) {
+	if m == nil {
+		return
+	}
+	m.cs.messages.Inc()
+	m.cs.bytes.Add(int64(n))
+}
+
+// done records the operation's completion latency.
+func (m *opMeter) done() {
+	if m == nil {
+		return
+	}
+	m.cs.latency.RecordDuration(time.Since(m.start))
+}

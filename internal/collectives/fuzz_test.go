@@ -1,0 +1,85 @@
+package collectives
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzContribution feeds the binary contribution decoder arbitrary and
+// seeded-hostile inputs: it must never panic, must bound what it
+// accepts, and anything it accepts must survive a re-encode round-trip.
+func FuzzContribution(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x80}, 32))   // unterminated varints
+	f.Add(bytes.Repeat([]byte{0xff}, 64))   // huge varint values
+	f.Add(append(make([]byte, 9), 0))       // kind 0
+	f.Add(append(make([]byte, 8), 0xee, 0)) // kind out of range
+	f.Add(appendContribution(nil, header{comm: 1, kind: kGather}, nil))
+	f.Add(appendContribution(nil, header{
+		comm: 0xdeadbeef, kind: kAllToAllRing, flags: flagError,
+		root: 3, origin: 1, aux: 9, seq: 0x1234,
+	}, []byte("locality 1 gave up")))
+	f.Add(appendContribution(nil, header{
+		comm: 42, kind: kScatterTree, root: 2, origin: 2, aux: 5, seq: 7,
+	}, bytes.Repeat([]byte{0xab}, 300)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, body, err := parseContribution(data)
+		if err != nil {
+			return
+		}
+		if h.kind == 0 || h.kind >= kindMax {
+			t.Fatalf("accepted out-of-range kind %d", h.kind)
+		}
+		if h.root > maxWireInt || h.origin > maxWireInt || h.aux > maxWireInt {
+			t.Fatalf("accepted unbounded header %+v", h)
+		}
+		re := appendContribution(nil, h, body)
+		h2, body2, err := parseContribution(re)
+		if err != nil {
+			t.Fatalf("re-encoded contribution rejected: %v", err)
+		}
+		if h2 != h || !bytes.Equal(body2, body) {
+			t.Fatalf("round-trip mismatch: %+v/%q vs %+v/%q", h, body, h2, body2)
+		}
+	})
+}
+
+// FuzzScatterBlock fuzzes the tree-scatter block splitter the same way:
+// no panics, and accepted blocks re-slice consistently.
+func FuzzScatterBlock(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0}, 1)
+	f.Add(bytes.Repeat([]byte{0xff}, 16), 3)
+	block := appendEntry(appendEntry(appendEntry(nil, []byte("a")), nil), []byte("ccc"))
+	f.Add(block, 3)
+	f.Add([]byte("\x80\x00\x00\x03000"), 3) // non-canonical length varint (regression)
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > 64 {
+			return
+		}
+		entries, offs, err := splitEntries(data, count)
+		if err != nil {
+			return
+		}
+		if len(entries) != count || len(offs) != count+1 {
+			t.Fatalf("accepted block with %d entries, %d offsets for count %d",
+				len(entries), len(offs), count)
+		}
+		var re []byte
+		for _, e := range entries {
+			re = appendEntry(re, e)
+		}
+		// Semantic round-trip: re-splitting the re-encoding yields the
+		// same entries. (Byte equality is too strong: Uvarint accepts
+		// non-canonical length encodings.)
+		entries2, _, err := splitEntries(re, count)
+		if err != nil {
+			t.Fatalf("re-encoded block rejected: %v", err)
+		}
+		for i := range entries {
+			if !bytes.Equal(entries[i], entries2[i]) {
+				t.Fatalf("entry %d differs after round-trip", i)
+			}
+		}
+	})
+}

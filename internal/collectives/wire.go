@@ -1,0 +1,141 @@
+package collectives
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format of one contribution, the single internal action payload
+// every collective operation rides on. The header is fully binary — no
+// per-call string formatting — so the hot path allocates nothing beyond
+// the parcel argument buffer itself:
+//
+//	u64  comm id      (FNV-64a of the communicator name)
+//	u8   op kind      (operation × algorithm, see the k* constants)
+//	u8   flags        (bit 0: error frame — body is an error string)
+//	uvar root         (operation root; 0 for rootless ops)
+//	uvar origin       (locality whose data this is; slot index at the receiver)
+//	uvar aux          (per-kind sub-instance: destination, ring step, …)
+//	u64  seq          (operation sequence: FNV-64a of the user tag)
+//	uvar body length
+//	     body         (contribution payload, or error text when flags&1)
+//
+// (comm id, kind, root, aux, seq) identify the operation instance at the
+// receiver; origin picks the slot the body lands in.
+
+// Op kinds. Direct and tree/ring variants of the same operation use
+// distinct kinds so mismatched algorithm choices across localities fail
+// to rendezvous instead of corrupting each other's instances.
+const (
+	kGather      uint8 = iota + 1 // contribution to the root's gather
+	kBcastDirect                  // root's value, one frame per destination
+	kBcastTree                    // root's value relayed down the binomial tree
+	kReduceTree                   // partial reduction sent to the tree parent
+	kScatterDirect
+	kScatterTree // packed subtree block relayed down the binomial tree
+	kAllGatherDirect
+	kAllGatherRing // ring step: block forwarded to the right neighbour
+	kAllToAllDirect
+	kAllToAllRing // rotation step k: part for (l+k)%L
+	kindMax
+)
+
+// flagError marks a poison frame: the body is an error message and the
+// receiving instance fails instead of completing.
+const flagError uint8 = 1 << 0
+
+// header is the parsed contribution header.
+type header struct {
+	comm   uint64
+	kind   uint8
+	flags  uint8
+	root   uint32
+	origin uint32
+	aux    uint32
+	seq    uint64
+}
+
+var errCorruptContribution = errors.New("collectives: corrupt contribution")
+
+// maxWireInt bounds the varint fields: locality ids and ring steps are
+// small, so anything larger is a corrupt or hostile frame.
+const maxWireInt = 1 << 20
+
+// appendContribution encodes a contribution into dst and returns the
+// extended slice. It performs no allocation beyond growing dst.
+func appendContribution(dst []byte, h header, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, h.comm)
+	dst = append(dst, h.kind, h.flags)
+	dst = binary.AppendUvarint(dst, uint64(h.root))
+	dst = binary.AppendUvarint(dst, uint64(h.origin))
+	dst = binary.AppendUvarint(dst, uint64(h.aux))
+	dst = binary.LittleEndian.AppendUint64(dst, h.seq)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// contributionSize returns the encoded size of a contribution, for
+// exact buffer pre-sizing (varints bounded by 10 bytes each).
+func contributionSize(body []byte) int { return 8 + 2 + 3*10 + 8 + 10 + len(body) }
+
+// parseContribution decodes a contribution header. The returned body
+// aliases b — callers that retain it past the parcel's lifetime must
+// copy. It allocates nothing.
+func parseContribution(b []byte) (h header, body []byte, err error) {
+	if len(b) < 8+2 {
+		return h, nil, errCorruptContribution
+	}
+	h.comm = binary.LittleEndian.Uint64(b)
+	h.kind = b[8]
+	h.flags = b[9]
+	if h.kind == 0 || h.kind >= kindMax {
+		return h, nil, fmt.Errorf("%w: bad op kind %d", errCorruptContribution, h.kind)
+	}
+	off := 10
+	uvar := func(what string) (uint32, bool) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 || v > maxWireInt {
+			err = fmt.Errorf("%w: bad %s", errCorruptContribution, what)
+			return 0, false
+		}
+		off += n
+		return uint32(v), true
+	}
+	var ok bool
+	if h.root, ok = uvar("root"); !ok {
+		return h, nil, err
+	}
+	if h.origin, ok = uvar("origin"); !ok {
+		return h, nil, err
+	}
+	if h.aux, ok = uvar("aux"); !ok {
+		return h, nil, err
+	}
+	if len(b)-off < 8 {
+		return h, nil, fmt.Errorf("%w: truncated seq", errCorruptContribution)
+	}
+	h.seq = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	n, vn := binary.Uvarint(b[off:])
+	if vn <= 0 {
+		return h, nil, fmt.Errorf("%w: bad body length", errCorruptContribution)
+	}
+	off += vn
+	if uint64(len(b)-off) != n {
+		return h, nil, fmt.Errorf("%w: body length %d with %d bytes left", errCorruptContribution, n, len(b)-off)
+	}
+	return h, b[off:], nil
+}
+
+// fnv64a hashes a string with FNV-64a; it is the comm-id and
+// operation-sequence function (allocation-free, stable across
+// processes, so cluster-mode peers rendezvous by name and tag).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

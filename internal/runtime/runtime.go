@@ -175,6 +175,9 @@ type Runtime struct {
 	retryMu   sync.Mutex
 	retryable map[string]bool
 
+	extMu sync.Mutex
+	ext   map[string]any
+
 	stopped bool
 	stopMu  sync.Mutex
 }
@@ -254,6 +257,26 @@ func (rt *Runtime) Hosted(i int) bool {
 // Counters returns the root registry aggregating every locality's
 // counters.
 func (rt *Runtime) Counters() *counters.Registry { return rt.root }
+
+// Extension returns the per-runtime extension value stored under key,
+// creating it with mk on first use. Subsystems layered on top of the
+// runtime (collectives, say) keep their per-runtime state here instead
+// of in package-level maps keyed by *Runtime, so the state is garbage-
+// collected with the runtime rather than leaking one entry per runtime
+// ever created.
+func (rt *Runtime) Extension(key string, mk func() any) any {
+	rt.extMu.Lock()
+	defer rt.extMu.Unlock()
+	if rt.ext == nil {
+		rt.ext = make(map[string]any)
+	}
+	v, ok := rt.ext[key]
+	if !ok {
+		v = mk()
+		rt.ext[key] = v
+	}
+	return v
+}
 
 // AGAS returns the address-space service.
 func (rt *Runtime) AGAS() *agas.Service { return rt.agas }

@@ -3,10 +3,12 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -70,24 +72,70 @@ type ClusterRecovery struct {
 	WallMS      float64 `json:"wall_ms"`
 }
 
+// ClusterPartitionPoint is one partition-heal run: a timed network
+// partition is armed between health warm-up and the benchmark, the
+// cluster rides it out (or convicts and later un-degrades), and the
+// benchmark then measures post-heal throughput. The detector telemetry
+// shows whether SWIM indirect probes suppressed false convictions and,
+// when a conviction did land, how fast rejoin restored the cluster.
+type ClusterPartitionPoint struct {
+	Scenario           string  `json:"scenario"`
+	Nodes              int     `json:"nodes"`
+	Mode               string  `json:"mode"` // pair: one link cut; full: victim isolated
+	PartitionNode      int     `json:"partition_node"`
+	PartitionForMS     float64 `json:"partition_for_ms"`
+	IndirectProbes     bool    `json:"indirect_probes"`
+	Rejoin             bool    `json:"rejoin"`
+	Suspicions         int64   `json:"suspicions"`
+	Convictions        int64   `json:"convictions"`
+	ProbesSent         int64   `json:"probes_sent"`
+	ProbeAcks          int64   `json:"probe_acks"`
+	Rebirths           int64   `json:"rebirths"`
+	MaxRejoinLatencyMS float64 `json:"max_rejoin_latency_ms"`
+	Completed          bool    `json:"completed"`
+	WallMS             float64 `json:"wall_ms"`       // post-heal benchmark wall time
+	TasksPerSec        float64 `json:"tasks_per_sec"` // post-heal throughput
+}
+
 // ClusterSuiteResult is the payload of BENCH_cluster.json.
 type ClusterSuiteResult struct {
-	WeakScaling   []ClusterPoint   `json:"weak_scaling"`
-	StrongScaling []ClusterPoint   `json:"strong_scaling"`
-	Recovery      *ClusterRecovery `json:"recovery,omitempty"`
+	WeakScaling   []ClusterPoint          `json:"weak_scaling"`
+	StrongScaling []ClusterPoint          `json:"strong_scaling"`
+	Recovery      *ClusterRecovery        `json:"recovery,omitempty"`
+	PartitionHeal []ClusterPartitionPoint `json:"partition_heal,omitempty"`
+}
+
+// ClusterRunError carries the forensics of a failed multi-process run —
+// every node's exit code and the tail of its stderr — so the driver can
+// embed them in the partial report instead of asking the operator to
+// reproduce a flaky multi-process timeout by hand.
+type ClusterRunError struct {
+	Reason      string
+	Exits       []int
+	StderrTails map[int]string
+}
+
+func (e *ClusterRunError) Error() string {
+	return fmt.Sprintf("bench: %s (exits %v)", e.Reason, e.Exits)
 }
 
 // clusterRun parameterizes one multi-process execution.
 type clusterRun struct {
-	nodes       int
-	pattern     string
-	width       int
-	steps       int
-	iterations  int
-	outputBytes int
-	recover     bool
-	crashNode   int           // -1: no crash
-	crashAfter  time.Duration // delay before the injected kill
+	nodes          int
+	pattern        string
+	width          int
+	steps          int
+	iterations     int
+	outputBytes    int
+	recover        bool
+	crashNode      int           // -1: no crash
+	crashAfter     time.Duration // delay before the injected kill
+	rejoin         bool          // partition-tolerance rejoin protocol
+	noProbes       bool          // disable SWIM indirect probing (baseline)
+	partitionNode  int           // victim of the timed partition
+	partitionAfter time.Duration // warm-up → cut delay
+	partitionFor   time.Duration // cut duration; 0 disables the partition
+	partitionMode  string        // pair | full
 }
 
 // RunClusterSuite executes the weak- and strong-scaling sweeps (plus the
@@ -109,6 +157,16 @@ func RunClusterSuite(cfg ClusterConfig) (ClusterSuiteResult, error) {
 			return out, err
 		}
 		out.WeakScaling = append(out.WeakScaling, p)
+		pp, err := cfg.measurePartition("pair-probes", clusterRun{
+			nodes: 3, pattern: "stencil_1d", width: 6, steps: 16,
+			outputBytes: 64, crashNode: -1, rejoin: true,
+			partitionNode: 2, partitionAfter: 200 * time.Millisecond,
+			partitionFor: 500 * time.Millisecond, partitionMode: "pair",
+		})
+		if err != nil {
+			return out, err
+		}
+		out.PartitionHeal = append(out.PartitionHeal, pp)
 		return out, nil
 	}
 
@@ -141,6 +199,35 @@ func RunClusterSuite(cfg ClusterConfig) (ClusterSuiteResult, error) {
 		return out, err
 	}
 	out.Recovery = &rec
+
+	// Partition-heal sweep: the same 3-node graph under (a) a single cut
+	// link with indirect probes routing around it, (b) the same cut with
+	// probes disabled — the false-conviction baseline the probes are
+	// measured against — and (c) a full isolation long enough that a
+	// conviction is guaranteed and only the rejoin protocol restores the
+	// cluster.
+	base := clusterRun{
+		nodes: 3, pattern: "stencil_1d", width: 24, steps: 32,
+		iterations: 200, outputBytes: 256, crashNode: -1, rejoin: true,
+		partitionNode: 2, partitionAfter: 300 * time.Millisecond,
+		partitionMode: "pair",
+	}
+	for _, sc := range []struct {
+		name string
+		mut  func(*clusterRun)
+	}{
+		{"pair-probes", func(r *clusterRun) { r.partitionFor = 800 * time.Millisecond }},
+		{"pair-no-probes", func(r *clusterRun) { r.partitionFor = 800 * time.Millisecond; r.noProbes = true }},
+		{"full-rejoin", func(r *clusterRun) { r.partitionFor = 1500 * time.Millisecond; r.partitionMode = "full" }},
+	} {
+		r := base
+		sc.mut(&r)
+		pp, err := cfg.measurePartition(sc.name, r)
+		if err != nil {
+			return out, err
+		}
+		out.PartitionHeal = append(out.PartitionHeal, pp)
+	}
 	return out, nil
 }
 
@@ -199,6 +286,40 @@ func (c ClusterConfig) measureRecovery() (ClusterRecovery, error) {
 	return rec, nil
 }
 
+// measurePartition runs one timed-partition scenario: every node arms
+// the identical fault schedule locally after the join barrier, rides
+// out the cut, converges back (rejoin), and only then runs the
+// benchmark — so WallMS/TasksPerSec measure post-heal recovery.
+func (c ClusterConfig) measurePartition(scenario string, r clusterRun) (ClusterPartitionPoint, error) {
+	c.logf("cluster: partition scenario %s (%s, node %d cut for %s, probes=%v)",
+		scenario, r.partitionMode, r.partitionNode, r.partitionFor, !r.noProbes)
+	agg, _, err := c.runCluster(r)
+	if err != nil {
+		return ClusterPartitionPoint{}, err
+	}
+	p := ClusterPartitionPoint{
+		Scenario: scenario, Nodes: agg.Nodes, Mode: agg.PartitionMode,
+		PartitionNode: agg.PartitionNode, PartitionForMS: float64(agg.PartitionForNS) / 1e6,
+		IndirectProbes: !r.noProbes, Rejoin: agg.Rejoin,
+		Suspicions: agg.Suspicions, Convictions: agg.Convictions,
+		ProbesSent: agg.ProbesSent, ProbeAcks: agg.ProbeAcks, Rebirths: agg.Rebirths,
+		MaxRejoinLatencyMS: float64(agg.MaxRejoinLatencyNS) / 1e6,
+		Completed:          agg.Completed, WallMS: float64(agg.MaxWallNS) / 1e6,
+	}
+	if agg.MaxWallNS > 0 {
+		p.TasksPerSec = float64(agg.TasksRun) / (float64(agg.MaxWallNS) / 1e9)
+	}
+	if !p.Completed {
+		return p, fmt.Errorf("bench: partition scenario %s ran %d/%d tasks", scenario, agg.TasksRun, agg.TotalTasks)
+	}
+	if r.rejoin && agg.MaxRejoinLatencyNS < 0 {
+		return p, fmt.Errorf("bench: partition scenario %s never re-converged after the heal", scenario)
+	}
+	c.logf("cluster: %s done — %d/%d probes acked, %d suspicions, %d convictions, %d rebirths, rejoin %.1fms, %.0f tasks/s post-heal",
+		scenario, p.ProbeAcks, p.ProbesSent, p.Suspicions, p.Convictions, p.Rebirths, p.MaxRejoinLatencyMS, p.TasksPerSec)
+	return p, nil
+}
+
 // runCluster spawns r.nodes amc-node processes over loopback TCP with
 // ephemeral ports — node 0 first (its bound address, learned through an
 // address file, seeds the rest) — waits for them, and returns the
@@ -228,6 +349,20 @@ func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, e
 		if r.recover {
 			args = append(args, "-recover")
 		}
+		if r.rejoin {
+			args = append(args, "-rejoin")
+		}
+		if r.noProbes {
+			args = append(args, "-no-indirect-probes")
+		}
+		if r.partitionFor > 0 {
+			args = append(args,
+				"-partition-node", strconv.Itoa(r.partitionNode),
+				"-partition-after", r.partitionAfter.String(),
+				"-partition-for", r.partitionFor.String(),
+				"-partition-mode", r.partitionMode,
+			)
+		}
 		if id == 0 {
 			args = append(args, "-addr-file", addrFile, "-result", resultFile)
 		} else {
@@ -240,14 +375,18 @@ func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, e
 	}
 
 	procs := make([]*exec.Cmd, r.nodes)
+	tails := make([]*tailWriter, r.nodes)
+	codes := make([]int, r.nodes)
 	start := func(id int, seed string) error {
+		tw := newTailWriter(os.Stderr, nodeStderrTailBytes)
 		cmd := exec.Command(c.NodeCommand[0], nodeArgs(id, seed)...)
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
+		cmd.Stdout = tw
+		cmd.Stderr = tw
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("bench: starting node %d: %w", id, err)
 		}
 		procs[id] = cmd
+		tails[id] = tw
 		return nil
 	}
 	kill := func() {
@@ -257,6 +396,19 @@ func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, e
 			}
 		}
 	}
+	// runErr wraps a failure with every node's exit code and stderr tail
+	// so the driver can report the forensics instead of just "timed out".
+	runErr := func(reason string) error {
+		e := &ClusterRunError{Reason: reason, Exits: append([]int(nil), codes...), StderrTails: map[int]string{}}
+		for id, tw := range tails {
+			if tw != nil {
+				if tail := tw.Tail(); tail != "" {
+					e.StderrTails[id] = tail
+				}
+			}
+		}
+		return e
+	}
 
 	if err := start(0, ""); err != nil {
 		return cluster.ClusterResult{}, nil, err
@@ -265,7 +417,7 @@ func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, e
 	if err != nil {
 		kill()
 		_ = procs[0].Wait()
-		return cluster.ClusterResult{}, nil, fmt.Errorf("bench: node 0 never published its address: %w", err)
+		return cluster.ClusterResult{}, nil, runErr(fmt.Sprintf("node 0 never published its address: %v", err))
 	}
 	seed := "0@" + addr
 	for id := 1; id < r.nodes; id++ {
@@ -275,7 +427,6 @@ func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, e
 		}
 	}
 
-	codes := make([]int, r.nodes)
 	done := make(chan struct{})
 	go func() {
 		for id, p := range procs {
@@ -294,7 +445,7 @@ func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, e
 	case <-time.After(c.RunTimeout):
 		kill()
 		<-done
-		return cluster.ClusterResult{}, codes, fmt.Errorf("bench: cluster run exceeded %s (exits %v)", c.RunTimeout, codes)
+		return cluster.ClusterResult{}, codes, runErr(fmt.Sprintf("cluster run exceeded %s", c.RunTimeout))
 	}
 
 	for id, code := range codes {
@@ -302,19 +453,53 @@ func (c ClusterConfig) runCluster(r clusterRun) (cluster.ClusterResult, []int, e
 			continue // hard-killed by design; any nonzero exit is fine
 		}
 		if code != 0 {
-			return cluster.ClusterResult{}, codes, fmt.Errorf("bench: node %d exited %d", id, code)
+			return cluster.ClusterResult{}, codes, runErr(fmt.Sprintf("node %d exited %d", id, code))
 		}
 	}
 
 	data, err := os.ReadFile(resultFile)
 	if err != nil {
-		return cluster.ClusterResult{}, codes, fmt.Errorf("bench: node 0 wrote no result: %w", err)
+		return cluster.ClusterResult{}, codes, runErr(fmt.Sprintf("node 0 wrote no result: %v", err))
 	}
 	var agg cluster.ClusterResult
 	if err := json.Unmarshal(data, &agg); err != nil {
 		return cluster.ClusterResult{}, codes, fmt.Errorf("bench: bad cluster result: %w", err)
 	}
 	return agg, codes, nil
+}
+
+// nodeStderrTailBytes bounds how much of each node's output is retained
+// for post-mortem reporting.
+const nodeStderrTailBytes = 4096
+
+// tailWriter tees a node's output to the suite's stderr while retaining
+// the last nodeStderrTailBytes for attachment to a ClusterRunError.
+type tailWriter struct {
+	mu  sync.Mutex
+	tee io.Writer
+	buf []byte
+	max int
+}
+
+func newTailWriter(tee io.Writer, max int) *tailWriter {
+	return &tailWriter{tee: tee, max: max}
+}
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	n, err := t.tee.Write(p)
+	t.mu.Lock()
+	t.buf = append(t.buf, p[:n]...)
+	if len(t.buf) > t.max {
+		t.buf = append(t.buf[:0], t.buf[len(t.buf)-t.max:]...)
+	}
+	t.mu.Unlock()
+	return n, err
+}
+
+func (t *tailWriter) Tail() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
 }
 
 // awaitFile polls until path exists with content, returning its first

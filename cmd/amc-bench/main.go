@@ -64,6 +64,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -724,8 +725,14 @@ type clusterReport struct {
 	Cluster    bench.ClusterSuiteResult `json:"cluster"`
 	// AllCompleted: every scaling run executed its whole graph.
 	// RecoveryOK: the crash run detected the kill and still completed.
-	AllCompleted bool `json:"all_completed"`
-	RecoveryOK   bool `json:"recovery_ok"`
+	// PartitionHealOK: every partition scenario completed its graph
+	// post-heal and, when rejoin was armed, re-converged.
+	AllCompleted    bool `json:"all_completed"`
+	RecoveryOK      bool `json:"recovery_ok"`
+	PartitionHealOK bool `json:"partition_heal_ok"`
+	// NodeStderrTails, present only on failure, holds the tail of each
+	// node's stderr from the run that killed the suite.
+	NodeStderrTails map[int]string `json:"node_stderr_tails,omitempty"`
 }
 
 func runCluster(out string, opts options) error {
@@ -750,6 +757,10 @@ func runCluster(out string, opts options) error {
 	res, err := bench.RunClusterSuite(cfg)
 	rep.Cluster = res // partial sweep progress is meaningful even on error
 	if err != nil {
+		var cre *bench.ClusterRunError
+		if errors.As(err, &cre) {
+			rep.NodeStderrTails = cre.StderrTails
+		}
 		return failPartial(out, &rep, &rep.partialStatus, err)
 	}
 	rep.AllCompleted = true
@@ -759,11 +770,17 @@ func runCluster(out string, opts options) error {
 		}
 	}
 	rep.RecoveryOK = res.Recovery != nil && res.Recovery.Detected && res.Recovery.Completed
+	rep.PartitionHealOK = len(res.PartitionHeal) > 0
+	for _, p := range res.PartitionHeal {
+		if !p.Completed {
+			rep.PartitionHealOK = false
+		}
+	}
 	if err := writeJSON(out, rep); err != nil {
 		return err
 	}
-	fmt.Fprintf(statusW(out), "wrote %s (%d weak + %d strong scaling points, all completed=%v, recovery ok=%v)\n",
-		out, len(res.WeakScaling), len(res.StrongScaling), rep.AllCompleted, rep.RecoveryOK)
+	fmt.Fprintf(statusW(out), "wrote %s (%d weak + %d strong scaling points, %d partition scenarios, all completed=%v, recovery ok=%v, partition heal ok=%v)\n",
+		out, len(res.WeakScaling), len(res.StrongScaling), len(res.PartitionHeal), rep.AllCompleted, rep.RecoveryOK, rep.PartitionHealOK)
 	return nil
 }
 

@@ -110,13 +110,25 @@ func (s *Service) Localities() int { return s.localities }
 
 // MarkDown declares a locality crash-stopped: subsequent allocations at
 // it fail, and resolutions of GIDs it hosts return
-// network.ErrLocalityDown. Crash-stop is permanent (no ClearDown) —
-// recovery would require a rebirth protocol the failure model excludes.
-// GIDs homed at the dead locality are intentionally retained in the
-// directory so resolution distinguishes "host died" from "never existed".
+// network.ErrLocalityDown. The mark is reversed only by ClearDown,
+// which the cluster layer's rejoin protocol invokes after a healed
+// partition; absent a rejoin, crash-stop remains terminal. GIDs homed
+// at the dead locality are intentionally retained in the directory so
+// resolution distinguishes "host died" from "never existed" — and so a
+// rejoined host's objects resolve again without re-registration.
 func (s *Service) MarkDown(locality int) {
 	if locality >= 0 && locality < s.localities {
 		s.down[locality].Store(true)
+	}
+}
+
+// ClearDown reverses MarkDown for a locality that has rejoined the
+// cluster: allocations at it and resolutions of the GIDs it hosts
+// succeed again. The retained directory entries mean no state needs
+// rebuilding — clearing the flag is the whole un-degradation.
+func (s *Service) ClearDown(locality int) {
+	if locality >= 0 && locality < s.localities {
+		s.down[locality].Store(false)
 	}
 }
 

@@ -11,15 +11,24 @@ import (
 	"time"
 
 	"repro/internal/counters"
+	"repro/internal/network"
 	"repro/internal/runtime"
 )
 
 // Action names registered by the Service. Join carries a joiner's
 // one-entry table to a seed; Gossip carries a full membership table and
-// doubles as the join reply.
+// doubles as the join reply. The three ping actions implement SWIM's
+// indirect probe: before escalating a suspicion to conviction, the
+// origin asks ProbeFanout relays (PingReq) to ping the suspect on its
+// behalf; the suspect acks back through the relay (Ping → PingAck), so
+// a broken origin↔suspect link is routed around instead of convicting a
+// reachable node.
 const (
-	ActionJoin   = "cluster/join"
-	ActionGossip = "cluster/gossip"
+	ActionJoin    = "cluster/join"
+	ActionGossip  = "cluster/gossip"
+	ActionPingReq = "cluster/ping-req"
+	ActionPing    = "cluster/ping"
+	ActionPingAck = "cluster/ping-ack"
 )
 
 // AddrBook receives peer addresses learned from membership gossip; the
@@ -46,6 +55,30 @@ type Options struct {
 	// AddrBook receives addresses carried by membership entries; nil
 	// disables installation (in-process fabrics need none).
 	AddrBook AddrBook
+	// Rejoin enables the partition-tolerance protocol: StateDown stops
+	// being terminal, membership entries merge under the (Epoch,
+	// Incarnation, State) total order, resurrection probes keep poking
+	// Down members, and a member superseding Down → not-Down drives
+	// runtime.DeclareUp (the un-degradation path).
+	Rejoin bool
+	// JoinEpoch is this process-lifetime's epoch (see Member.Epoch). 0
+	// for in-process clusters; amc-node derives it from wall-clock so a
+	// restart joins at a strictly higher epoch than the crashed life.
+	JoinEpoch uint64
+	// DisableIndirectProbes turns off SWIM ping-req probing, reverting
+	// to pure phi-accrual conviction (the pre-probe behavior; kept as a
+	// benchmark baseline for the false-conviction comparison).
+	DisableIndirectProbes bool
+	// ProbeFanout is how many relays each indirect-probe round asks
+	// (default 2).
+	ProbeFanout int
+	// ProbeTimeout bounds one indirect-probe round; an unanswered round
+	// penalizes local health (Lifeguard LHM) and may retry (default
+	// 4×GossipInterval).
+	ProbeTimeout time.Duration
+	// RejoinProbeEvery is the gossip-tick period of resurrection probes
+	// sent to confirmed-down members while Rejoin is enabled (default 4).
+	RejoinProbeEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -58,8 +91,30 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.ProbeFanout <= 0 {
+		o.ProbeFanout = 2
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 4 * o.GossipInterval
+	}
+	if o.RejoinProbeEvery <= 0 {
+		o.RejoinProbeEvery = 4
+	}
 	return o
 }
+
+// maxProbeRounds caps indirect-probe retries per suspicion episode: past
+// this, the detector's verdict stands unassisted (the suspect really is
+// unreachable from everywhere we can ask).
+const maxProbeRounds = 3
+
+// rebirthRefuteRounds is how many gossip ticks a reborn member
+// broadcasts its refuted table over raw probe frames. Probe frames
+// bypass the reliability layer's down-peer gates in both directions,
+// which matters because after a heal every survivor still has the
+// reborn node crash-stopped — ordinary gossip from it would be refused
+// until DeclareUp runs, a chicken-and-egg the probe channel breaks.
+const rebirthRefuteRounds = 10
 
 // Service runs SWIM-style membership for every hosted locality of a
 // runtime: it registers the join/gossip actions, bridges the phi-accrual
@@ -67,26 +122,61 @@ func (o Options) withDefaults() Options {
 // turns confirmed-down verdicts — local or gossiped — into the runtime's
 // crash-stop degradation (DeclareDown).
 type Service struct {
-	rt   *runtime.Runtime
-	opts Options
-	mgrs []*Manager // indexed by locality; nil for non-hosted
+	rt     *runtime.Runtime
+	opts   Options
+	mgrs   []*Manager // indexed by locality; nil for non-hosted
+	prober Prober     // nil when the fabric has no out-of-band probe channel
+}
+
+// Prober is the out-of-band probe channel the reliable fabric exposes:
+// raw frames that bypass sequencing, ACKs, and — critically — the
+// crash-stop down-peer gates, so membership tables can reach and leave
+// a confirmed-down node after a partition heals. reliable.Fabric
+// implements it; plain fabrics don't, which disables rejoin traffic.
+type Prober interface {
+	SendProbe(src, dst int, payload []byte) error
+	SetProbeHandler(dst int, h func(src int, payload []byte))
 }
 
 // NewService creates the membership service and registers its actions.
 // Call Start to begin gossiping (after the join barrier in cluster mode).
 func NewService(rt *runtime.Runtime, opts Options) *Service {
 	s := &Service{rt: rt, opts: opts.withDefaults(), mgrs: make([]*Manager, rt.Localities())}
+	s.prober, _ = rt.Fabric().(Prober)
 	for i := 0; i < rt.Localities(); i++ {
 		if rt.Hosted(i) {
 			s.mgrs[i] = newManager(s, i)
+			if s.prober != nil {
+				self := i
+				s.prober.SetProbeHandler(self, func(src int, payload []byte) {
+					s.handleProbeFrame(self, payload)
+				})
+			}
 		}
 	}
 	rt.MustRegisterAction(ActionJoin, s.handleJoin)
 	rt.MustRegisterAction(ActionGossip, s.handleGossip)
+	rt.MustRegisterAction(ActionPingReq, s.handlePingReq)
+	rt.MustRegisterAction(ActionPing, s.handlePing)
+	rt.MustRegisterAction(ActionPingAck, s.handlePingAck)
 	rt.SubscribeSuspicion(s.onSuspicion)
 	rt.SubscribeVerdict(s.onVerdict)
 	rt.SubscribeDeath(s.onDeath)
 	return s
+}
+
+// handleProbeFrame processes a raw probe frame (a membership table sent
+// outside the reliability machinery: resurrection probes to Down
+// members and rebirth refute broadcasts). It owns the pooled payload.
+func (s *Service) handleProbeFrame(self int, payload []byte) {
+	ms, err := DecodeMembership(payload)
+	network.PutPayload(payload)
+	if err != nil {
+		return
+	}
+	if m := s.Manager(self); m != nil {
+		m.Merge(ms)
+	}
 }
 
 // Manager returns locality i's membership manager (nil for non-hosted).
@@ -141,6 +231,47 @@ func (s *Service) handleJoin(ctx *runtime.Context, args []byte) ([]byte, error) 
 	m.Merge(ms)
 	reply := EncodeMembership(nil, m.Members())
 	_ = s.rt.Locality(ctx.Locality).Apply(ctx.Source, ActionGossip, reply)
+	return nil, nil
+}
+
+// handlePingReq runs at a relay: forward the origin's probe to the
+// suspect as a direct ping. The message is re-encoded rather than
+// forwarded as the borrowed args slice, which the runtime may recycle.
+func (s *Service) handlePingReq(ctx *runtime.Context, args []byte) ([]byte, error) {
+	pm, err := DecodeProbe(args)
+	if err != nil {
+		return nil, err
+	}
+	_ = s.rt.Locality(ctx.Locality).Apply(pm.Target, ActionPing, EncodeProbe(nil, pm))
+	return nil, nil
+}
+
+// handlePing runs at the suspect: ack back through the relay that
+// delivered the ping (ctx.Source), not directly to the origin — the
+// direct path is exactly the link under suspicion.
+func (s *Service) handlePing(ctx *runtime.Context, args []byte) ([]byte, error) {
+	pm, err := DecodeProbe(args)
+	if err != nil {
+		return nil, err
+	}
+	_ = s.rt.Locality(ctx.Locality).Apply(ctx.Source, ActionPingAck, EncodeProbe(nil, pm))
+	return nil, nil
+}
+
+// handlePingAck runs at a relay (forward to the origin) or at the
+// origin (indirect evidence the suspect lives: feed the detector).
+func (s *Service) handlePingAck(ctx *runtime.Context, args []byte) ([]byte, error) {
+	pm, err := DecodeProbe(args)
+	if err != nil {
+		return nil, err
+	}
+	if pm.Origin != ctx.Locality {
+		_ = s.rt.Locality(ctx.Locality).Apply(pm.Origin, ActionPingAck, EncodeProbe(nil, pm))
+		return nil, nil
+	}
+	if m := s.Manager(ctx.Locality); m != nil {
+		m.probeAcked(pm.Nonce)
+	}
 	return nil, nil
 }
 
@@ -248,8 +379,20 @@ type Manager struct {
 	mu        sync.Mutex
 	members   map[int]Member
 	selfInc   uint64
+	epoch     uint64
 	condemned bool
 	rng       *rand.Rand
+
+	// Indirect-probe state: pending maps an in-flight probe round's
+	// nonce to its target and deadline; probeRounds counts rounds spent
+	// on the current suspicion episode (reset when the suspect acks or
+	// suspicion clears); tick numbers gossip rounds for the resurrection
+	// cadence; refuteRounds counts down the rebirth broadcast.
+	pending      map[uint64]pendingProbe
+	probeRounds  map[int]int
+	nonceCtr     uint64
+	tick         uint64
+	refuteRounds int
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -260,18 +403,32 @@ type Manager struct {
 	gossipRecv *counters.Raw
 	refutes    *counters.Raw
 	downSeen   *counters.Raw
+	probesSent *counters.Raw
+	probeAcks  *counters.Raw
+	probeFails *counters.Raw
+	rebirths   *counters.Raw
+	upSeen     *counters.Raw
+}
+
+// pendingProbe is one in-flight indirect-probe round.
+type pendingProbe struct {
+	target  int
+	expires time.Time
 }
 
 func newManager(s *Service, self int) *Manager {
 	m := &Manager{
-		svc:     s,
-		self:    self,
-		members: make(map[int]Member),
-		selfInc: 1,
-		rng:     rand.New(rand.NewSource(s.opts.Seed + int64(self))),
-		stop:    make(chan struct{}),
+		svc:         s,
+		self:        self,
+		members:     make(map[int]Member),
+		selfInc:     1,
+		epoch:       s.opts.JoinEpoch,
+		pending:     make(map[uint64]pendingProbe),
+		probeRounds: make(map[int]int),
+		rng:         rand.New(rand.NewSource(s.opts.Seed + int64(self))),
+		stop:        make(chan struct{}),
 	}
-	m.members[self] = Member{ID: self, Incarnation: 1, State: StateAlive, Addr: s.opts.AdvertiseAddr}
+	m.members[self] = Member{ID: self, Incarnation: 1, Epoch: m.epoch, State: StateAlive, Addr: s.opts.AdvertiseAddr}
 	inst := fmt.Sprintf("locality#%d", self)
 	mk := func(name string) *counters.Raw {
 		return counters.NewRaw(counters.Path{Object: "cluster", Instance: inst, Name: name})
@@ -280,8 +437,16 @@ func newManager(s *Service, self int) *Manager {
 	m.gossipRecv = mk("count/gossip-received")
 	m.refutes = mk("count/refutations")
 	m.downSeen = mk("count/members-down")
+	m.probesSent = mk("count/probes-sent")
+	m.probeAcks = mk("count/probe-acks")
+	m.probeFails = mk("count/probe-failures")
+	m.rebirths = mk("count/rebirths")
+	m.upSeen = mk("count/members-up")
 	if reg := s.rt.Locality(self).Registry(); reg != nil {
-		for _, c := range []*counters.Raw{m.gossipSent, m.gossipRecv, m.refutes, m.downSeen} {
+		for _, c := range []*counters.Raw{
+			m.gossipSent, m.gossipRecv, m.refutes, m.downSeen,
+			m.probesSent, m.probeAcks, m.probeFails, m.rebirths, m.upSeen,
+		} {
 			reg.MustRegister(c)
 		}
 	}
@@ -314,6 +479,7 @@ func (m *Manager) run() {
 		case <-m.stop:
 			return
 		case <-t.C:
+			m.maintain()
 			m.gossipNow()
 		}
 	}
@@ -388,11 +554,19 @@ func (m *Manager) selfEntry() Member {
 // Merge folds a received membership table into the local one under SWIM
 // precedence, installing learned addresses, refuting suspicion about
 // self, and degrading (DeclareDown) for newly confirmed-down members.
-// Exposed for tests and the join path; the gossip action calls it for
-// every received table.
+// With Options.Rejoin, precedence is the (Epoch, Incarnation, State)
+// total order instead, a self-obituary at our own epoch triggers
+// rebirth instead of condemnation, and a member superseding Down →
+// not-Down drives DeclareUp. Exposed for tests and the join path; the
+// gossip action calls it for every received table.
 func (m *Manager) Merge(ms []Member) {
 	m.gossipRecv.Inc()
-	var newlyDown []int
+	rejoin := m.svc.opts.Rejoin
+	sup := supersedes
+	if rejoin {
+		sup = supersedesRejoin
+	}
+	var newlyDown, newlyUp []int
 	changed := false
 
 	m.mu.Lock()
@@ -401,15 +575,41 @@ func (m *Manager) Merge(ms []Member) {
 			continue // hostile or misconfigured peer; ignore the entry
 		}
 		if e.ID == m.self {
-			// Rumors about ourselves: suspicion at our incarnation or
-			// later is refuted by bumping the incarnation and gossiping
-			// alive; confirmed-down is terminal (the cluster has already
-			// degraded around us — rejoining would need a new identity).
+			// Rumors about ourselves. With rejoin, rumors about another
+			// lifetime are inert: an older epoch is already superseded by
+			// our very existence, and a newer one is impossible (nobody
+			// mints our epochs but us) — hostile, so ignored.
+			if rejoin && e.Epoch != m.epoch {
+				continue
+			}
 			if e.State == StateDown {
-				// Terminal at any incarnation: our refutations may never
-				// have arrived (one-way partition), so the verdict can
-				// legitimately carry a stale incarnation.
-				m.condemned = true
+				if !rejoin {
+					// Terminal at any incarnation: our refutations may
+					// never have arrived (one-way partition), so the
+					// verdict can legitimately carry a stale incarnation.
+					// The cluster has degraded around us; rejoining would
+					// need a new identity.
+					m.condemned = true
+					continue
+				}
+				// Rebirth: the cluster convicted this very lifetime
+				// (partition, not crash — we are demonstrably running).
+				// Refute the obituary by outbidding its incarnation, and
+				// start the probe-frame broadcast that can reach peers
+				// that still have us crash-stopped.
+				if e.Incarnation >= m.selfInc {
+					m.selfInc = e.Incarnation + 1
+				} else {
+					m.selfInc++
+				}
+				self := m.members[m.self]
+				self.Incarnation = m.selfInc
+				self.State = StateAlive
+				m.members[m.self] = self
+				m.refuteRounds = rebirthRefuteRounds
+				m.rebirths.Inc()
+				m.refutes.Inc()
+				changed = true
 				continue
 			}
 			if e.Incarnation < m.selfInc || e.State == StateAlive {
@@ -425,7 +625,7 @@ func (m *Manager) Merge(ms []Member) {
 			continue
 		}
 		cur, known := m.members[e.ID]
-		if known && !supersedes(e, cur) {
+		if known && !sup(e, cur) {
 			continue
 		}
 		// A less specific rumor must not erase a known dial address.
@@ -443,11 +643,22 @@ func (m *Manager) Merge(ms []Member) {
 			m.downSeen.Inc()
 			newlyDown = append(newlyDown, e.ID)
 		}
+		if rejoin && known && cur.State == StateDown && e.State != StateDown {
+			m.upSeen.Inc()
+			m.probeRounds[e.ID] = 0
+			newlyUp = append(newlyUp, e.ID)
+		}
 	}
 	m.mu.Unlock()
 
-	// DeclareDown runs its death subscribers synchronously (including
-	// this service's markDown), so it must be called without the lock.
+	// DeclareUp / DeclareDown run their subscribers synchronously
+	// (including this service's own markDown), so both must be called
+	// without the lock. Up before down: a table can carry both kinds of
+	// news, and restoring a healed member never depends on degrading
+	// another.
+	for _, id := range newlyUp {
+		m.svc.rt.DeclareUp(id)
+	}
 	// Before the route closes, send the condemned peer one best-effort
 	// obituary: down members are excluded from gossip targets, so this is
 	// a wrongly-convicted node's (e.g. one-way partition) only chance to
@@ -476,7 +687,12 @@ func (m *Manager) suspect(peer int) {
 	}
 	e.State = StateSuspect
 	m.members[peer] = e
+	m.probeRounds[peer] = 0
 	m.mu.Unlock()
+	// Before the phi verdict can harden, try to reach the suspect through
+	// relays: a healthy indirect path refutes the suspicion without the
+	// suspect ever hearing about it.
+	m.beginProbe(peer)
 	m.gossipNow()
 }
 
@@ -489,6 +705,7 @@ func (m *Manager) unsuspect(peer int) {
 		e.State = StateAlive
 		m.members[peer] = e
 	}
+	m.probeRounds[peer] = 0
 	m.mu.Unlock()
 }
 
@@ -568,6 +785,150 @@ func (m *Manager) gossipNow() {
 	for _, dst := range targets {
 		if loc.Apply(dst, ActionGossip, payload) == nil {
 			m.gossipSent.Inc()
+		}
+	}
+}
+
+// beginProbe starts one indirect-probe round for a suspect: ask up to
+// ProbeFanout alive relays to ping it, and hold the local detector's
+// hard verdict until the round has had its chance (Lifeguard's "ask
+// before you convict"). No-ops once the episode's round budget is
+// spent or when no relay exists (two-node clusters degenerate to plain
+// phi-accrual, as classic SWIM does).
+func (m *Manager) beginProbe(target int) {
+	s := m.svc
+	if s.opts.DisableIndirectProbes {
+		return
+	}
+	m.mu.Lock()
+	if m.probeRounds[target] >= maxProbeRounds {
+		m.mu.Unlock()
+		return
+	}
+	var relays []int
+	for id, e := range m.members {
+		if id != m.self && id != target && e.State == StateAlive {
+			relays = append(relays, id)
+		}
+	}
+	if len(relays) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.probeRounds[target]++
+	m.rng.Shuffle(len(relays), func(i, j int) { relays[i], relays[j] = relays[j], relays[i] })
+	if len(relays) > s.opts.ProbeFanout {
+		relays = relays[:s.opts.ProbeFanout]
+	}
+	m.nonceCtr++
+	nonce := m.nonceCtr
+	m.pending[nonce] = pendingProbe{target: target, expires: time.Now().Add(s.opts.ProbeTimeout)}
+	m.mu.Unlock()
+
+	if mon := s.rt.Monitor(m.self); mon != nil {
+		mon.DeferConviction(target, time.Now().Add(s.opts.ProbeTimeout+s.opts.GossipInterval))
+	}
+	payload := EncodeProbe(nil, ProbeMsg{Origin: m.self, Target: target, Nonce: nonce})
+	loc := s.rt.Locality(m.self)
+	for _, r := range relays {
+		if loc.Apply(r, ActionPingReq, payload) == nil {
+			m.probesSent.Inc()
+		}
+	}
+}
+
+// probeAcked resolves an indirect-probe round: the suspect answered
+// through a relay, so it lives and the broken path is ours. Feed the
+// ack to the phi detector as a heartbeat (clearing suspicion the normal
+// way) and credit local health — the suspicion was this node's problem,
+// not the suspect's.
+func (m *Manager) probeAcked(nonce uint64) {
+	m.mu.Lock()
+	p, ok := m.pending[nonce]
+	if ok {
+		delete(m.pending, nonce)
+		m.probeRounds[p.target] = 0
+	}
+	m.mu.Unlock()
+	if !ok {
+		return // late or duplicate ack for a round already resolved
+	}
+	m.probeAcks.Inc()
+	if mon := m.svc.rt.Monitor(m.self); mon != nil {
+		mon.Heartbeat(p.target)
+		mon.Credit()
+	}
+}
+
+// maintain runs once per gossip tick, before gossipNow: expire
+// unanswered probe rounds (penalizing local health per Lifeguard — an
+// unanswered indirect probe usually indicts the asker's own
+// connectivity), and drive the two rejoin traffic sources that must
+// flow over raw probe frames because ordinary sends are gated off:
+// rebirth refute broadcasts and resurrection probes to Down members.
+func (m *Manager) maintain() {
+	s := m.svc
+	now := time.Now()
+	var expired []pendingProbe
+	var probeTargets []int
+	var table []Member
+
+	m.mu.Lock()
+	m.tick++
+	for nonce, p := range m.pending {
+		if now.After(p.expires) {
+			delete(m.pending, nonce)
+			expired = append(expired, p)
+		}
+	}
+	if s.opts.Rejoin && s.prober != nil {
+		if m.refuteRounds > 0 {
+			// Rebirth broadcast: push the refuted table to every member —
+			// the survivors still have this node crash-stopped, so only
+			// probe frames get through.
+			m.refuteRounds--
+			for id := range m.members {
+				if id != m.self {
+					probeTargets = append(probeTargets, id)
+				}
+			}
+		} else if m.tick%uint64(s.opts.RejoinProbeEvery) == 0 {
+			// Resurrection probe: poke one random Down member with our
+			// table. A partition-healed node learns its own obituary from
+			// it and rebirths; a truly dead node stays silent.
+			var down []int
+			for id, e := range m.members {
+				if id != m.self && e.State == StateDown {
+					down = append(down, id)
+				}
+			}
+			if len(down) > 0 {
+				probeTargets = append(probeTargets, down[m.rng.Intn(len(down))])
+			}
+		}
+		if len(probeTargets) > 0 {
+			table = make([]Member, 0, len(m.members))
+			for _, e := range m.members {
+				table = append(table, e)
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	mon := s.rt.Monitor(m.self)
+	for _, p := range expired {
+		m.probeFails.Inc()
+		if mon != nil {
+			mon.Penalize()
+		}
+		if e, ok := m.Lookup(p.target); ok && e.State == StateSuspect {
+			m.beginProbe(p.target) // another round, if the budget allows
+		}
+	}
+	if len(probeTargets) > 0 {
+		payload := EncodeMembership(nil, table)
+		for _, id := range probeTargets {
+			_ = s.prober.SendProbe(m.self, id, payload)
 		}
 	}
 }

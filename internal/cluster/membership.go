@@ -16,6 +16,20 @@
 // DeclareDown) or from gossip, and is terminal, feeding the PR 5
 // degradation path (reliable.FailPeer, port.FailDest, AGAS MarkDown) on
 // every surviving node.
+//
+// With rejoin enabled (Options.Rejoin), StateDown stops being terminal:
+// entries additionally carry a join *epoch* (wall-clock-derived for real
+// processes, constant in-process), and merge precedence becomes strictly
+// lexicographic on (Epoch, Incarnation, State). Epoch distinguishes the
+// two rebirth shapes — a partition-healed node refutes its own obituary
+// at the *same* epoch with a higher incarnation, while a crash-restarted
+// process joins at a *fresh* epoch that supersedes every entry the old
+// process left behind. Because the precedence relation is a total order
+// on entries, merges converge identically regardless of gossip delivery
+// order. Observing a Down member supersede to Alive is the up edge that
+// drives runtime.DeclareUp (the un-degradation path). See also SWIM's
+// ping-req indirect probing and Lifeguard's local-health multiplier in
+// manager.go, which keep reachable nodes from being convicted at all.
 package cluster
 
 import (
@@ -58,8 +72,14 @@ func (s State) String() string {
 type Member struct {
 	ID          int
 	Incarnation uint64
-	State       State
-	Addr        string
+	// Epoch identifies one process-lifetime of the member: 0 for
+	// in-process clusters and rejoin-disabled nodes, a wall-clock-derived
+	// value for amc-node processes running the rejoin protocol. A fresh
+	// epoch (crash-restart rebirth) supersedes every entry of an older
+	// one; within an epoch, incarnations arbitrate as in classic SWIM.
+	Epoch uint64
+	State State
+	Addr  string
 }
 
 // supersedes reports whether a replaces b under SWIM precedence:
@@ -80,13 +100,35 @@ func supersedes(a, b Member) bool {
 	return a.State > b.State
 }
 
+// supersedesRejoin is the precedence relation when the rejoin protocol
+// is enabled: strictly lexicographic on (Epoch, Incarnation, State), a
+// total order. Down is no longer terminal — a higher epoch (restarted
+// process) or a higher incarnation at the same epoch (partition-healed
+// node refuting its own obituary) overrides it; at equal (epoch,
+// incarnation) the more severe state still wins, which preserves both
+// "suspect beats alive" and "down beats suspect" for rumors about the
+// same lifetime. Totality is what makes merges order-independent:
+// whatever interleaving gossip delivers, every table converges to the
+// per-member maximum.
+func supersedesRejoin(a, b Member) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch > b.Epoch
+	}
+	if a.Incarnation != b.Incarnation {
+		return a.Incarnation > b.Incarnation
+	}
+	return a.State > b.State
+}
+
 // Membership wire format: a fixed header (magic, version, entry count)
-// followed by fixed-layout entries. Bounds are validated field by field
-// so a hostile or corrupt table is rejected before any allocation it
-// sizes.
+// followed by fixed-layout entries (id u32, incarnation u64, epoch u64,
+// state u8, addr u16-prefixed). Bounds are validated field by field so a
+// hostile or corrupt table is rejected before any allocation it sizes.
+// Version 2 added the epoch field; v1 frames are rejected — cluster
+// nodes are started from one build, so no mixed-version window exists.
 const (
 	membershipMagic   = 0xC1
-	membershipVersion = 1
+	membershipVersion = 2
 
 	// MaxMembers bounds the entry count a single table may carry.
 	MaxMembers = 4096
@@ -108,6 +150,7 @@ func EncodeMembership(dst []byte, ms []Member) []byte {
 	for _, m := range ms {
 		w.U32(uint32(m.ID))
 		w.U64(m.Incarnation)
+		w.U64(m.Epoch)
 		w.U8(uint8(m.State))
 		w.U16(uint16(len(m.Addr)))
 		w.RawBytes([]byte(m.Addr))
@@ -136,6 +179,7 @@ func DecodeMembership(data []byte) ([]Member, error) {
 		var m Member
 		m.ID = int(r.U32())
 		m.Incarnation = r.U64()
+		m.Epoch = r.U64()
 		st := r.U8()
 		addrLen := int(r.U16())
 		if r.Err() != nil {

@@ -10,8 +10,8 @@ import (
 func TestMembershipRoundTrip(t *testing.T) {
 	in := []Member{
 		{ID: 0, Incarnation: 1, State: StateAlive, Addr: "127.0.0.1:9000"},
-		{ID: 1, Incarnation: 7, State: StateSuspect, Addr: ""},
-		{ID: 2, Incarnation: 42, State: StateDown, Addr: "[::1]:1"},
+		{ID: 1, Incarnation: 7, Epoch: 1722500000000, State: StateSuspect, Addr: ""},
+		{ID: 2, Incarnation: 42, Epoch: 1 << 62, State: StateDown, Addr: "[::1]:1"},
 	}
 	enc := EncodeMembership(nil, in)
 	out, err := DecodeMembership(enc)
@@ -54,7 +54,7 @@ func TestMembershipDecodeRejectsHostile(t *testing.T) {
 		{"trailing bytes", append(bytes.Clone(valid), 0)},
 		{"bad state", func() []byte {
 			b := EncodeMembership(nil, []Member{{ID: 1, Incarnation: 2}})
-			b[4+4+8] = 7 // state byte of entry 0
+			b[4+4+8+8] = 7 // state byte of entry 0 (after id, incarnation, epoch)
 			return b
 		}()},
 		{"count overflow", func() []byte {
@@ -105,6 +105,81 @@ func TestSupersedes(t *testing.T) {
 	}
 }
 
+func TestSupersedesRejoin(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Member
+		want bool
+	}{
+		// Down is refutable at the same epoch by a higher incarnation
+		// (partition-healed node refuting its obituary)...
+		{"rejoin refutes down", Member{Epoch: 5, Incarnation: 3, State: StateAlive}, Member{Epoch: 5, Incarnation: 2, State: StateDown}, true},
+		// ...but not at the same incarnation: the obituary stands.
+		{"down beats alive same inc", Member{Epoch: 5, Incarnation: 2, State: StateAlive}, Member{Epoch: 5, Incarnation: 2, State: StateDown}, false},
+		{"down wins same inc", Member{Epoch: 5, Incarnation: 2, State: StateDown}, Member{Epoch: 5, Incarnation: 2, State: StateSuspect}, true},
+		// A fresh epoch (crash-restart rebirth) beats everything older,
+		// including a Down verdict at a much higher incarnation.
+		{"new epoch beats old down", Member{Epoch: 6, Incarnation: 1, State: StateAlive}, Member{Epoch: 5, Incarnation: 99, State: StateDown}, true},
+		{"old epoch never wins", Member{Epoch: 4, Incarnation: 99, State: StateDown}, Member{Epoch: 5, Incarnation: 1, State: StateAlive}, false},
+		// Within an epoch, classic SWIM arbitration.
+		{"higher inc wins", Member{Epoch: 5, Incarnation: 3, State: StateAlive}, Member{Epoch: 5, Incarnation: 2, State: StateSuspect}, true},
+		{"suspect beats alive", Member{Epoch: 5, Incarnation: 2, State: StateSuspect}, Member{Epoch: 5, Incarnation: 2, State: StateAlive}, true},
+		{"equal is not newer", Member{Epoch: 5, Incarnation: 2, State: StateAlive}, Member{Epoch: 5, Incarnation: 2, State: StateAlive}, false},
+	}
+	for _, tc := range cases {
+		if got := supersedesRejoin(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: supersedesRejoin(%+v, %+v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+		// Totality: for unequal entries exactly one direction supersedes,
+		// which is what makes merge order-independent.
+		if tc.a != tc.b {
+			fwd, rev := supersedesRejoin(tc.a, tc.b), supersedesRejoin(tc.b, tc.a)
+			if fwd == rev {
+				t.Errorf("%s: not a total order: fwd=%v rev=%v", tc.name, fwd, rev)
+			}
+		}
+	}
+}
+
+// TestRejoinOrderIndependence folds the full rumor history of a member
+// that went Down, rebirthed (same epoch, higher incarnation), went Down
+// again, and finally restarted at a fresh epoch — in every permutation —
+// and demands the identical winner each time. This is the property that
+// lets gossip deliver rumors in any order without split-brain tables.
+func TestRejoinOrderIndependence(t *testing.T) {
+	history := []Member{
+		{ID: 1, Epoch: 10, Incarnation: 1, State: StateAlive},
+		{ID: 1, Epoch: 10, Incarnation: 1, State: StateSuspect},
+		{ID: 1, Epoch: 10, Incarnation: 1, State: StateDown},
+		{ID: 1, Epoch: 10, Incarnation: 2, State: StateAlive}, // partition-heal rebirth
+		{ID: 1, Epoch: 10, Incarnation: 2, State: StateDown},  // convicted again
+		{ID: 1, Epoch: 11, Incarnation: 1, State: StateAlive}, // crash-restart rebirth
+	}
+	want := history[len(history)-1]
+
+	var permute func(ms []Member, k int)
+	permute = func(ms []Member, k int) {
+		if k == len(ms) {
+			cur := ms[0]
+			for _, e := range ms[1:] {
+				if supersedesRejoin(e, cur) {
+					cur = e
+				}
+			}
+			if cur != want {
+				t.Fatalf("order %+v converged to %+v, want %+v", ms, cur, want)
+			}
+			return
+		}
+		for i := k; i < len(ms); i++ {
+			ms[k], ms[i] = ms[i], ms[k]
+			permute(ms, k+1)
+			ms[k], ms[i] = ms[i], ms[k]
+		}
+	}
+	permute(append([]Member(nil), history...), 0)
+}
+
 func FuzzDecodeMembership(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add(EncodeMembership(nil, nil))
@@ -112,6 +187,10 @@ func FuzzDecodeMembership(f *testing.F) {
 	f.Add(EncodeMembership(nil, []Member{
 		{ID: 1, Incarnation: 1 << 60, State: StateSuspect, Addr: strings.Repeat("a", MaxAddrLen)},
 		{ID: 2, Incarnation: 0, State: StateDown},
+	}))
+	f.Add(EncodeMembership(nil, []Member{
+		{ID: 3, Incarnation: 2, Epoch: 1722500000000, State: StateAlive, Addr: "h:1"},
+		{ID: 4, Incarnation: 9, Epoch: ^uint64(0), State: StateDown},
 	}))
 	f.Add([]byte{membershipMagic, membershipVersion, 0xff, 0xff})
 	f.Add([]byte{membershipMagic, membershipVersion, 1, 0, 0, 0, 0, 0})

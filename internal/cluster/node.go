@@ -93,6 +93,35 @@ type NodeSpec struct {
 	// shutdown, sockets die mid-conversation) that long after the bench
 	// starts: the deterministic crash CI and the chaos driver inject.
 	CrashAfter time.Duration
+
+	// Rejoin enables the partition-tolerance protocol: epoch-tagged
+	// membership, resurrection probes, and DeclareUp un-degradation.
+	Rejoin bool
+	// NoIndirectProbes disables SWIM ping-req probing (the baseline arm
+	// of the false-conviction comparison).
+	NoIndirectProbes bool
+	// Partition, when Partition.For > 0 and Partition.Node >= 0, arms a
+	// timed two-way partition on this node's own fabric. Every node of
+	// the run is given the identical schedule, so the cuts agree
+	// cluster-wide without coordination.
+	Partition PartitionSpec
+}
+
+// PartitionSpec schedules a timed two-way network partition, applied
+// identically by every node from its local fault plan. The partition
+// window sits between the health warm-up and the benchmark: the cluster
+// rides out the cut (suspicion, possibly conviction), heals, optionally
+// waits for rejoin convergence, and only then measures throughput — so
+// the benchmark numbers are the post-heal recovery, not the outage.
+type PartitionSpec struct {
+	// Node is the victim locality; -1 (the default) disables.
+	Node int
+	// After delays the cut from the moment the schedule is armed (just
+	// after health warm-up); For bounds the outage. For <= 0 disables.
+	After, For time.Duration
+	// Mode is "pair" (cut Node↔0 only, leaving relay paths for indirect
+	// probes) or "full" (isolate Node from every peer).
+	Mode string
 }
 
 func (s NodeSpec) withDefaults() NodeSpec {
@@ -141,6 +170,9 @@ func (s NodeSpec) withDefaults() NodeSpec {
 	if s.FFT.Iterations <= 0 {
 		s.FFT.Iterations = 2
 	}
+	if s.Partition.Mode == "" {
+		s.Partition.Mode = "pair"
+	}
 	return s
 }
 
@@ -155,6 +187,15 @@ type NodeResult struct {
 	TaskOverhead float64 `json:"task_overhead_us"`
 	Verified     bool    `json:"verified,omitempty"` // fft: output bit-exact vs the sequential reference
 	Err          string  `json:"error,omitempty"`
+
+	// Partition-tolerance telemetry (zero unless the run armed a
+	// partition or the detector fired).
+	Suspicions      int64 `json:"suspicions,omitempty"`
+	Convictions     int64 `json:"convictions,omitempty"` // down verdicts this node's table recorded
+	ProbesSent      int64 `json:"probes_sent,omitempty"`
+	ProbeAcks       int64 `json:"probe_acks,omitempty"`
+	Rebirths        int64 `json:"rebirths,omitempty"`
+	RejoinLatencyNS int64 `json:"rejoin_latency_ns,omitempty"` // heal → local table all-alive; -1: never converged
 }
 
 // ClusterResult is node 0's aggregate over the whole run.
@@ -178,6 +219,19 @@ type ClusterResult struct {
 	Completed   bool         `json:"completed"`
 	DownNodes   []int        `json:"down_nodes,omitempty"`
 	PerNode     []NodeResult `json:"per_node"`
+
+	// Partition-tolerance aggregate (present when the run armed a
+	// partition).
+	Rejoin             bool   `json:"rejoin,omitempty"`
+	PartitionMode      string `json:"partition_mode,omitempty"`
+	PartitionNode      int    `json:"partition_node,omitempty"`
+	PartitionForNS     int64  `json:"partition_for_ns,omitempty"`
+	Suspicions         int64  `json:"suspicions,omitempty"`
+	Convictions        int64  `json:"convictions,omitempty"`
+	ProbesSent         int64  `json:"probes_sent,omitempty"`
+	ProbeAcks          int64  `json:"probe_acks,omitempty"`
+	Rebirths           int64  `json:"rebirths,omitempty"`
+	MaxRejoinLatencyNS int64  `json:"max_rejoin_latency_ns,omitempty"`
 }
 
 const (
@@ -199,6 +253,75 @@ type node struct {
 	results map[int]NodeResult
 	finish  chan struct{}
 	finOnce sync.Once
+
+	rejoinLatencyNS int64 // heal → local all-alive; 0: not measured, -1: timeout
+}
+
+// rideOutPartition arms the node's local copy of the cluster-wide
+// partition schedule, sleeps through the outage window (suspicion,
+// probing, and — in full mode — conviction all happen here), and after
+// the heal waits for the membership table to converge back to all-alive,
+// recording the rejoin latency. Every node runs the identical schedule
+// from its own clock; the schedules agree to within the join-barrier
+// skew, far below the outage durations being scheduled.
+func (n *node) rideOutPartition(fabric *network.PeerFabric) {
+	spec := n.spec
+	p := spec.Partition
+	plan := network.NewFaultPlan(1)
+	switch p.Mode {
+	case "full":
+		for i := 0; i < spec.N; i++ {
+			if i != p.Node {
+				plan.PartitionPairAt(p.Node, i, p.After)
+				plan.HealPairAt(p.Node, i, p.After+p.For)
+			}
+		}
+	default: // "pair": cut the victim's link to node 0, leaving relays
+		other := 0
+		if p.Node == 0 {
+			other = spec.N - 1
+		}
+		plan.PartitionPairAt(p.Node, other, p.After)
+		plan.HealPairAt(p.Node, other, p.After+p.For)
+	}
+	plan.StartClock(time.Now())
+	fabric.SetFaultHook(plan.Hook())
+	n.logger.Printf("partition armed: mode=%s node=%d after=%v for=%v", p.Mode, p.Node, p.After, p.For)
+
+	time.Sleep(p.After + p.For + 100*time.Millisecond)
+	fabric.SetFaultHook(nil) // heal applied; drop the hook from the hot path
+
+	if !spec.Rejoin {
+		return
+	}
+	healed := time.Now()
+	mgr := n.svc.Manager(spec.ID)
+	deadline := healed.Add(20 * time.Second)
+	for {
+		alive := 0
+		for _, m := range mgr.Members() {
+			if m.State == StateAlive {
+				alive++
+			}
+		}
+		dead := false
+		for i := 0; i < spec.N; i++ {
+			if n.rt.LocalityDead(i) {
+				dead = true
+			}
+		}
+		if alive == spec.N && !dead {
+			n.rejoinLatencyNS = int64(time.Since(healed))
+			n.logger.Printf("rejoin converged %v after heal", time.Since(healed))
+			return
+		}
+		if time.Now().After(deadline) {
+			n.rejoinLatencyNS = -1
+			n.logger.Printf("rejoin did not converge within %v of heal", 20*time.Second)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // RunNode executes one node's full lifecycle — listen, join, gossip,
@@ -301,11 +424,20 @@ func (n *node) run() (int, error) {
 		defer fftComm.Close()
 	}
 
+	var joinEpoch uint64
+	if spec.Rejoin {
+		// Wall-clock epochs make a restarted process supersede every
+		// entry its previous life left behind, without coordination.
+		joinEpoch = uint64(time.Now().UnixMilli())
+	}
 	n.svc = NewService(n.rt, Options{
-		GossipInterval: spec.GossipInterval,
-		AdvertiseAddr:  advertise,
-		AddrBook:       fabric,
-		Seed:           int64(spec.ID) + 1,
+		GossipInterval:        spec.GossipInterval,
+		AdvertiseAddr:         advertise,
+		AddrBook:              fabric,
+		Seed:                  int64(spec.ID) + 1,
+		Rejoin:                spec.Rejoin,
+		JoinEpoch:             joinEpoch,
+		DisableIndirectProbes: spec.NoIndirectProbes,
 	})
 	defer n.svc.Stop()
 	n.rt.SubscribeDeath(func(peer int) {
@@ -330,6 +462,10 @@ func (n *node) run() (int, error) {
 		PhiThreshold:      spec.PhiThreshold,
 	})
 	time.Sleep(200 * time.Millisecond) // detector warm-up across the cluster
+
+	if spec.Partition.For > 0 && spec.Partition.Node >= 0 && spec.Partition.Node < spec.N {
+		n.rideOutPartition(fabric)
+	}
 
 	if spec.CrashAfter > 0 {
 		time.AfterFunc(spec.CrashAfter, func() {
@@ -363,6 +499,17 @@ func (n *node) run() (int, error) {
 				NetOverhead: res.NetworkOverhead, TaskOverhead: res.TaskOverheadUS,
 			}
 		}
+	}
+
+	// Partition-tolerance telemetry, whatever the workload outcome.
+	mgr := n.svc.Manager(spec.ID)
+	mine.Convictions = mgr.downSeen.Get()
+	mine.ProbesSent = mgr.probesSent.Get()
+	mine.ProbeAcks = mgr.probeAcks.Get()
+	mine.Rebirths = mgr.rebirths.Get()
+	mine.RejoinLatencyNS = n.rejoinLatencyNS
+	if mon := n.rt.Monitor(spec.ID); mon != nil {
+		mine.Suspicions = mon.Suspicions()
 	}
 
 	code := CodeOK
@@ -494,6 +641,12 @@ func (n *node) aggregate(mine NodeResult, g taskbench.Graph) error {
 
 	agg := ClusterResult{
 		Nodes: n.spec.N, App: n.spec.App, DownNodes: append([]int(nil), down...),
+		Rejoin: n.spec.Rejoin,
+	}
+	if p := n.spec.Partition; p.For > 0 && p.Node >= 0 {
+		agg.PartitionMode = p.Mode
+		agg.PartitionNode = p.Node
+		agg.PartitionForNS = int64(p.For)
 	}
 	if n.spec.App == "fft" {
 		agg.FFTRows, agg.FFTCols = n.spec.FFT.Rows, n.spec.FFT.Cols
@@ -516,6 +669,14 @@ func (n *node) aggregate(mine NodeResult, g taskbench.Graph) error {
 		agg.Parcels += r.Parcels
 		if r.WallNS > agg.MaxWallNS {
 			agg.MaxWallNS = r.WallNS
+		}
+		agg.Suspicions += r.Suspicions
+		agg.Convictions += r.Convictions
+		agg.ProbesSent += r.ProbesSent
+		agg.ProbeAcks += r.ProbeAcks
+		agg.Rebirths += r.Rebirths
+		if r.RejoinLatencyNS > agg.MaxRejoinLatencyNS {
+			agg.MaxRejoinLatencyNS = r.RejoinLatencyNS
 		}
 	}
 	n.resMu.Unlock()

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/serialization"
+)
+
+// Probe wire format: the argument pack of the SWIM indirect-probe
+// actions (ping-req, ping, ping-ack). Fixed layout, validated field by
+// field like the membership codec:
+//
+//	byte  0     magic (0xC7)
+//	byte  1     version (1)
+//	bytes 2-5   origin locality (u32) — who wants to know
+//	bytes 6-9   target locality (u32) — who is suspected
+//	bytes 10-17 nonce (u64) — matches acks to the origin's probe round
+const (
+	probeMagic   = 0xC7
+	probeVersion = 1
+	// ProbeSize is the encoded size of a probe message.
+	ProbeSize = 18
+)
+
+// ProbeMsg is one decoded indirect-probe message. The same message
+// travels the whole relay path unchanged: origin -> relay (ping-req),
+// relay -> target (ping), target -> relay -> origin (ping-ack).
+type ProbeMsg struct {
+	Origin int
+	Target int
+	Nonce  uint64
+}
+
+// ErrBadProbe reports a malformed probe payload.
+var ErrBadProbe = errors.New("cluster: malformed probe")
+
+// EncodeProbe appends the wire encoding of a probe message to dst.
+func EncodeProbe(dst []byte, pm ProbeMsg) []byte {
+	w := serialization.GetWriter()
+	defer serialization.PutWriter(w)
+	w.U8(probeMagic)
+	w.U8(probeVersion)
+	w.U32(uint32(pm.Origin))
+	w.U32(uint32(pm.Target))
+	w.U64(pm.Nonce)
+	return append(dst, w.Bytes()...)
+}
+
+// DecodeProbe parses a probe message. Hostile input (short, oversized,
+// corrupt) returns ErrBadProbe, never panics.
+func DecodeProbe(data []byte) (ProbeMsg, error) {
+	if len(data) != ProbeSize {
+		return ProbeMsg{}, fmt.Errorf("%w: %d bytes, want %d", ErrBadProbe, len(data), ProbeSize)
+	}
+	r := serialization.NewReader(data)
+	if magic := r.U8(); magic != probeMagic {
+		return ProbeMsg{}, fmt.Errorf("%w: magic 0x%02x", ErrBadProbe, magic)
+	}
+	if v := r.U8(); v != probeVersion {
+		return ProbeMsg{}, fmt.Errorf("%w: version %d", ErrBadProbe, v)
+	}
+	pm := ProbeMsg{Origin: int(r.U32()), Target: int(r.U32()), Nonce: r.U64()}
+	if r.Err() != nil || r.Remaining() != 0 {
+		return ProbeMsg{}, fmt.Errorf("%w: truncated", ErrBadProbe)
+	}
+	return pm, nil
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// peer starts, covering runtime startup before first traffic
 	// (default 10 × HeartbeatInterval).
 	Grace time.Duration
+	// MaxLocalHealth caps the Lifeguard-style local health multiplier:
+	// when the local node itself shows signs of distress (failed probe
+	// rounds, refuted suspicions), the monitor stretches its suspicion
+	// thresholds by up to (1 + MaxLocalHealth)× so a slow *observer*
+	// does not convict healthy peers (default 2, i.e. up to 3× the
+	// configured thresholds).
+	MaxLocalHealth int64
 }
 
 // WithDefaults resolves unset fields.
@@ -94,6 +101,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Grace <= 0 {
 		c.Grace = 10 * c.HeartbeatInterval
+	}
+	if c.MaxLocalHealth <= 0 {
+		c.MaxLocalHealth = 2
 	}
 	return c
 }
@@ -169,6 +179,17 @@ func (d *Detector) Watch(peer int, now time.Time) {
 	if _, ok := d.peers[peer]; !ok {
 		d.peers[peer] = &peerHist{last: now, lastSample: now, started: now}
 	}
+	d.mu.Unlock()
+}
+
+// Reset discards peer's inter-arrival history and restarts its grace
+// period as of now. Used when a previously-convicted peer rejoins after
+// a healed partition: the pre-partition window (and the enormous
+// silence gap the partition left) must not poison phi for the revived
+// link.
+func (d *Detector) Reset(peer int, now time.Time) {
+	d.mu.Lock()
+	d.peers[peer] = &peerHist{last: now, lastSample: now, started: now}
 	d.mu.Unlock()
 }
 

@@ -240,3 +240,116 @@ func TestMonitorOnDownFiresOnce(t *testing.T) {
 		t.Fatalf("OnDown fired %d times, want exactly once", got)
 	}
 }
+
+func TestMonitorDeferConvictionHoldsVerdict(t *testing.T) {
+	cfg := fast()
+	var fired atomic.Int64
+	m := NewMonitor(MonitorConfig{
+		Config:   cfg,
+		Locality: 0,
+		Peers:    2,
+		OnDown:   func(peer int) { fired.Add(1) },
+	})
+	// Hold the verdict well past the point phi would convict.
+	hold := 300 * time.Millisecond
+	m.DeferConviction(1, time.Now().Add(hold))
+	// An earlier deadline must not shorten the hold.
+	m.DeferConviction(1, time.Now().Add(10*time.Millisecond))
+	start := time.Now()
+	m.Start()
+	defer m.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fired.Load() == 0 {
+		t.Fatal("OnDown never fired after the hold expired")
+	}
+	if waited := time.Since(start); waited < hold-10*time.Millisecond {
+		t.Fatalf("conviction after %v, want the %v hold respected", waited, hold)
+	}
+}
+
+func TestMonitorReviveAllowsReconviction(t *testing.T) {
+	cfg := fast()
+	var fired atomic.Int64
+	m := NewMonitor(MonitorConfig{
+		Config:   cfg,
+		Locality: 0,
+		Peers:    2,
+		OnDown:   func(peer int) { fired.Add(1) },
+	})
+	m.Start()
+	defer m.Stop()
+	await := func(n int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for fired.Load() < n && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if fired.Load() < n {
+			t.Fatalf("OnDown fired %d times, want %d", fired.Load(), n)
+		}
+	}
+	await(1)
+	if !m.Suspected(1) {
+		t.Fatal("peer 1 not suspected after conviction")
+	}
+	m.Revive(1)
+	if m.Suspected(1) {
+		t.Fatal("Revive left peer 1 suspected")
+	}
+	// Grace restarted: the peer must not be insta-reconvicted.
+	time.Sleep(2 * cfg.Tick)
+	if fired.Load() != 1 {
+		t.Fatalf("reconvicted within the fresh grace period (fired=%d)", fired.Load())
+	}
+	await(2) // silence accrues again and reconvicts
+}
+
+func TestMonitorSilencePausesSweep(t *testing.T) {
+	cfg := fast()
+	var fired atomic.Int64
+	m := NewMonitor(MonitorConfig{
+		Config:   cfg,
+		Locality: 0,
+		Peers:    2,
+		OnDown:   func(peer int) { fired.Add(1) },
+	})
+	m.Silence()
+	m.Start()
+	defer m.Stop()
+	time.Sleep(cfg.Grace + 20*cfg.HeartbeatInterval)
+	if fired.Load() != 0 {
+		t.Fatalf("silenced monitor convicted %d peers", fired.Load())
+	}
+	if !m.Silenced() {
+		t.Fatal("Silenced() = false after Silence()")
+	}
+	m.Unsilence()
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fired.Load() == 0 {
+		t.Fatal("unsilenced monitor never convicted the silent peer")
+	}
+}
+
+func TestMonitorLocalHealthClampAndStretch(t *testing.T) {
+	cfg := fast()
+	cfg.MaxLocalHealth = 2
+	m := NewMonitor(MonitorConfig{Config: cfg, Locality: 0, Peers: 2})
+	for i := 0; i < 10; i++ {
+		m.Penalize()
+	}
+	if got := m.LocalHealth(); got != 2 {
+		t.Fatalf("LocalHealth = %d after saturating penalties, want 2", got)
+	}
+	for i := 0; i < 10; i++ {
+		m.Credit()
+	}
+	if got := m.LocalHealth(); got != 0 {
+		t.Fatalf("LocalHealth = %d after credits, want 0", got)
+	}
+}

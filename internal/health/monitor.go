@@ -59,6 +59,18 @@ type Monitor struct {
 	suspected  []atomic.Bool
 	suspectHot []atomic.Bool // between SuspectPhi crossings (soft suspicion)
 	hbSeq      []atomic.Uint64
+	holdUntil  []atomic.Int64 // per-peer conviction hold (unix ns), 0 = none
+
+	// silenced pauses the sweep without stopping the goroutine: the
+	// runtime sets it when this monitor's own locality is declared dead
+	// (a dead observer must not convict anyone) and clears it on rejoin.
+	silenced atomic.Bool
+
+	// localHealth is the Lifeguard LHM score S in [0, MaxLocalHealth]:
+	// evidence that *this* node is the slow one. Effective thresholds
+	// are the configured ones times (1 + S).
+	localHealth atomic.Int64
+	lastCredit  time.Time // sweep-goroutine only: last passive LHM decay
 
 	// Counters: cumulative suspicions, heartbeats exchanged, and the
 	// per-peer suspicion level (live phi, in milli-phi, and its peak).
@@ -78,6 +90,7 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 		suspected:  make([]atomic.Bool, cfg.Peers),
 		suspectHot: make([]atomic.Bool, cfg.Peers),
 		hbSeq:      make([]atomic.Uint64, cfg.Peers),
+		holdUntil:  make([]atomic.Int64, cfg.Peers),
 		phiPeak:    make([]*counters.Raw, cfg.Peers),
 	}
 	inst := fmt.Sprintf("locality#%d", cfg.Locality)
@@ -94,6 +107,9 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 		for _, c := range []*counters.Raw{m.suspicions, m.hbSent, m.hbRecv} {
 			cfg.Registry.MustRegister(c)
 		}
+		cfg.Registry.MustRegister(counters.NewDerived(counters.Path{
+			Object: "health", Instance: inst, Name: "local-health",
+		}, func() float64 { return float64(m.localHealth.Load()) }))
 		for p := 0; p < cfg.Peers; p++ {
 			if p == cfg.Locality {
 				continue
@@ -127,6 +143,80 @@ func (m *Monitor) Stop() {
 	m.stopOnce.Do(func() { close(m.stop) })
 	m.wg.Wait()
 }
+
+// Silence pauses the monitor's sweep without stopping its goroutine:
+// no heartbeats are sent and no suspicions accrue until Unsilence. The
+// runtime silences a monitor when its locality is declared dead — a
+// partitioned node's monitor must not keep convicting the peers it can
+// no longer hear — and unsilences it on rejoin.
+func (m *Monitor) Silence() { m.silenced.Store(true) }
+
+// Unsilence resumes a silenced monitor's sweep.
+func (m *Monitor) Unsilence() { m.silenced.Store(false) }
+
+// Silenced reports whether the sweep is currently paused.
+func (m *Monitor) Silenced() bool { return m.silenced.Load() }
+
+// DeferConviction holds back the terminal OnDown verdict for peer until
+// at least the given time, without suppressing soft suspicion. The
+// membership layer calls this while an indirect-probe round is in
+// flight: a relayed ack is better evidence than local silence, so the
+// verdict waits for it. Later deadlines win; an earlier call never
+// shortens an existing hold.
+func (m *Monitor) DeferConviction(peer int, until time.Time) {
+	if peer < 0 || peer >= m.cfg.Peers {
+		return
+	}
+	ns := until.UnixNano()
+	for {
+		cur := m.holdUntil[peer].Load()
+		if cur >= ns || m.holdUntil[peer].CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Revive clears peer's conviction and suspicion state and resets its
+// detector history, restarting the grace period: the rejoin path calls
+// it when a previously-down peer re-enters the membership, so the
+// monitor can convict the same peer again if it fails a second time.
+func (m *Monitor) Revive(peer int) {
+	if peer < 0 || peer >= m.cfg.Peers {
+		return
+	}
+	m.holdUntil[peer].Store(0)
+	m.suspectHot[peer].Store(false)
+	m.suspected[peer].Store(false)
+	m.det.Reset(peer, time.Now())
+}
+
+// Penalize bumps the Lifeguard local-health score: the caller observed
+// evidence that this node, not its peers, is the slow party (a probe
+// round that produced no acks, a suspicion a peer had to refute).
+// Saturates at Config.MaxLocalHealth.
+func (m *Monitor) Penalize() {
+	for {
+		cur := m.localHealth.Load()
+		if cur >= m.cfg.MaxLocalHealth || m.localHealth.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
+}
+
+// Credit decays the local-health score by one: evidence of normal
+// operation (a probe ack arrived, a quiet sweep). Floors at zero.
+func (m *Monitor) Credit() {
+	for {
+		cur := m.localHealth.Load()
+		if cur <= 0 || m.localHealth.CompareAndSwap(cur, cur-1) {
+			return
+		}
+	}
+}
+
+// LocalHealth returns the current Lifeguard score S; effective
+// suspicion thresholds are the configured ones times (1 + S).
+func (m *Monitor) LocalHealth() int64 { return m.localHealth.Load() }
 
 // Heartbeat records a liveness observation of peer: the parcel port
 // calls it for every received wire message (piggybacked heartbeats), and
@@ -175,6 +265,16 @@ func (m *Monitor) run() {
 // sweep is one monitor tick: keep idle links warm, re-evaluate phi, and
 // fire OnDown for newly suspected peers.
 func (m *Monitor) sweep(now time.Time) {
+	if m.silenced.Load() {
+		return
+	}
+	// Lifeguard: stretch both thresholds by (1 + S) while the local
+	// node itself looks unhealthy, so a stalled observer suspects more
+	// slowly instead of convicting reachable peers.
+	mult := 1 + float64(m.localHealth.Load())
+	effSuspect := m.cfg.SuspectPhi * mult
+	effDown := m.cfg.PhiThreshold * mult
+	anyHot := false
 	for p := 0; p < m.cfg.Peers; p++ {
 		if p == m.cfg.Locality || m.suspected[p].Load() {
 			continue
@@ -198,14 +298,22 @@ func (m *Monitor) sweep(now time.Time) {
 		// Soft suspicion: edge-triggered crossings of the lower SuspectPhi
 		// threshold, reported before (and independently of) the terminal
 		// OnDown verdict so a membership layer can gossip and refute.
-		if phi >= m.cfg.SuspectPhi {
+		if phi >= effSuspect {
+			anyHot = true
 			if m.suspectHot[p].CompareAndSwap(false, true) && m.cfg.OnSuspect != nil {
 				m.cfg.OnSuspect(p)
 			}
-		} else if m.suspectHot[p].CompareAndSwap(true, false) && m.cfg.OnAlive != nil {
-			m.cfg.OnAlive(p)
+		} else if m.suspectHot[p].CompareAndSwap(true, false) {
+			// A suspicion that resolved itself is weak evidence we were
+			// the slow party: decay toward convicting readily again only
+			// after quiet sweeps (below), but credit the recovery now.
+			m.Credit()
+			if m.cfg.OnAlive != nil {
+				m.cfg.OnAlive(p)
+			}
 		}
-		if phi >= m.cfg.PhiThreshold && m.suspected[p].CompareAndSwap(false, true) {
+		if phi >= effDown && now.UnixNano() >= m.holdUntil[p].Load() &&
+			m.suspected[p].CompareAndSwap(false, true) {
 			m.suspicions.Inc()
 			m.cfg.Trace.Record(trace.Event{
 				Kind: trace.KindLinkDown, Name: "suspect",
@@ -215,5 +323,17 @@ func (m *Monitor) sweep(now time.Time) {
 				m.cfg.OnDown(p)
 			}
 		}
+	}
+	// Passive LHM decay: a stretch of sweeps with nothing suspect means
+	// the local node is keeping up again.
+	if !anyHot {
+		if m.lastCredit.IsZero() {
+			m.lastCredit = now
+		} else if now.Sub(m.lastCredit) >= 4*m.cfg.HeartbeatInterval {
+			m.Credit()
+			m.lastCredit = now
+		}
+	} else {
+		m.lastCredit = now
 	}
 }

@@ -65,7 +65,24 @@ type FaultPlan struct {
 	crashAt map[int]uint64
 	sends   map[int]uint64
 
+	// events are time-scheduled link reconfigurations (SetLinkAt /
+	// ClearLinkAt and the partition/heal helpers built on them), sorted
+	// by due time and applied lazily inside decide. clock anchors the
+	// elapsed-time axis: StartClock sets it explicitly, otherwise the
+	// first decide after events exist starts it.
+	events []faultEvent
+	clock  time.Time
+
 	injected uint64 // messages that received a non-deliver fault
+}
+
+// faultEvent is one scheduled link reconfiguration.
+type faultEvent struct {
+	at     time.Duration // elapsed time since the plan's clock started
+	src    int
+	dst    int
+	clear  bool // true: remove the override; false: install faults
+	faults LinkFaults
 }
 
 // linkFaultState is the per-link mutable state: the override (if any) and
@@ -108,6 +125,108 @@ func (p *FaultPlan) ClearLink(src, dst int) {
 	p.mu.Lock()
 	delete(p.links, linkKey{src, dst})
 	p.mu.Unlock()
+}
+
+// PartitionPair partitions both directions between a and b immediately:
+// the symmetric two-way cut a real network split produces, without
+// hand-writing each one-way override.
+func (p *FaultPlan) PartitionPair(a, b int) {
+	p.SetLink(a, b, LinkFaults{Partition: true})
+	p.SetLink(b, a, LinkFaults{Partition: true})
+}
+
+// HealPair removes both directions of a PartitionPair cut immediately,
+// reverting the links to the default configuration.
+func (p *FaultPlan) HealPair(a, b int) {
+	p.ClearLink(a, b)
+	p.ClearLink(b, a)
+}
+
+// StartClock anchors the plan's elapsed-time axis for scheduled events
+// (SetLinkAt etc.) at the given instant. Calling it is optional — the
+// first fault decision after events exist starts the clock implicitly —
+// but tests and multi-process runs call it explicitly so "at 300ms"
+// means 300ms from a known point rather than from first traffic.
+func (p *FaultPlan) StartClock(now time.Time) {
+	p.mu.Lock()
+	p.clock = now
+	p.mu.Unlock()
+}
+
+// SetLinkAt schedules SetLink(src, dst, f) to take effect once the
+// plan's clock has run for at. Events apply lazily, on the first fault
+// decision at or after their due time, so precision is bounded by
+// traffic cadence — fine for partitions, meaningless for sub-tick
+// schedules.
+func (p *FaultPlan) SetLinkAt(src, dst int, at time.Duration, f LinkFaults) {
+	p.scheduleEvent(faultEvent{at: at, src: src, dst: dst, faults: f})
+}
+
+// ClearLinkAt schedules ClearLink(src, dst) at elapsed time at.
+func (p *FaultPlan) ClearLinkAt(src, dst int, at time.Duration) {
+	p.scheduleEvent(faultEvent{at: at, src: src, dst: dst, clear: true})
+}
+
+// PartitionPairAt schedules a symmetric two-way partition between a and
+// b at elapsed time at.
+func (p *FaultPlan) PartitionPairAt(a, b int, at time.Duration) {
+	p.SetLinkAt(a, b, at, LinkFaults{Partition: true})
+	p.SetLinkAt(b, a, at, LinkFaults{Partition: true})
+}
+
+// HealPairAt schedules the heal of a symmetric partition between a and
+// b at elapsed time at.
+func (p *FaultPlan) HealPairAt(a, b int, at time.Duration) {
+	p.ClearLinkAt(a, b, at)
+	p.ClearLinkAt(b, a, at)
+}
+
+// FlapPair schedules cycles alternating partition/heal between a and b:
+// partition at start, heal at start+period/2, partition at start+period,
+// ... — the pathological oscillation that stresses suspicion hysteresis
+// and rejoin convergence.
+func (p *FaultPlan) FlapPair(a, b int, start, period time.Duration, cycles int) {
+	for i := 0; i < cycles; i++ {
+		at := start + time.Duration(i)*period
+		p.PartitionPairAt(a, b, at)
+		p.HealPairAt(a, b, at+period/2)
+	}
+}
+
+func (p *FaultPlan) scheduleEvent(e faultEvent) {
+	p.mu.Lock()
+	// Insertion sort keeps events due-ordered; schedules are small.
+	i := len(p.events)
+	for i > 0 && p.events[i-1].at > e.at {
+		i--
+	}
+	p.events = append(p.events, faultEvent{})
+	copy(p.events[i+1:], p.events[i:])
+	p.events[i] = e
+	p.mu.Unlock()
+}
+
+// applyDueLocked applies every scheduled event whose due time has
+// passed. Called with p.mu held from decide.
+func (p *FaultPlan) applyDueLocked(now time.Time) {
+	if len(p.events) == 0 {
+		return
+	}
+	if p.clock.IsZero() {
+		p.clock = now
+	}
+	elapsed := now.Sub(p.clock)
+	n := 0
+	for n < len(p.events) && p.events[n].at <= elapsed {
+		e := p.events[n]
+		if e.clear {
+			delete(p.links, linkKey{e.src, e.dst})
+		} else {
+			p.links[linkKey{e.src, e.dst}] = &linkFaultState{faults: e.faults}
+		}
+		n++
+	}
+	p.events = p.events[n:]
 }
 
 // Crash marks a locality as crash-stopped, effective immediately: every
@@ -155,6 +274,8 @@ func (p *FaultPlan) Hook() FaultHook {
 func (p *FaultPlan) decide(src, dst int, payload []byte) Fault {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+
+	p.applyDueLocked(time.Now())
 
 	// Crash-stop is evaluated before every other fault class: a dead
 	// locality neither sends nor receives, and the armed-crash trigger

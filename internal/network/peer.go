@@ -159,7 +159,11 @@ func (f *PeerFabric) SetHandler(dst int, h Handler) {
 
 // SetFaultHook installs (or removes) a fault-injection hook, mirroring
 // the other fabrics: drops skip the write, duplicates write twice,
-// delays write from a timer goroutine.
+// delays write from a timer goroutine. The hook is additionally
+// consulted on *receive* (as hook(peer, self, payload)), where only
+// FaultDrop is honored — that is what lets a single process's FaultPlan
+// express a two-way partition when the other end of the link belongs to
+// a different process.
 func (f *PeerFabric) SetFaultHook(h FaultHook) {
 	if h == nil {
 		f.fault.Store(nil)
@@ -251,6 +255,19 @@ func (f *PeerFabric) serve(conn net.Conn) {
 		if f.closed.Load() {
 			PutPayload(payload)
 			return
+		}
+		// Receive-side fault evaluation: a process can only apply
+		// sender-side faults to its own outbound traffic, so a two-way
+		// partition in a multi-process cluster needs the receiving end
+		// to drop inbound frames from the partitioned peer as well. Only
+		// FaultDrop is honored here — duplicate/delay/reorder remain
+		// sender-side concerns.
+		if hook := f.fault.Load(); hook != nil {
+			if (*hook)(src, f.self, payload).Action == FaultDrop {
+				f.drops.Add(1)
+				PutPayload(payload)
+				continue
+			}
 		}
 		if hp := f.handler.Load(); hp != nil {
 			f.msgsIn.Add(1)

@@ -243,12 +243,22 @@ func (p *Port) LastSend(dst int) time.Time {
 // it are discarded at transmission (counted as send errors under
 // parcels/count/link-down), and coalescing queues holding parcels for it
 // are flushed so nothing idles behind a flush timer waiting on a corpse.
-// Idempotent; there is no un-fail, matching crash-stop semantics.
+// Idempotent; ReopenDest reverses it when the destination rejoins.
 func (p *Port) FailDest(dst int) {
 	if dst < 0 || dst >= len(p.downDst) || p.downDst[dst].Swap(true) {
 		return
 	}
 	p.flushDest(dst)
+}
+
+// ReopenDest reverses FailDest for a destination that has rejoined the
+// cluster: subsequent Puts targeting it are accepted again. Parcels
+// discarded while the destination was down stay discarded — replaying
+// them is the continuation-retry layer's job, not the port's.
+func (p *Port) ReopenDest(dst int) {
+	if dst >= 0 && dst < len(p.downDst) {
+		p.downDst[dst].Store(false)
+	}
 }
 
 // DestDown reports whether FailDest has been called for dst.

@@ -19,14 +19,28 @@
 // Frame format (little-endian), prepended to the inner payload:
 //
 //	byte  0     magic (0xD7)
-//	byte  1     kind: 1 = data, 2 = standalone ACK
-//	bytes 2-9   sequence number (data frames; 0 on ACK frames)
+//	byte  1     kind: 1 = data, 2 = standalone ACK, 3 = probe
+//	bytes 2-9   sequence number (data frames; 0 otherwise)
 //	bytes 10-17 cumulative ACK for the reverse link
+//	bytes 18-21 link session epoch of the data stream (0 on ACK/probe)
+//	bytes 22-25 session epoch the cumulative ACK refers to
 //
-// Sequence numbers start at 1 per (src,dst) link; a cumulative ACK of k
-// acknowledges every data frame with seq <= k. Standalone ACK frames are
-// themselves unreliable — a lost ACK merely provokes a retransmission,
-// which the receiver's dedup window suppresses.
+// Sequence numbers start at 1 per (src,dst) link *within a session
+// epoch*; a cumulative ACK of k acknowledges every data frame with
+// seq <= k in the epoch it names. Standalone ACK frames are themselves
+// unreliable — a lost ACK merely provokes a retransmission, which the
+// receiver's dedup window suppresses.
+//
+// Session epochs make partition heal safe: when a peer is re-opened
+// after having been failed (ReopenPeer), the sender bumps the link's
+// epoch and restarts sequences at 1. The receiver drops data frames
+// from an older epoch (pre-partition retransmits still in flight) and
+// ignores ACKs naming an epoch other than the sender's current one
+// (stale ACKs from before the partition), so neither can corrupt the
+// fresh session's resequencer. Probe frames sit entirely outside the
+// reliability machinery: no sequence, no window, no dedup — they exist
+// so the membership layer can exchange liveness evidence with a peer
+// the data plane currently refuses to talk to.
 //
 // The layer wraps any network.Fabric (simulated or TCP) and is itself a
 // network.Fabric, so the parcel port and runtime stack on top unchanged.
@@ -49,7 +63,8 @@ const (
 	frameMagic  = 0xD7
 	kindData    = 1
 	kindAck     = 2
-	headerBytes = 18
+	kindProbe   = 3
+	headerBytes = 26
 )
 
 // Config tunes the reliability protocol. The zero value selects defaults
@@ -143,15 +158,17 @@ type txEntry struct {
 
 // txState is the sender side of one link.
 type txState struct {
-	mu   sync.Mutex
-	next uint64 // next sequence number to assign, starting at 1
-	q    []txEntry
-	down bool
+	mu    sync.Mutex
+	next  uint64 // next sequence number to assign, starting at 1
+	epoch uint32 // session epoch stamped on every data frame
+	q     []txEntry
+	down  bool
 }
 
 // rxState is the receiver side of one link.
 type rxState struct {
 	mu         sync.Mutex
+	epoch      uint32            // session epoch adopted from the sender
 	delivered  uint64            // highest in-order sequence delivered
 	reorder    map[uint64][]byte // out-of-order frames awaiting the gap
 	ackPending bool
@@ -171,7 +188,13 @@ type Fabric struct {
 	tx map[linkKey]*txState
 	rx map[linkKey]*rxState
 
-	handlers []atomic.Pointer[network.Handler]
+	handlers      []atomic.Pointer[network.Handler]
+	probeHandlers []atomic.Pointer[func(src int, payload []byte)]
+
+	// baseEpoch seeds each new link's session epoch. It is derived from
+	// wall-clock milliseconds so a crash-restarted process starts its
+	// links at a higher epoch than any pre-crash frames still in flight.
+	baseEpoch uint32
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -189,6 +212,7 @@ type Fabric struct {
 	acks          *counters.Raw // /network/reliability/acks
 	linkDowns     *counters.Raw // /network/reliability/link-down
 	linkDownsRem  *counters.Raw // /network/reliability/link-down-remote
+	staleEpochs   *counters.Raw // /network/reliability/stale-epoch
 }
 
 // New wraps inner in a reliability layer. The returned fabric owns inner:
@@ -205,6 +229,8 @@ func New(inner network.Fabric, cfg Config) *Fabric {
 		tx:            make(map[linkKey]*txState),
 		rx:            make(map[linkKey]*rxState),
 		handlers:      make([]atomic.Pointer[network.Handler], inner.Localities()),
+		probeHandlers: make([]atomic.Pointer[func(src int, payload []byte)], inner.Localities()),
+		baseEpoch:     uint32(time.Now().UnixMilli()),
 		downPeers:     make([]atomic.Bool, inner.Localities()),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		retransmits:   mk("retransmits"),
@@ -212,9 +238,13 @@ func New(inner network.Fabric, cfg Config) *Fabric {
 		acks:          mk("acks"),
 		linkDowns:     mk("link-down"),
 		linkDownsRem:  mk("link-down-remote"),
+		staleEpochs:   mk("stale-epoch"),
+	}
+	if f.baseEpoch == 0 {
+		f.baseEpoch = 1 // epoch 0 means "no session yet" on the rx side
 	}
 	if cfg.Registry != nil {
-		for _, c := range []*counters.Raw{f.retransmits, f.dupSuppressed, f.acks, f.linkDowns, f.linkDownsRem} {
+		for _, c := range []*counters.Raw{f.retransmits, f.dupSuppressed, f.acks, f.linkDowns, f.linkDownsRem, f.staleEpochs} {
 			cfg.Registry.MustRegister(c)
 		}
 	}
@@ -252,6 +282,10 @@ type ReliabilityStats struct {
 	// receiving locality, so an asymmetric partition (src hears dst, dst
 	// never hears src) is visible from both ends of the link.
 	LinkDownsRemote int64
+	// StaleEpochs counts frames discarded for naming an old session
+	// epoch: pre-partition retransmits and stale ACKs arriving after
+	// ReopenPeer restarted the link.
+	StaleEpochs int64
 }
 
 // ReliabilityStats returns a snapshot of the protocol counters.
@@ -262,6 +296,7 @@ func (f *Fabric) ReliabilityStats() ReliabilityStats {
 		AcksSent:             f.acks.Get(),
 		LinkDowns:            f.linkDowns.Get(),
 		LinkDownsRemote:      f.linkDownsRem.Get(),
+		StaleEpochs:          f.staleEpochs.Get(),
 	}
 }
 
@@ -329,6 +364,65 @@ func (f *Fabric) FailPeer(peer int) {
 	})
 }
 
+// ReopenPeer reverses FailPeer for a locality that has rejoined the
+// cluster. Every link touching the peer is un-declared: the sender side
+// restarts with a fresh session epoch and sequence 1, so the rejoined
+// receiver's dedup window cannot mistake the new stream's first frames
+// for pre-partition duplicates; the receiver side discards its reorder
+// buffer but keeps its delivered/epoch watermark — the first data frame
+// of the peer's new epoch resets it lazily (see onFrame), which also
+// covers the remote restarting without us noticing. Idempotent; a
+// no-op for peers that were never failed.
+func (f *Fabric) ReopenPeer(peer int) {
+	if peer < 0 || peer >= len(f.downPeers) || !f.downPeers[peer].Swap(false) {
+		return
+	}
+	now32 := uint32(time.Now().UnixMilli())
+	f.mu.Lock()
+	var txs []*txState
+	for k, ts := range f.tx {
+		if k.src == peer || k.dst == peer {
+			txs = append(txs, ts)
+		}
+	}
+	var rxs []*rxState
+	for k, rs := range f.rx {
+		if k.src == peer || k.dst == peer {
+			rxs = append(rxs, rs)
+		}
+	}
+	f.mu.Unlock()
+	for _, ts := range txs {
+		ts.mu.Lock()
+		for i := range ts.q {
+			network.PutPayload(ts.q[i].payload)
+			ts.q[i].payload = nil
+		}
+		ts.q = nil
+		ts.down = false
+		ts.next = 1
+		if now32 > ts.epoch {
+			ts.epoch = now32
+		} else {
+			ts.epoch++
+		}
+		ts.mu.Unlock()
+	}
+	for _, rs := range rxs {
+		rs.mu.Lock()
+		for seq, b := range rs.reorder {
+			network.PutPayload(b)
+			delete(rs.reorder, seq)
+		}
+		rs.ackPending = false
+		rs.mu.Unlock()
+	}
+	f.cfg.Trace.Record(trace.Event{
+		Kind: trace.KindLinkDown, Name: "peer-up",
+		Locality: peer, Start: time.Now(),
+	})
+}
+
 // PeerDown reports whether FailPeer has been called for the locality.
 func (f *Fabric) PeerDown(peer int) bool {
 	return peer >= 0 && peer < len(f.downPeers) && f.downPeers[peer].Load()
@@ -375,13 +469,46 @@ func (f *Fabric) SetHandler(dst int, h network.Handler) {
 	})
 }
 
+// SendProbe transmits an unreliable, out-of-band probe frame from src
+// to dst, bypassing the down-peer gate, the retransmission window and
+// the receiver's dedup state entirely. The membership layer uses probes
+// for SWIM ping-req relays and for rejoin solicitation across a healed
+// partition — exactly the moments the data plane still considers the
+// peer dead. The payload is copied into the frame; the caller retains
+// ownership. Delivery is best-effort: a lost probe is re-sent by the
+// caller's own cadence, not by this layer.
+func (f *Fabric) SendProbe(src, dst int, payload []byte) error {
+	if f.closed.Load() {
+		return network.ErrClosed
+	}
+	if src < 0 || src >= len(f.handlers) || dst < 0 || dst >= len(f.handlers) {
+		return fmt.Errorf("%w: src=%d dst=%d n=%d", network.ErrBadLocality, src, dst, len(f.handlers))
+	}
+	return f.inner.Send(src, dst, encodeFrame(kindProbe, 0, 0, 0, 0, payload))
+}
+
+// SetProbeHandler installs the probe delivery callback for dst (nil
+// removes it). The handler receives a pooled copy it owns and must
+// eventually release via network.PutPayload (directly or through a
+// decoder that takes ownership).
+func (f *Fabric) SetProbeHandler(dst int, h func(src int, payload []byte)) {
+	if dst < 0 || dst >= len(f.probeHandlers) {
+		return
+	}
+	if h == nil {
+		f.probeHandlers[dst].Store(nil)
+		return
+	}
+	f.probeHandlers[dst].Store(&h)
+}
+
 func (f *Fabric) txFor(src, dst int) *txState {
 	key := linkKey{src, dst}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	ts := f.tx[key]
 	if ts == nil {
-		ts = &txState{next: 1}
+		ts = &txState{next: 1, epoch: f.baseEpoch}
 		f.tx[key] = ts
 	}
 	return ts
@@ -399,31 +526,35 @@ func (f *Fabric) rxFor(src, dst int) *rxState {
 	return rs
 }
 
-// cumAck returns the cumulative ACK to piggyback on a frame from local to
-// remote: the highest in-order sequence local has delivered on the
-// reverse (remote->local) link. Piggybacking also cancels any pending
+// cumAck returns the cumulative ACK to piggyback on a frame from local
+// to remote — the highest in-order sequence local has delivered on the
+// reverse (remote->local) link — together with the session epoch that
+// sequence belongs to, so the remote can discard the ACK if it has
+// since restarted the link. Piggybacking also cancels any pending
 // standalone ACK for that link.
-func (f *Fabric) cumAck(local, remote int) uint64 {
+func (f *Fabric) cumAck(local, remote int) (uint64, uint32) {
 	f.mu.Lock()
 	rs := f.rx[linkKey{remote, local}]
 	f.mu.Unlock()
 	if rs == nil {
-		return 0
+		return 0, 0
 	}
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	rs.ackPending = false
-	return rs.delivered
+	return rs.delivered, rs.epoch
 }
 
 // encodeFrame builds a wire frame in a pooled buffer. payload may be nil
 // (ACK frames).
-func encodeFrame(kind byte, seq, ack uint64, payload []byte) []byte {
+func encodeFrame(kind byte, seq, ack uint64, epoch, ackEpoch uint32, payload []byte) []byte {
 	frame := network.GetPayload(headerBytes + len(payload))
 	frame[0] = frameMagic
 	frame[1] = kind
 	binary.LittleEndian.PutUint64(frame[2:10], seq)
 	binary.LittleEndian.PutUint64(frame[10:18], ack)
+	binary.LittleEndian.PutUint32(frame[18:22], epoch)
+	binary.LittleEndian.PutUint32(frame[22:26], ackEpoch)
 	copy(frame[headerBytes:], payload)
 	return frame
 }
@@ -462,7 +593,7 @@ func (f *Fabric) Send(src, dst int, payload []byte) error {
 	// the reverse-direction rx state, and nesting that under ts.mu would
 	// invert the lock order other paths use. A slightly stale cumulative
 	// ack is a no-op at the receiver.
-	ack := f.cumAck(src, dst)
+	ack, ackEpoch := f.cumAck(src, dst)
 	ts.mu.Lock()
 	if ts.down {
 		ts.mu.Unlock()
@@ -481,7 +612,7 @@ func (f *Fabric) Send(src, dst int, payload []byte) error {
 	// Encode while still holding the lock: the moment the entry is in
 	// the window, FailPeer or retry-budget exhaustion may recycle
 	// payload back to the pool.
-	frame := encodeFrame(kindData, seq, ack, payload)
+	frame := encodeFrame(kindData, seq, ack, ts.epoch, ackEpoch, payload)
 	ts.mu.Unlock()
 
 	// An inner-fabric send error (e.g. a TCP connection reset) is a
@@ -501,10 +632,25 @@ func (f *Fabric) onFrame(src, dst int, frame []byte) {
 	kind := frame[1]
 	seq := binary.LittleEndian.Uint64(frame[2:10])
 	ack := binary.LittleEndian.Uint64(frame[10:18])
+	epoch := binary.LittleEndian.Uint32(frame[18:22])
+	ackEpoch := binary.LittleEndian.Uint32(frame[22:26])
+
+	// Probe frames bypass the reliability machinery entirely: no ACK
+	// processing, no dedup, no reorder — straight to the probe handler,
+	// which owns the pooled copy it receives.
+	if kind == kindProbe {
+		if php := f.probeHandlers[dst].Load(); php != nil {
+			cp := network.GetPayload(len(frame) - headerBytes)
+			copy(cp, frame[headerBytes:])
+			(*php)(src, cp)
+		}
+		network.PutPayload(frame)
+		return
+	}
 
 	// The ACK (piggybacked or standalone) acknowledges data this
 	// locality sent to src.
-	f.handleAck(dst, src, ack)
+	f.handleAck(dst, src, ack, ackEpoch)
 	if kind != kindData {
 		network.PutPayload(frame)
 		return
@@ -512,6 +658,27 @@ func (f *Fabric) onFrame(src, dst int, frame []byte) {
 
 	rs := f.rxFor(src, dst)
 	rs.mu.Lock()
+	if epoch != rs.epoch {
+		if epoch < rs.epoch {
+			// A pre-partition retransmit from a session the sender has
+			// since abandoned: dropping it (rather than deduping or
+			// delivering) is the whole point of the epoch field.
+			f.staleEpochs.Inc()
+			rs.mu.Unlock()
+			network.PutPayload(frame)
+			return
+		}
+		// A newer epoch: the sender restarted this link (ReopenPeer
+		// after a healed partition, or a process restart). Reset the
+		// resequencer so the new session's seq 1 delivers instead of
+		// being suppressed as a duplicate of the old stream.
+		for s, b := range rs.reorder {
+			network.PutPayload(b)
+			delete(rs.reorder, s)
+		}
+		rs.delivered = 0
+		rs.epoch = epoch
+	}
 	switch {
 	case seq <= rs.delivered:
 		// Already delivered: a retransmission racing a lost ACK (or an
@@ -580,8 +747,10 @@ func (f *Fabric) armAckLocked(rs *rxState) {
 	}
 }
 
-// handleAck releases acknowledged frames from the local->remote window.
-func (f *Fabric) handleAck(local, remote int, ack uint64) {
+// handleAck releases acknowledged frames from the local->remote window,
+// provided the ACK names the window's current session epoch — an ACK
+// from a pre-partition session must not release frames of the fresh one.
+func (f *Fabric) handleAck(local, remote int, ack uint64, ackEpoch uint32) {
 	if ack == 0 {
 		return
 	}
@@ -592,6 +761,11 @@ func (f *Fabric) handleAck(local, remote int, ack uint64) {
 		return
 	}
 	ts.mu.Lock()
+	if ackEpoch != ts.epoch {
+		f.staleEpochs.Inc()
+		ts.mu.Unlock()
+		return
+	}
 	for len(ts.q) > 0 && ts.q[0].seq <= ack {
 		network.PutPayload(ts.q[0].payload)
 		ts.q[0].payload = nil
@@ -669,7 +843,7 @@ func (f *Fabric) sweep(now time.Time) {
 			})
 			resend = append(resend, outFrame{
 				src: key.src, dst: key.dst,
-				frame: encodeFrame(kindData, e.seq, 0, e.payload),
+				frame: encodeFrame(kindData, e.seq, 0, ts.epoch, 0, e.payload),
 			})
 		}
 		if exhausted {
@@ -713,15 +887,17 @@ func (f *Fabric) sweep(now time.Time) {
 		rs.mu.Lock()
 		due := rs.ackPending && now.After(rs.ackBy)
 		var ack uint64
+		var ackEpoch uint32
 		if due {
 			rs.ackPending = false
 			ack = rs.delivered
+			ackEpoch = rs.epoch
 		}
 		rs.mu.Unlock()
 		if due {
 			// The rx key is (remote src -> local dst); the ACK travels
 			// the reverse link.
-			_ = f.inner.Send(key.dst, key.src, encodeFrame(kindAck, 0, ack, nil))
+			_ = f.inner.Send(key.dst, key.src, encodeFrame(kindAck, 0, ack, 0, ackEpoch, nil))
 			f.acks.Inc()
 		}
 	}

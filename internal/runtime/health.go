@@ -205,13 +205,15 @@ func (rt *Runtime) LocalityDead(i int) bool {
 // dead process's detector dies with it; in-process it must be told).
 // It does NOT mark the locality dead for routing — survivors still have
 // to detect the crash through phi accrual, which is what the detection-
-// latency metric measures.
+// latency metric measures. The monitor is silenced, not stopped: a
+// rejoin (DeclareUp) can resume it, and silencing is a non-blocking
+// flag flip so two monitors convicting each other cannot deadlock.
 func (rt *Runtime) CrashLocality(i int) {
 	if i < 0 || i >= len(rt.silenced) || rt.silenced[i].Swap(true) {
 		return
 	}
 	if m := rt.Monitor(i); m != nil {
-		go m.Stop()
+		m.Silence()
 	}
 }
 
@@ -252,6 +254,77 @@ func (rt *Runtime) DeclareDown(peer int) {
 	}
 	rt.deathMu.Lock()
 	subs := append([]func(int){}, rt.deathSubs...)
+	rt.deathMu.Unlock()
+	for _, fn := range subs {
+		fn(peer)
+	}
+}
+
+// peerReopener is implemented by transports (the reliable fabric) that
+// can reopen all links touching a previously-failed peer.
+type peerReopener interface{ ReopenPeer(peer int) }
+
+// SubscribeUp registers fn to be invoked (synchronously, from the
+// goroutine that declares the rejoin) whenever a previously-down
+// locality is declared up again. The up edge mirrors SubscribeDeath:
+// applications that re-planned work away from the dead locality can
+// start scheduling onto it again.
+func (rt *Runtime) SubscribeUp(fn func(peer int)) {
+	if fn == nil {
+		return
+	}
+	rt.deathMu.Lock()
+	rt.upSubs = append(rt.upSubs, fn)
+	rt.deathMu.Unlock()
+}
+
+// DeclareUp reverses DeclareDown for a peer whose partition has healed:
+// AGAS resolutions to it succeed again, the reliable transport reopens
+// its links under a fresh session epoch (stale pre-partition frames are
+// dropped, not resequenced), ports accept parcels for it again, every
+// hosted monitor's detector state for it is reset (fresh grace period,
+// so it is not insta-reconvicted on stale silence), and up subscribers
+// are notified. Parcels and continuations failed while the peer was
+// down stay failed — un-degradation restores the road, not the traffic
+// that crashed on it. Idempotent; a no-op for peers not currently down.
+// Normally invoked by the membership layer's rejoin protocol.
+func (rt *Runtime) DeclareUp(peer int) {
+	if peer < 0 || peer >= len(rt.locs) || !rt.dead[peer].Swap(false) {
+		return
+	}
+	rt.cfg.Trace.Record(trace.Event{
+		Kind: trace.KindLinkDown, Name: "locality-up",
+		Start: time.Now(), Locality: peer,
+	})
+	// Un-degrade bottom-up: transport first, so by the time routing
+	// (AGAS, ports) accepts traffic for the peer the links can carry it.
+	if pr, ok := rt.fabric.(peerReopener); ok {
+		pr.ReopenPeer(peer)
+	}
+	rt.agas.ClearDown(peer)
+	for i, l := range rt.locs {
+		if i == peer || !l.hosted {
+			continue
+		}
+		l.port.ReopenDest(peer)
+		if m := rt.Monitor(i); m != nil {
+			m.Revive(peer)
+		}
+	}
+	// The revived locality's own monitor resumes sweeping with fresh
+	// detector state toward every live peer: its pre-partition windows
+	// are full of partition-length silences that would insta-convict.
+	rt.silenced[peer].Store(false)
+	if m := rt.Monitor(peer); m != nil {
+		for i := range rt.locs {
+			if i != peer && !rt.dead[i].Load() {
+				m.Revive(i)
+			}
+		}
+		m.Unsilence()
+	}
+	rt.deathMu.Lock()
+	subs := append([]func(int){}, rt.upSubs...)
 	rt.deathMu.Unlock()
 	for _, fn := range subs {
 		fn(peer)

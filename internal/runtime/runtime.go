@@ -169,6 +169,7 @@ type Runtime struct {
 
 	deathMu     sync.Mutex
 	deathSubs   []func(peer int)
+	upSubs      []func(peer int)
 	suspSubs    []func(observer, peer int, suspected bool)
 	verdictSubs []func(observer, peer int)
 

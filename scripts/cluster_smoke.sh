@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # cluster_smoke.sh — multi-process cluster smoke test.
 #
-# Builds amc-node, then runs three scenarios over loopback TCP:
+# Builds amc-node, then runs four scenarios over loopback TCP:
 #   1. clean:     3 nodes run a stencil graph to completion (exit 0 each)
 #   2. fail-fast: node 2 is hard-killed mid-run; survivors must detect it
 #                 via gossiped membership and exit with code 3
 #   3. recover:   same kill with -recover; survivors re-home the dead
 #                 node's partition and exit 0 with the full graph done
+#   4. partition-heal: node 2 is fully partitioned for 1.2s with -rejoin;
+#                 the cluster convicts it, the partition heals, the node
+#                 rebirths and every node converges back before running
+#                 the graph to completion (exit 0 each)
 #
 # Exits non-zero on the first scenario that misbehaves.
 set -euo pipefail
@@ -88,5 +92,19 @@ expect_code recover 0 0; expect_code recover 1 0
 grep -q '"completed": true' "$WORK/recover/cluster.json" \
     || { echo "FAIL(recover): result not completed"; cat "$WORK/recover/cluster.json"; exit 1; }
 echo "ok: survivors re-homed the dead partition and completed (exit 0)"
+
+echo "== scenario 4: partition node 2, heal, rejoin =="
+run_cluster partition "${GRAPH[@]}" -steps 32 -rejoin \
+    -partition-node 2 -partition-after 300ms -partition-for 1200ms -partition-mode full
+expect_code partition 0 0; expect_code partition 1 0; expect_code partition 2 0
+grep -q '"completed": true' "$WORK/partition/cluster.json" \
+    || { echo "FAIL(partition): result not completed"; cat "$WORK/partition/cluster.json"; exit 1; }
+for n in 0 1 2; do
+    grep -q 'rejoin converged' "$WORK/partition/node$n.log" \
+        || { echo "FAIL(partition): node $n never logged rejoin convergence"; exit 1; }
+done
+grep -q '"rebirths": [1-9]' "$WORK/partition/cluster.json" \
+    || { echo "FAIL(partition): no rebirth recorded — the outage never convicted anyone"; exit 1; }
+echo "ok: conviction, heal, rebirth, convergence, full graph (exit 0)"
 
 echo "cluster smoke: all scenarios passed"
